@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md §3),
+prints the series, and archives them under ``benchmarks/results/`` so the
+numbers behind EXPERIMENTS.md are reproducible artifacts.
+
+Bench sizing: pure-Python substrate, so the default grids are one decade
+below the paper's C++ runs.  Set ``REPRO_BENCH_FULL=1`` to use the
+paper-sized grids (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Whether to run the paper-sized grids.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Runs to average per configuration in bench mode (paper uses 10).
+BENCH_RUNS = 10 if FULL else 2
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and archive it under ``benchmarks/results/``."""
+    banner = f"\n{'=' * 72}\n[{name}]\n{'=' * 72}"
+    print(banner)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,98 @@
+"""Ablation A2 — concave learning-gain functions (Section VII).
+
+The paper conjectures DyGroups adapts to any concave gain but loses its
+optimality guarantee for non-linear ones.  This ablation (a) compares the
+aggregate gain under linear vs concave gains, and (b) hunts for
+greedy-vs-optimal gaps on tiny instances with brute force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.brute_force import brute_force_tdg
+from repro.core.dygroups import DyGroupsStar
+from repro.core.gain_functions import LinearGain
+from repro.core.simulation import simulate
+from repro.data.distributions import lognormal_skills, uniform_skills
+from repro.extensions.concave import LogGain, PowerGain, SqrtGain
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+N = 10_000 if FULL else 1_000
+TINY_TRIALS = 200 if FULL else 60
+
+GAINS = {
+    "linear": LinearGain(0.5),
+    "log": LogGain(0.5),
+    "sqrt": SqrtGain(0.5),
+    "power(0.5)": PowerGain(0.5, gamma=0.5),
+}
+
+
+def _aggregate_gains() -> dict[str, float]:
+    results = {}
+    for label, gain in GAINS.items():
+        per_run = []
+        for run in range(BENCH_RUNS):
+            skills = lognormal_skills(N, seed=run)
+            result = simulate(
+                DyGroupsStar(),
+                skills,
+                k=5,
+                alpha=5,
+                mode="star",
+                gain=gain,
+                seed=run,
+                record_groupings=False,
+            )
+            per_run.append(result.total_gain)
+        results[label] = float(np.mean(per_run))
+    return results
+
+
+def bench_ablation_concave_gains(benchmark):
+    results = benchmark.pedantic(_aggregate_gains, iterations=1, rounds=1)
+    lines = [f"Ablation A2a: DyGroups-Star aggregate gain by gain function (n={N}, alpha=5)"]
+    for label, value in results.items():
+        lines.append(f"  {label:<12} {value:.6g}")
+    emit("ablation_concave_gains", "\n".join(lines))
+    # Concave gains (all <= r·delta) must deliver less than linear.
+    for label in ("log", "sqrt", "power(0.5)"):
+        assert results[label] < results["linear"]
+
+
+def _optimality_gaps() -> tuple[int, int, float]:
+    """Count greedy-vs-optimal gaps for the log gain on tiny instances."""
+    rng = np.random.default_rng(123)
+    gaps = 0
+    worst = 0.0
+    for _ in range(TINY_TRIALS):
+        n = int(rng.choice([4, 6]))
+        alpha = int(rng.integers(2, 4))
+        skills = uniform_skills(n, rng=rng)
+        gain = LogGain(0.9)
+        exact = brute_force_tdg(skills, k=2, alpha=alpha, gain=gain, mode="star")
+        greedy = simulate(
+            DyGroupsStar(), skills, k=2, alpha=alpha, mode="star", gain=gain, seed=0
+        )
+        assert greedy.total_gain <= exact.total_gain + 1e-9
+        relative = (exact.total_gain - greedy.total_gain) / max(exact.total_gain, 1e-12)
+        if relative > 1e-9:
+            gaps += 1
+            worst = max(worst, relative)
+    return gaps, TINY_TRIALS, worst
+
+
+def bench_ablation_concave_optimality(benchmark):
+    gaps, trials, worst = benchmark.pedantic(_optimality_gaps, iterations=1, rounds=1)
+    text = (
+        "Ablation A2b: greedy vs optimal under the log gain (k=2, star)\n"
+        f"trials:            {trials}\n"
+        f"instances with gap: {gaps}\n"
+        f"worst relative gap: {worst:.3e}\n"
+        "(For the linear gain Theorem 5 forces 0 gaps; any gap here\n"
+        " illustrates the Section VII remark that DyGroups is not optimal\n"
+        " for non-linear concave gains.)"
+    )
+    emit("ablation_concave_optimality", text)

@@ -1,0 +1,100 @@
+"""Ablation A4 — fairness-aware grouping vs DyGroups (Section VII, Fairness).
+
+DyGroups' variance tie-break maximizes inequality among round-optimal
+groupings; the mirror-image fairness policy (best teachers ↔ weakest
+learners) minimizes it while keeping every round's gain optimal
+(Theorem 1b).  This bench sweeps the horizon α and exposes the crossover
+this trade-off has:
+
+* short horizons (α ≤ 2): the fairness policy lifts the weakest decile by
+  a large factor and lowers the final Gini;
+* long horizons: DyGroups' better-teachers-earlier effect compounds and
+  it dominates the myopic fairness policy even on the bottom decile —
+  equity by construction loses to equity by welfare maximization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dygroups import dygroups
+from repro.core.simulation import simulate
+from repro.data.distributions import lognormal_skills
+from repro.extensions.fairness import FairnessAwarePolicy, fairness_report
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+N = 10_000 if FULL else 1_000
+ALPHAS = (1, 2, 3, 5, 8)
+
+
+def _run() -> dict[int, dict[str, dict[str, float]]]:
+    table: dict[int, dict[str, dict[str, float]]] = {}
+    for alpha in ALPHAS:
+        rows: dict[str, list] = {"dygroups-star": [], "fair-star": []}
+        for run in range(BENCH_RUNS):
+            skills = lognormal_skills(N, seed=run)
+            rows["dygroups-star"].append(
+                fairness_report(
+                    dygroups(skills, k=5, alpha=alpha, rate=0.5, record_groupings=False)
+                )
+            )
+            rows["fair-star"].append(
+                fairness_report(
+                    simulate(
+                        FairnessAwarePolicy(),
+                        skills,
+                        k=5,
+                        alpha=alpha,
+                        mode="star",
+                        rate=0.5,
+                        seed=run,
+                        record_groupings=False,
+                    )
+                )
+            )
+        table[alpha] = {
+            name: {
+                "total_gain": float(np.mean([r.total_gain for r in reports])),
+                "gini": float(np.mean([r.gini for r in reports])),
+                "bottom_decile_gain": float(
+                    np.mean([r.bottom_decile_gain for r in reports])
+                ),
+            }
+            for name, reports in rows.items()
+        }
+    return table
+
+
+def bench_ablation_fairness(benchmark):
+    table = benchmark.pedantic(_run, iterations=1, rounds=1)
+    lines = [
+        f"Ablation A4: fairness-aware vs DyGroups across horizons (star, n={N}, r=0.5)",
+        f"{'alpha':>6}{'policy':>16}{'total_gain':>14}{'gini':>10}{'bottom10% gain':>16}",
+    ]
+    for alpha in ALPHAS:
+        for name in ("dygroups-star", "fair-star"):
+            stats = table[alpha][name]
+            lines.append(
+                f"{alpha:>6}{name:>16}{stats['total_gain']:>14.6g}"
+                f"{stats['gini']:>10.4f}{stats['bottom_decile_gain']:>16.6g}"
+            )
+    emit("ablation_fairness", "\n".join(lines))
+
+    # Short horizon: the fairness policy wins on equity.
+    short = table[ALPHAS[0]]
+    assert short["fair-star"]["bottom_decile_gain"] > short["dygroups-star"]["bottom_decile_gain"]
+    assert short["fair-star"]["gini"] <= short["dygroups-star"]["gini"] + 1e-12
+    # Long horizon: DyGroups dominates on total gain AND the bottom decile.
+    long_ = table[ALPHAS[-1]]
+    assert long_["dygroups-star"]["total_gain"] >= long_["fair-star"]["total_gain"] - 1e-9
+    assert (
+        long_["dygroups-star"]["bottom_decile_gain"]
+        >= long_["fair-star"]["bottom_decile_gain"] - 1e-9
+    )
+    # Total gain: both are round-optimal in round 1 (Theorem 1b).
+    assert table[1]["dygroups-star"]["total_gain"] == np.float64(
+        table[1]["fair-star"]["total_gain"]
+    ) or abs(
+        table[1]["dygroups-star"]["total_gain"] - table[1]["fair-star"]["total_gain"]
+    ) < 1e-6 * abs(table[1]["dygroups-star"]["total_gain"])

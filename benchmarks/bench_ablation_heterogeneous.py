@@ -1,0 +1,101 @@
+"""Ablation A9 — heterogeneous learning rates (Section VII).
+
+Participants differ in "intrinsic learning ability": each carries its own
+rate ``r_i``.  This bench compares the rate-aware greedy (fast learners
+matched to big gaps) against rate-blind DyGroups on populations with
+increasing rate dispersion, at two horizons:
+
+* **one round**: knowing the rates pays directly — up to ~20% more gain
+  at high dispersion (the weighted-matching effect);
+* **five rounds**: the edge evaporates and can invert by a percent —
+  the rate-aware matching is *myopic*, echoing the fairness ablation:
+  rate-blind DyGroups' variance tie-break grows better future teachers.
+
+At zero dispersion the two coincide exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dygroups import DyGroupsStar
+from repro.core.grouping import Grouping
+from repro.data.distributions import lognormal_skills
+from repro.extensions.heterogeneous import (
+    simulate_heterogeneous,
+    update_star_heterogeneous,
+)
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+N = 5_000 if FULL else 1_000
+K = 5
+ALPHA = 5
+SPREADS = (0.0, 0.1, 0.2, 0.3)
+_BASE_RATE = 0.5
+
+
+def _draw_rates(spread: float, rng: np.random.Generator) -> np.ndarray:
+    return np.clip(rng.normal(_BASE_RATE, spread, size=N), 0.05, 0.95)
+
+
+def _rate_blind_total(skills: np.ndarray, rates: np.ndarray, alpha: int) -> float:
+    """DyGroups-Star groupings, but the true heterogeneous dynamics."""
+    policy = DyGroupsStar()
+    current = skills
+    total = 0.0
+    rng = np.random.default_rng(0)
+    for _ in range(alpha):
+        grouping: Grouping = policy.propose(current, K, rng)
+        updated = update_star_heterogeneous(current, rates, grouping)
+        total += float(np.sum(updated - current))
+        current = updated
+    return total
+
+
+def _run() -> dict[int, list[tuple[float, float, float]]]:
+    table: dict[int, list[tuple[float, float, float]]] = {}
+    for alpha in (1, ALPHA):
+        rows = []
+        for spread in SPREADS:
+            aware, blind = [], []
+            for run in range(BENCH_RUNS):
+                rng = np.random.default_rng(run)
+                skills = lognormal_skills(N, rng=rng)
+                rates = _draw_rates(spread, rng)
+                aware.append(
+                    simulate_heterogeneous(skills, rates, k=K, alpha=alpha).total_gain
+                )
+                blind.append(_rate_blind_total(skills, rates, alpha))
+            rows.append((spread, float(np.mean(aware)), float(np.mean(blind))))
+        table[alpha] = rows
+    return table
+
+
+def bench_ablation_heterogeneous(benchmark):
+    table = benchmark.pedantic(_run, iterations=1, rounds=1)
+    lines = [
+        f"Ablation A9: heterogeneous learning rates (star, n={N}, k={K})",
+        f"{'alpha':>6}{'rate spread':>12}{'rate-aware':>16}{'rate-blind':>16}{'edge':>8}",
+    ]
+    for alpha, rows in table.items():
+        for spread, aware, blind in rows:
+            lines.append(
+                f"{alpha:>6}{spread:>12.2f}{aware:>16.6g}{blind:>16.6g}{aware / blind:>8.4f}"
+            )
+    emit("ablation_heterogeneous", "\n".join(lines))
+
+    # Zero dispersion: both are round-optimal -> equal totals at any alpha.
+    for rows in table.values():
+        spread0, aware0, blind0 = rows[0]
+        assert abs(aware0 - blind0) <= 1e-6 * abs(blind0)
+    # One round: knowing the rates pays, increasingly with dispersion.
+    single = table[1]
+    edges = [aware / blind for _, aware, blind in single]
+    assert all(e >= 1.0 - 1e-9 for e in edges)
+    assert edges[-1] > 1.05
+    assert edges[-1] >= edges[1] - 1e-9
+    # Long horizon: the myopic matching loses its edge (stays within a
+    # few percent either way).
+    for _, aware, blind in table[ALPHA]:
+        assert 0.97 <= aware / blind <= 1.05

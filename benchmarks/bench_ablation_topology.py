@@ -1,0 +1,77 @@
+"""Ablation A8 — the price of a social-graph constraint.
+
+TDG assumes a fully connected network (Section VI).  This ablation runs
+the graph-constrained variant (groups must induce connected subgraphs) on
+small-world and scale-free topologies of varying density and measures
+
+* the learning gain relative to unconstrained DyGroups (the complete
+  graph is the paper's setting and the upper bound), and
+* the number of topology violations the greedy grouper was forced into.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dygroups import dygroups
+from repro.core.simulation import simulate
+from repro.data.distributions import lognormal_skills
+from repro.network.constrained import ConnectedDyGroups, grouping_violations
+from repro.network.topology import scale_free, small_world
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+N = 600 if FULL else 240
+K = 6
+ALPHA = 4
+
+CONFIGS = (
+    ("small-world k=4", lambda seed: small_world(N, k=4, seed=seed)),
+    ("small-world k=10", lambda seed: small_world(N, k=10, seed=seed)),
+    ("small-world k=30", lambda seed: small_world(N, k=30, seed=seed)),
+    ("scale-free m=2", lambda seed: scale_free(N, m=2, seed=seed)),
+    ("scale-free m=8", lambda seed: scale_free(N, m=8, seed=seed)),
+)
+
+
+def _run() -> list[tuple[str, float, float]]:
+    rows = []
+    for label, build in CONFIGS:
+        ratios, violations = [], []
+        for run in range(BENCH_RUNS):
+            skills = lognormal_skills(N, seed=run)
+            unconstrained = dygroups(skills, k=K, alpha=ALPHA, rate=0.5).total_gain
+            graph = build(run)
+            policy = ConnectedDyGroups(graph)
+            result = simulate(
+                policy, skills, k=K, alpha=ALPHA, mode="star", rate=0.5, seed=run
+            )
+            ratios.append(result.total_gain / unconstrained)
+            violations.append(
+                float(
+                    np.mean(
+                        [grouping_violations(g, graph) for g in result.groupings]
+                    )
+                )
+            )
+        rows.append((label, float(np.mean(ratios)), float(np.mean(violations))))
+    return rows
+
+
+def bench_ablation_topology(benchmark):
+    rows = benchmark.pedantic(_run, iterations=1, rounds=1)
+    lines = [
+        f"Ablation A8: graph-constrained DyGroups (star, n={N}, k={K}, alpha={ALPHA})",
+        f"{'topology':<20}{'gain vs unconstrained':>23}{'violations/round':>18}",
+    ]
+    for label, ratio, violation in rows:
+        lines.append(f"{label:<20}{ratio:>23.4f}{violation:>18.2f}")
+    emit("ablation_topology", "\n".join(lines))
+
+    by_label = {label: (ratio, violation) for label, ratio, violation in rows}
+    # The constraint costs gain; the cost shrinks as the graph densifies.
+    for label, (ratio, _) in by_label.items():
+        assert ratio <= 1.0 + 1e-9, label
+    assert by_label["small-world k=30"][0] >= by_label["small-world k=4"][0] - 0.02
+    # Denser graphs force fewer violations.
+    assert by_label["small-world k=30"][1] <= by_label["small-world k=4"][1] + 1e-9

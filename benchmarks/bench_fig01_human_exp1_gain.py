@@ -1,0 +1,49 @@
+"""Figure 1 — Experiment-1: learning gain across rounds (simulated AMT).
+
+Paper: populations of 32 following DyGroups vs K-Means, k=4, r=0.5, α=3;
+DyGroups' mean assessment rises faster each round (Observations I & II).
+This bench averages the simulated experiment over several seeds and
+prints the per-round mean-assessment series for both policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amt import EXPERIMENT_1_POLICIES, run_experiment_1
+from repro.experiments.render import render_table
+from repro.metrics.series import Series, SeriesSet
+
+from benchmarks._util import FULL, emit
+
+SEEDS = range(20 if FULL else 8)
+
+
+def _mean_traces() -> dict[str, np.ndarray]:
+    scores: dict[str, list[list[float]]] = {name: [] for name in EXPERIMENT_1_POLICIES}
+    for seed in SEEDS:
+        result = run_experiment_1(seed=seed)
+        for name, trace in result.traces.items():
+            scores[name].append(trace.mean_scores)
+    return {name: np.mean(np.array(rows), axis=0) for name, rows in scores.items()}
+
+
+def bench_fig01_human_exp1_gain(benchmark):
+    means = benchmark.pedantic(_mean_traces, iterations=1, rounds=1)
+    rounds = tuple(float(t) for t in range(len(next(iter(means.values())))))
+    series_set = SeriesSet(
+        title="Fig 1: Experiment-1 mean assessment per round (0 = pre-qualification)",
+        x_label="round",
+        y_label="mean assessment score",
+        series=tuple(
+            Series(label=name, x=rounds, y=tuple(float(v) for v in values))
+            for name, values in means.items()
+        ),
+    )
+    emit("fig01_human_exp1_gain", render_table(series_set))
+
+    # Shape assertions: skills improve (Observation I) and DyGroups ends
+    # higher than K-Means (Observation II).
+    for values in means.values():
+        assert values[-1] > values[0]
+    assert means["dygroups"][-1] > means["kmeans"][-1]

@@ -1,0 +1,38 @@
+"""Figure 5 — aggregate learning gain, varying n.
+
+Paper: (a) clique mode with log-normal skills, (b) star mode with Zipf
+skills; DyGroups convincingly outperforms all baselines and the gain
+grows with n.  Bench grids are one decade below the paper's largest
+points (set REPRO_BENCH_FULL=1 for the paper grids).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig05a, fig05b
+from repro.experiments.render import render_table
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+
+def _check_shape(series_set) -> None:
+    dygroups = series_set.get("dygroups").y
+    random_y = series_set.get("random").y
+    # DyGroups >= Random at every grid point; gain grows with n.
+    assert all(d >= r - 1e-9 for d, r in zip(dygroups, random_y))
+    assert dygroups[0] < dygroups[-1]
+
+
+def bench_fig05a_vary_n_clique_lognormal(benchmark):
+    series_set = benchmark.pedantic(
+        fig05a, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig05a_vary_n_clique_lognormal", render_table(series_set))
+    _check_shape(series_set)
+
+
+def bench_fig05b_vary_n_star_zipf(benchmark):
+    series_set = benchmark.pedantic(
+        fig05b, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig05b_vary_n_star_zipf", render_table(series_set))
+    _check_shape(series_set)

@@ -1,0 +1,37 @@
+"""Figure 6 — aggregate learning gain, varying k (number of groups).
+
+Paper: (a) star/log-normal, (b) clique/Zipf; DyGroups wins and the gain
+*decreases* as k grows — with more groups, fewer groups contain expert
+peers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig06a, fig06b
+from repro.experiments.render import render_table
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+
+def _check_shape(series_set) -> None:
+    dygroups = series_set.get("dygroups").y
+    random_y = series_set.get("random").y
+    assert all(d >= r - 1e-9 for d, r in zip(dygroups, random_y))
+    # LG decreases with k (first vs last grid point).
+    assert dygroups[0] > dygroups[-1]
+
+
+def bench_fig06a_vary_k_star_lognormal(benchmark):
+    series_set = benchmark.pedantic(
+        fig06a, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig06a_vary_k_star_lognormal", render_table(series_set))
+    _check_shape(series_set)
+
+
+def bench_fig06b_vary_k_clique_zipf(benchmark):
+    series_set = benchmark.pedantic(
+        fig06b, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig06b_vary_k_clique_zipf", render_table(series_set))
+    _check_shape(series_set)

@@ -1,0 +1,36 @@
+"""Figure 7 — aggregate learning gain, varying α (number of rounds).
+
+Paper: (a) clique/Zipf, (b) star/log-normal; DyGroups convincingly wins
+and a higher α induces a higher aggregate gain.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig07a, fig07b
+from repro.experiments.render import render_table
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+
+def _check_shape(series_set) -> None:
+    dygroups = series_set.get("dygroups").y
+    random_y = series_set.get("random").y
+    assert all(d >= r - 1e-9 for d, r in zip(dygroups, random_y))
+    # Gain is monotone non-decreasing in alpha.
+    assert all(a <= b + 1e-9 for a, b in zip(dygroups, dygroups[1:]))
+
+
+def bench_fig07a_vary_alpha_clique_zipf(benchmark):
+    series_set = benchmark.pedantic(
+        fig07a, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig07a_vary_alpha_clique_zipf", render_table(series_set))
+    _check_shape(series_set)
+
+
+def bench_fig07b_vary_alpha_star_lognormal(benchmark):
+    series_set = benchmark.pedantic(
+        fig07b, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig07b_vary_alpha_star_lognormal", render_table(series_set))
+    _check_shape(series_set)

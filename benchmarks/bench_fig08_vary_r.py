@@ -1,0 +1,36 @@
+"""Figure 8 — aggregate learning gain, varying learning rate r (Zipf skills).
+
+Paper: (a) clique mode, (b) star mode, both with Zipf-distributed skills;
+DyGroups outperforms across the whole r range and gain increases with r.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig08a, fig08b
+from repro.experiments.render import render_table
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+
+def _check_shape(series_set) -> None:
+    dygroups = series_set.get("dygroups").y
+    random_y = series_set.get("random").y
+    assert all(d >= r - 1e-9 for d, r in zip(dygroups, random_y))
+    # More learning per interaction -> more total gain.
+    assert dygroups[0] < dygroups[-1]
+
+
+def bench_fig08a_vary_r_clique_zipf(benchmark):
+    series_set = benchmark.pedantic(
+        fig08a, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig08a_vary_r_clique_zipf", render_table(series_set))
+    _check_shape(series_set)
+
+
+def bench_fig08b_vary_r_star_zipf(benchmark):
+    series_set = benchmark.pedantic(
+        fig08b, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig08b_vary_r_star_zipf", render_table(series_set))
+    _check_shape(series_set)

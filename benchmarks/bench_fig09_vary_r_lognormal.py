@@ -1,0 +1,34 @@
+"""Figure 9 — aggregate learning gain, varying r (log-normal skills).
+
+Paper: (a) clique mode, (b) star mode, log-normal initial skills.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig09a, fig09b
+from repro.experiments.render import render_table
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+
+def _check_shape(series_set) -> None:
+    dygroups = series_set.get("dygroups").y
+    random_y = series_set.get("random").y
+    assert all(d >= r - 1e-9 for d, r in zip(dygroups, random_y))
+    assert dygroups[0] < dygroups[-1]
+
+
+def bench_fig09a_vary_r_clique_lognormal(benchmark):
+    series_set = benchmark.pedantic(
+        fig09a, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig09a_vary_r_clique_lognormal", render_table(series_set))
+    _check_shape(series_set)
+
+
+def bench_fig09b_vary_r_star_lognormal(benchmark):
+    series_set = benchmark.pedantic(
+        fig09b, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig09b_vary_r_star_lognormal", render_table(series_set))
+    _check_shape(series_set)

@@ -1,0 +1,45 @@
+"""Figure 12 — running time, star mode (log-normal skills).
+
+Paper: both DyGroups variants are dominated by the O(n log n) sort,
+scale near-linearly in n, and are essentially flat in k; LPA is orders
+of magnitude slower.  Absolute times are not comparable (the paper's
+numbers are C++ microseconds; ours are pure-Python seconds) — the shapes
+are the deliverable.
+
+In addition to the printed per-algorithm sweep table, pytest-benchmark
+times a single DyGroups-Star run at the default size for the stats table.
+"""
+
+from __future__ import annotations
+
+from repro.core.dygroups import dygroups
+from repro.data.distributions import lognormal_skills
+from repro.experiments.figures import fig12
+from repro.experiments.render import render_table
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+
+def bench_fig12_runtime_star_sweeps(benchmark):
+    by_n, by_k = benchmark.pedantic(
+        fig12, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit("fig12_runtime_star", render_table(by_n, digits=3) + "\n\n" + render_table(by_k, digits=3))
+
+    # Shape: DyGroups runtime grows sublinearly with a 10x n increase is
+    # far below 100x (near-linear), and stays within a small factor as k
+    # grows (flat in k up to per-group Python overhead).
+    dygroups_n = by_n.get("dygroups").y
+    assert dygroups_n[-1] / max(dygroups_n[0], 1e-9) < (by_n.x[-1] / by_n.x[0]) ** 1.5
+    dygroups_k = by_k.get("dygroups").y
+    assert max(dygroups_k) / max(min(dygroups_k), 1e-9) < 50
+    # LPA is the slowest algorithm at the largest n (matching the paper).
+    last_point = {label: by_n.get(label).y[-1] for label in by_n.labels()}
+    assert last_point["lpa"] == max(last_point.values())
+
+
+def bench_fig12_dygroups_star_single_run(benchmark):
+    skills = lognormal_skills(10_000, seed=0)
+    benchmark(
+        dygroups, skills, k=5, alpha=5, rate=0.5, mode="star", record_groupings=False
+    )

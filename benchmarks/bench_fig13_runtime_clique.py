@@ -1,0 +1,37 @@
+"""Figure 13 — running time, clique mode (log-normal skills).
+
+Same setup as Figure 12 with the Clique interaction mode: the O(n)
+prefix-sum update (Theorem 3) keeps DyGroups-Clique's scaling identical
+to DyGroups-Star's.
+"""
+
+from __future__ import annotations
+
+from repro.core.dygroups import dygroups
+from repro.data.distributions import lognormal_skills
+from repro.experiments.figures import fig13
+from repro.experiments.render import render_table
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+
+def bench_fig13_runtime_clique_sweeps(benchmark):
+    by_n, by_k = benchmark.pedantic(
+        fig13, kwargs={"full": FULL, "runs": BENCH_RUNS}, iterations=1, rounds=1
+    )
+    emit(
+        "fig13_runtime_clique",
+        render_table(by_n, digits=3) + "\n\n" + render_table(by_k, digits=3),
+    )
+
+    dygroups_n = by_n.get("dygroups").y
+    assert dygroups_n[-1] / max(dygroups_n[0], 1e-9) < (by_n.x[-1] / by_n.x[0]) ** 1.5
+    dygroups_k = by_k.get("dygroups").y
+    assert max(dygroups_k) / max(min(dygroups_k), 1e-9) < 50
+
+
+def bench_fig13_dygroups_clique_single_run(benchmark):
+    skills = lognormal_skills(10_000, seed=0)
+    benchmark(
+        dygroups, skills, k=5, alpha=5, rate=0.5, mode="clique", record_groupings=False
+    )

@@ -1,0 +1,45 @@
+"""Section V-A parameter justification — the pre-deployment calibration.
+
+The paper justifies ``r = 0.5`` and 4-5-person groups with initial random
+deployments at group sizes {2, 3, 4, 5, 10, 12, 15}.  This bench re-runs
+the simulated study and prints the table behind those choices: the
+recovered effective learning rate and the mean per-worker gain per size.
+"""
+
+from __future__ import annotations
+
+from repro.amt.calibration import best_group_size
+
+from benchmarks._util import emit
+
+SIZES = (2, 3, 4, 5, 10, 12, 15)
+
+
+def bench_sec5a_calibration(benchmark):
+    best, results = benchmark.pedantic(
+        best_group_size, args=(SIZES,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    lines = [
+        "Section V-A calibration: random-group deployments by group size",
+        f"{'group size':>11}{'estimated rate':>16}{'mean gain/worker':>18}{'interactivity':>15}",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.group_size:>11}{result.estimated_rate:>16.3f}"
+            f"{result.mean_gain:>18.4f}{result.interactivity:>15.2f}"
+        )
+    lines.append(f"-> best size by mean gain: {best} (paper chose 4-5); "
+                 "recovered rate near the true r=0.5 at the interactive sizes "
+                 "(mild attenuation from the noisy-gap measurement)")
+    emit("sec5a_calibration", "\n".join(lines))
+
+    assert best in (4, 5)
+    by_size = {r.group_size: r for r in results}
+    # At the ideal size the recovered rate approximates the true 0.5
+    # (ratio estimator with independent assessments; documented mild
+    # attenuation from the max-of-noisy-scores gap).
+    assert 0.3 <= by_size[4].estimated_rate <= 0.6
+    # The recovered rate tracks interactivity across sizes.
+    assert by_size[4].estimated_rate > by_size[15].estimated_rate
+    # Oversized groups learn less per worker than ideal ones.
+    assert by_size[15].mean_gain < by_size[4].mean_gain

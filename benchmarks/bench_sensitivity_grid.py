@@ -1,0 +1,47 @@
+"""Extended sensitivity analysis: DyGroups' advantage across (k, r) jointly.
+
+The paper varies one parameter at a time (Figures 5-9).  This bench
+crosses the group count and the learning rate to map where dynamic smart
+grouping pays off most: the advantage over random grouping is largest
+with many groups (scarce experts must be placed well) and moderate rates
+(fast learning saturates the ceiling quickly, slow learning shrinks all
+differences).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.grid import grid_table, run_grid
+from repro.experiments.spec import ExperimentSpec
+
+from benchmarks._util import BENCH_RUNS, FULL, emit
+
+N = 10_000 if FULL else 2_000
+
+
+def bench_sensitivity_grid(benchmark):
+    spec = ExperimentSpec(
+        n=N,
+        k=5,
+        alpha=5,
+        runs=BENCH_RUNS,
+        algorithms=("dygroups", "random"),
+    )
+    cells = benchmark.pedantic(
+        run_grid,
+        args=(spec, {"k": (5, 50, 200), "rate": (0.2, 0.5, 0.8)}),
+        iterations=1,
+        rounds=1,
+    )
+    table = grid_table(cells)
+    emit(
+        "sensitivity_grid",
+        f"Sensitivity: DyGroups/Random gain ratio across (k, r), n={N}, alpha=5\n" + table,
+    )
+
+    # DyGroups never loses to random anywhere on the grid.
+    for cell in cells:
+        assert cell.advantage("dygroups", "random") >= 1.0 - 1e-9
+    # The advantage grows with the number of groups at fixed r=0.5.
+    mid_rate = {c.parameters["k"]: c.advantage("dygroups", "random")
+                for c in cells if c.parameters["rate"] == 0.5}
+    assert mid_rate[200] >= mid_rate[5] - 1e-9

@@ -1,0 +1,100 @@
+"""Classroom scheduler: dynamic project groups across a semester.
+
+The paper's motivating scenario (Section I-B): a course with several
+group assignments where re-forming the groups between assignments lets
+every student "learn from the best".  This example simulates a 120-person
+class over 6 assignments and compares grouping policies a teaching staff
+could actually deploy — including keeping the initial groups fixed all
+semester (what most courses do today).
+
+Run:  python examples/classroom_scheduler.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import make_policy, simulate
+from repro.metrics.gain import normalized_gain
+
+CLASS_SIZE = 120
+GROUPS = 24  # groups of 5, the paper's "most interactive" size
+ASSIGNMENTS = 6
+LEARNING_RATE = 0.5
+
+POLICIES = {
+    "DyGroups (dynamic, smart)": "dygroups",
+    "Re-randomize each time": "random",
+    "Percentile partitions": "percentile",
+    "Skill-cluster (k-means)": "kmeans",
+    "Fixed groups all semester": "static-dygroups",
+}
+
+
+def grade_distribution(rng: np.random.Generator) -> np.ndarray:
+    """Plausible incoming-skill distribution: a few experts, a long middle.
+
+    Mixture: 10% strong (0.75-0.95), 60% average (0.35-0.65), 30% novice
+    (0.05-0.3) — the kind of spread a pre-test in a programming course
+    produces.
+    """
+    n_strong = CLASS_SIZE // 10
+    n_novice = (CLASS_SIZE * 3) // 10
+    n_mid = CLASS_SIZE - n_strong - n_novice
+    skills = np.concatenate(
+        [
+            rng.uniform(0.75, 0.95, size=n_strong),
+            rng.uniform(0.35, 0.65, size=n_mid),
+            rng.uniform(0.05, 0.30, size=n_novice),
+        ]
+    )
+    return rng.permutation(skills)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    skills = grade_distribution(rng)
+    print(
+        f"class of {CLASS_SIZE}, {GROUPS} groups of {CLASS_SIZE // GROUPS}, "
+        f"{ASSIGNMENTS} assignments, r={LEARNING_RATE}"
+    )
+    print(f"incoming mean skill: {skills.mean():.3f}  (max {skills.max():.3f})\n")
+
+    results = {}
+    for label, name in POLICIES.items():
+        policy = make_policy(name, mode="star", rate=LEARNING_RATE)
+        results[label] = simulate(
+            policy,
+            skills,
+            k=GROUPS,
+            alpha=ASSIGNMENTS,
+            mode="star",
+            rate=LEARNING_RATE,
+            seed=0,
+            record_history=True,
+        )
+
+    width = max(len(label) for label in POLICIES) + 2
+    print(f"{'policy':<{width}}{'total gain':>12}{'captured':>10}{'final mean':>12}")
+    for label, result in sorted(results.items(), key=lambda kv: -kv[1].total_gain):
+        print(
+            f"{label:<{width}}{result.total_gain:>12.3f}"
+            f"{normalized_gain(result):>9.1%}{result.final_skills.mean():>12.3f}"
+        )
+
+    print("\nper-assignment class mean (DyGroups vs fixed groups):")
+    dynamic = results["DyGroups (dynamic, smart)"].skill_history
+    fixed = results["Fixed groups all semester"].skill_history
+    assert dynamic is not None and fixed is not None
+    print(f"  {'assignment':>10}  {'dynamic':>8}  {'fixed':>8}")
+    for t in range(ASSIGNMENTS + 1):
+        print(f"  {t:>10}  {dynamic[t].mean():>8.3f}  {fixed[t].mean():>8.3f}")
+
+    gap = results["DyGroups (dynamic, smart)"].total_gain / results[
+        "Fixed groups all semester"
+    ].total_gain
+    print(f"\ndynamic regrouping delivered {gap:.2f}x the learning of fixed groups")
+
+
+if __name__ == "__main__":
+    main()

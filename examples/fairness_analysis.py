@@ -1,0 +1,99 @@
+"""Fairness analysis: who benefits from smart grouping? (Sections V-B5 & VII)
+
+The paper observes that DyGroups — while maximizing *total* learning —
+allows higher inequality than random grouping, and calls fairness-aware
+bi-criteria grouping an open direction.  This example:
+
+1. reproduces the Figure 11 inequality trajectories (CV and Gini over
+   rounds, DyGroups-Star vs Random-Assignment, r = 0.1);
+2. runs the fairness-aware extension (best teachers paired with weakest
+   learners, still round-optimal by Theorem 1) and quantifies the
+   equity/total-gain trade-off.
+
+Run:  python examples/fairness_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RandomAssignment, dygroups, simulate
+from repro.data import lognormal_skills
+from repro.extensions.fairness import FairnessAwarePolicy, fairness_report
+from repro.metrics.inequality import coefficient_of_variation, gini
+
+N = 5_000
+K = 5
+CHECKPOINTS = (0, 2, 4, 8, 16, 32)
+
+
+def main() -> None:
+    skills = lognormal_skills(N, seed=7)
+
+    # --- Figure 11 trajectories -------------------------------------------
+    dy = dygroups(skills, k=K, alpha=32, rate=0.1, record_history=True)
+    rnd = simulate(
+        RandomAssignment(), skills, k=K, alpha=32, mode="star", rate=0.1, seed=0,
+        record_history=True,
+    )
+    assert dy.skill_history is not None and rnd.skill_history is not None
+
+    print(f"inequality over rounds (n={N}, star, r=0.1)\n")
+    print(f"{'round':>6} {'CV dygroups':>12} {'CV random':>10} {'Gini dygroups':>14} {'Gini random':>12}")
+    for t in CHECKPOINTS:
+        print(
+            f"{t:>6} {coefficient_of_variation(dy.skill_history[t]):>12.4f}"
+            f" {coefficient_of_variation(rnd.skill_history[t]):>10.4f}"
+            f" {gini(dy.skill_history[t]):>14.4f} {gini(rnd.skill_history[t]):>12.4f}"
+        )
+    print(
+        "\n-> inequality falls for both (skills converge to the fixed max),"
+        "\n   but DyGroups keeps it higher — its tie-break protects strong"
+        "\n   teachers (the paper's Figure 11).\n"
+    )
+
+    # --- the fairness-aware alternative, across horizons --------------------
+    rate = 0.5
+    print(f"fairness-aware grouping vs DyGroups across horizons (r={rate})\n")
+    print(
+        f"{'alpha':>6}{'policy':>16}{'total gain':>14}{'Gini':>8}{'bottom-10% gain':>17}"
+    )
+    crossover_note = None
+    for alpha in (1, 2, 3, 5, 8):
+        reports = {
+            "dygroups-star": fairness_report(dygroups(skills, k=K, alpha=alpha, rate=rate)),
+            "fair-star": fairness_report(
+                simulate(
+                    FairnessAwarePolicy(),
+                    skills,
+                    k=K,
+                    alpha=alpha,
+                    mode="star",
+                    rate=rate,
+                    seed=0,
+                )
+            ),
+        }
+        for name, report in reports.items():
+            print(
+                f"{alpha:>6}{name:>16}{report.total_gain:>14.1f}{report.gini:>8.4f}"
+                f"{report.bottom_decile_gain:>17.3f}"
+            )
+        fair_better = (
+            reports["fair-star"].bottom_decile_gain
+            > reports["dygroups-star"].bottom_decile_gain
+        )
+        if not fair_better and crossover_note is None and alpha > 1:
+            crossover_note = alpha
+
+    print(
+        "\n-> the trade-off has a crossover: for 1-2 rounds, pairing the best"
+        "\n   teachers with the weakest learners multiplies the bottom decile's"
+        "\n   gain; over longer horizons DyGroups' better-teachers-earlier"
+        "\n   effect compounds and it dominates even on equity"
+        + (f" (crossover near alpha={crossover_note})." if crossover_note else ".")
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: run DyGroups on the paper's toy example.
+
+The scenario (Section II): nine students in a Python-programming course,
+three assignments left, three groups of three per assignment, learning
+rate 0.5.  We run both interaction modes and show what a smarter grouping
+buys over an arbitrary round-optimal one.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ArbitraryLocalOptimum,
+    dygroups,
+    simulate,
+    toy_example_skills,
+)
+
+
+def main() -> None:
+    skills = toy_example_skills()
+    print("initial skills:", skills.tolist())
+    print()
+
+    # --- DyGroups, Star mode (Algorithm 1 + Algorithm 2) -----------------
+    star = dygroups(skills, k=3, alpha=3, rate=0.5, mode="star", record_history=True)
+    print("DyGroups-Star")
+    for t, grouping in enumerate(star.groupings, start=1):
+        assert star.skill_history is not None
+        rows = [
+            [round(float(star.skill_history[t - 1][m]), 4) for m in group] for group in grouping
+        ]
+        print(f"  round {t}: groups {rows}  ->  LG = {star.round_gains[t - 1]:.4g}")
+    print(f"  total learning gain: {star.total_gain:.6g}   (paper: 2.55)")
+    print()
+
+    # --- DyGroups, Clique mode (Algorithm 1 + Algorithm 3) ---------------
+    clique = dygroups(skills, k=3, alpha=3, rate=0.5, mode="clique")
+    print(f"DyGroups-Clique total learning gain: {clique.total_gain:.6g}   (paper: 2.334375)")
+    print()
+
+    # --- why the variance tie-break matters -------------------------------
+    # Any grouping with the top-3 skills in distinct groups maximizes each
+    # round's gain (Theorem 1) — but not all of them set up good teachers
+    # for later rounds.  The paper's walk-through of an arbitrary local
+    # optimum reaches only 2.4.
+    arbitrary = simulate(
+        ArbitraryLocalOptimum("reversed"),
+        skills,
+        k=3,
+        alpha=3,
+        mode="star",
+        rate=0.5,
+        seed=0,
+    )
+    print(f"arbitrary round-optimal grouping: {arbitrary.total_gain:.6g}   (paper: 2.4)")
+    advantage = (star.total_gain / arbitrary.total_gain - 1.0) * 100.0
+    print(f"DyGroups advantage from the variance tie-break: +{advantage:.1f}%")
+    print()
+
+    # --- final skills ------------------------------------------------------
+    print("final skills (DyGroups-Star):", np.round(np.sort(star.final_skills)[::-1], 4).tolist())
+
+
+if __name__ == "__main__":
+    main()

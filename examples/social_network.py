@@ -1,0 +1,89 @@
+"""Dispel misinformation on a social platform — graph-constrained grouping.
+
+The paper's introduction motivates targeted groups formation for
+"efforts to dispel rumors and misinformation" on online social networks.
+This example plays that scenario out:
+
+* a platform community of 240 members where only a 2% expert minority
+  holds accurate knowledge (the ``expert-panel`` scenario);
+* a scale-free follower graph — groups can only form along social ties
+  (the graph-constrained TDG variant, `repro.network`);
+* DyGroups-style skill-greedy connected grouping vs random connected
+  grouping, plus the unconstrained DyGroups upper bound.
+
+Run:  python examples/social_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import dygroups, simulate
+from repro.data.scenarios import expert_panel
+from repro.metrics.diagnostics import diagnose_grouping
+from repro.network import ConnectedDyGroups, ConnectedRandom, grouping_violations, scale_free
+
+N = 240
+K = 12  # groups of 20
+ALPHA = 2
+RATE = 0.5
+
+
+def main() -> None:
+    skills = expert_panel(N, expert_fraction=0.02, seed=11)
+    graph = scale_free(N, m=4, seed=11)
+    experts = int((skills > 0.9).sum())
+    print(
+        f"community of {N}: {experts} experts hold accurate knowledge, "
+        f"median accuracy {np.median(skills):.2f}"
+    )
+    print(f"follower graph: {graph.number_of_edges()} edges (scale-free, m=4)\n")
+
+    runs = {
+        "unconstrained DyGroups": dygroups(
+            skills, k=K, alpha=ALPHA, rate=RATE, record_history=True
+        ),
+        "connected DyGroups": simulate(
+            ConnectedDyGroups(graph),
+            skills, k=K, alpha=ALPHA, mode="star", rate=RATE, seed=0,
+            record_history=True,
+        ),
+        "connected random": simulate(
+            ConnectedRandom(graph),
+            skills, k=K, alpha=ALPHA, mode="star", rate=RATE, seed=0,
+            record_history=True,
+        ),
+    }
+
+    print(f"{'policy':<26}{'total gain':>12}{'final mean':>12}{'informed >0.5':>15}")
+    for label, result in runs.items():
+        informed = float((result.final_skills > 0.5).mean())
+        print(
+            f"{label:<26}{result.total_gain:>12.2f}"
+            f"{result.final_skills.mean():>12.3f}{informed:>14.1%}"
+        )
+
+    constrained = runs["connected DyGroups"]
+    violations = [grouping_violations(g, graph) for g in constrained.groupings]
+    print(f"\ntopology violations per round (connected DyGroups): {violations}")
+
+    print("\nround-1 grouping diagnostics (connected DyGroups):")
+    diagnostics = diagnose_grouping(skills, constrained.groupings[0])
+    print(f"  teacher utilization: {diagnostics.teacher_utilization:.3f}  (1.0 = round-optimal)")
+    print(f"  strongest teachers:  {[round(t, 2) for t in diagnostics.teacher_skills[:4]]} ...")
+    print(f"  mean gap to teacher: {diagnostics.mean_gap_to_teacher:.3f}")
+
+    cost = 1.0 - runs["connected DyGroups"].total_gain / runs["unconstrained DyGroups"].total_gain
+    lift = runs["connected DyGroups"].total_gain / runs["connected random"].total_gain
+    print(
+        f"\n-> the social-graph constraint costs {cost:.1%} of the unconstrained gain,"
+        f"\n   and smart connected grouping beats random grouping {lift:.2f}x on total"
+        f"\n   knowledge.  Note the equity nuance (the paper's Section V-B5): at short"
+        f"\n   horizons random grouping crosses more individuals over the 0.5 line,"
+        f"\n   while DyGroups maximizes the aggregate — run fairness_analysis.py for"
+        f"\n   the full trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Simulated AMT human-subject experiments (Section V-A substitution).
+
+See DESIGN.md §4: the paper's ~200 Mechanical Turk workers learning
+COVID-19 facts are substituted with a calibrated stochastic worker model —
+latent skills, binomial 10-question assessments, the paper's learning
+dynamics, and a gain-dependent retention model.
+"""
+
+from repro.amt.assessment import DEFAULT_QUESTIONS, assess, estimate_skills
+from repro.amt.calibration import (
+    CalibrationResult,
+    best_group_size,
+    estimate_learning_rate,
+    interactivity,
+    run_calibration,
+)
+from repro.amt.experiment import (
+    EXPERIMENT_1_POLICIES,
+    EXPERIMENT_2_POLICIES,
+    AmtConfig,
+    AmtExperimentResult,
+    PopulationTrace,
+    run_experiment_1,
+    run_experiment_2,
+    run_population,
+    welch_t_statistic,
+)
+from repro.amt.population import Population, matched_split
+from repro.amt.retention import RetentionModel
+from repro.amt.worker import Worker, make_workers
+
+__all__ = [
+    "DEFAULT_QUESTIONS",
+    "assess",
+    "estimate_skills",
+    "CalibrationResult",
+    "best_group_size",
+    "estimate_learning_rate",
+    "interactivity",
+    "run_calibration",
+    "AmtConfig",
+    "AmtExperimentResult",
+    "PopulationTrace",
+    "EXPERIMENT_1_POLICIES",
+    "EXPERIMENT_2_POLICIES",
+    "run_experiment_1",
+    "run_experiment_2",
+    "run_population",
+    "welch_t_statistic",
+    "Population",
+    "matched_split",
+    "RetentionModel",
+    "Worker",
+    "make_workers",
+]

@@ -1,0 +1,58 @@
+"""Skill assessment: the 10-question HIT tests.
+
+Section V-A: "Each HIT consists of 10 questions … the skill of each
+participant is set to be equal to the number of their correct answers,
+divided by 10."  We model each question as an independent Bernoulli trial
+with success probability equal to the worker's latent skill, so an
+assessment is a Binomial(10, latent)/10 draw.
+
+Raw scores can be exactly 0, which the grouping model cannot accept
+(skills must be strictly positive), so :func:`estimate_skills` applies
+Laplace (add-one) smoothing — ``(correct + 1) / (questions + 2)`` — the
+standard fix, keeping estimates inside (0, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_positive_int
+
+__all__ = ["assess", "estimate_skills", "DEFAULT_QUESTIONS"]
+
+#: Questions per HIT in the paper's deployments.
+DEFAULT_QUESTIONS: int = 10
+
+
+def assess(
+    latents: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    questions: int = DEFAULT_QUESTIONS,
+) -> np.ndarray:
+    """Raw assessment scores (#correct / #questions) for each latent skill."""
+    questions = require_positive_int(questions, name="questions")
+    latents = np.asarray(latents, dtype=np.float64)
+    if np.any((latents <= 0.0) | (latents > 1.0)):
+        raise ValueError("latent skills must lie in (0, 1]")
+    correct = rng.binomial(questions, latents)
+    return correct / questions
+
+
+def estimate_skills(
+    latents: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    questions: int = DEFAULT_QUESTIONS,
+) -> np.ndarray:
+    """Laplace-smoothed assessment estimates, strictly inside (0, 1).
+
+    These are the skill values handed to the grouping policies — the
+    platform never observes the latent truth.
+    """
+    questions = require_positive_int(questions, name="questions")
+    latents = np.asarray(latents, dtype=np.float64)
+    if np.any((latents <= 0.0) | (latents > 1.0)):
+        raise ValueError("latent skills must lie in (0, 1]")
+    correct = rng.binomial(questions, latents)
+    return (correct + 1.0) / (questions + 2.0)

@@ -1,0 +1,92 @@
+"""Worker populations with matched skill distributions.
+
+Experiment-1 splits 64 recruits into two populations of 32 "random, under
+the constraint that the two populations have very similar skill
+distributions, and in particular the same average skill"; Experiment-2
+does the same with four populations.  :func:`matched_split` reproduces
+that protocol with a stratified deal: sort workers by latent skill, walk
+the sorted list in blocks of ``m`` (the number of populations), and deal
+each block's members to distinct populations in a random order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amt.worker import Worker
+
+__all__ = ["Population", "matched_split"]
+
+
+@dataclass
+class Population:
+    """A named cohort of workers following one grouping policy.
+
+    Attributes:
+        name: the policy label this population follows.
+        workers: the cohort, in recruitment order.
+    """
+
+    name: str
+    workers: list[Worker] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Cohort size (including dropped-out workers)."""
+        return len(self.workers)
+
+    @property
+    def active_workers(self) -> list[Worker]:
+        """Workers still participating."""
+        return [w for w in self.workers if w.active]
+
+    def latent_skills(self, *, active_only: bool = False) -> np.ndarray:
+        """Latent skills of the cohort (optionally only active workers)."""
+        pool = self.active_workers if active_only else self.workers
+        return np.array([w.latent_skill for w in pool], dtype=np.float64)
+
+    def retention_fraction(self) -> float:
+        """Fraction of the original cohort still active."""
+        if not self.workers:
+            raise ValueError("population is empty")
+        return len(self.active_workers) / len(self.workers)
+
+    def mean_latent(self, *, active_only: bool = False) -> float:
+        """Mean latent skill."""
+        skills = self.latent_skills(active_only=active_only)
+        if skills.size == 0:
+            return 0.0
+        return float(skills.mean())
+
+
+def matched_split(
+    workers: list[Worker],
+    names: list[str],
+    rng: np.random.Generator,
+) -> list[Population]:
+    """Split workers into ``len(names)`` populations with matched skills.
+
+    Stratified deal (see module docstring): consecutive blocks of the
+    skill-sorted list are dealt one member per population in random
+    order, so every population receives one member from each skill
+    stratum and the population means are nearly identical.
+
+    Raises:
+        ValueError: if the worker count is not a multiple of the number
+            of populations.
+    """
+    m = len(names)
+    if m == 0:
+        raise ValueError("need at least one population name")
+    if len(workers) % m != 0:
+        raise ValueError(f"{len(workers)} workers cannot split evenly into {m} populations")
+    order = sorted(range(len(workers)), key=lambda i: workers[i].latent_skill, reverse=True)
+    populations = [Population(name=name) for name in names]
+    for block_start in range(0, len(order), m):
+        block = order[block_start : block_start + m]
+        deal = rng.permutation(m)
+        for slot, member in zip(deal, block):
+            populations[slot].workers.append(workers[member])
+    return populations

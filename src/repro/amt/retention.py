@@ -1,0 +1,62 @@
+"""Worker retention model (Observations III and Figure 3 / 4(b)).
+
+The paper observes — anecdotally but consistently across both human
+experiments — that workers under DyGroups stayed in the process at higher
+rates than under the baselines, and hypothesizes that "the rate of skill
+improvement may be an important factor towards retaining participants".
+
+We encode exactly that hypothesis as a logistic dropout model: after each
+round, an active worker independently stays with probability
+
+    ``P(stay) = sigmoid(base_logit + sensitivity · normalized_gain)``
+
+where ``normalized_gain`` is the worker's latent gain this round divided
+by the learning-rate-scaled maximum possible gain, so the sensitivity
+parameter is comparable across configurations.  Workers who experienced
+no learning drop at the base rate; fast learners almost always stay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetentionModel"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+@dataclass(frozen=True, slots=True)
+class RetentionModel:
+    """Gain-dependent logistic retention.
+
+    Attributes:
+        base_logit: log-odds of staying for a worker with zero gain.
+            The default (≈1.1) yields ~75% per-round base retention,
+            matching the drop-off the paper's Figure 3 shows for the
+            weakest baseline.
+        sensitivity: log-odds added per unit of normalized round gain.
+    """
+
+    base_logit: float = 1.1
+    sensitivity: float = 4.0
+
+    def stay_probabilities(self, normalized_gains: np.ndarray) -> np.ndarray:
+        """Per-worker probability of staying after this round.
+
+        Args:
+            normalized_gains: each worker's round gain divided by the
+                maximum gain achievable this round (values in [0, 1];
+                values above 1 are clipped defensively).
+        """
+        gains = np.clip(np.asarray(normalized_gains, dtype=np.float64), 0.0, 1.0)
+        return _sigmoid(self.base_logit + self.sensitivity * gains)
+
+    def sample_stays(self, normalized_gains: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Boolean stay/leave draw for each worker."""
+        return rng.random(len(np.atleast_1d(normalized_gains))) < self.stay_probabilities(
+            normalized_gains
+        )

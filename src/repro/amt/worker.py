@@ -1,0 +1,76 @@
+"""Simulated AMT workers.
+
+The paper's human-subject experiments (Section V-A) hire workers on
+Amazon Mechanical Turk to learn COVID-19 facts through peer interaction.
+We substitute a stochastic worker model (DESIGN.md §4): each worker
+carries a *latent* skill in (0, 1] — the probability of answering an
+assessment question correctly — which peer interaction moves according to
+the paper's learning model.  What the platform (and the grouping policy)
+observes is only the noisy assessment score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Worker", "make_workers"]
+
+_MIN_LATENT = 1e-6
+
+
+@dataclass
+class Worker:
+    """One simulated AMT worker.
+
+    Attributes:
+        worker_id: stable identifier within the experiment.
+        latent_skill: true probability of answering a question correctly.
+        active: whether the worker is still participating (retention).
+        round_gains: realized latent-skill gain per completed round.
+    """
+
+    worker_id: int
+    latent_skill: float
+    active: bool = True
+    round_gains: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.latent_skill <= 1.0:
+            raise ValueError(f"latent_skill must be in (0, 1], got {self.latent_skill}")
+
+    def learn(self, new_latent: float) -> None:
+        """Record a round's learning outcome (latent skill can only rise)."""
+        new_latent = float(min(new_latent, 1.0))
+        if new_latent < self.latent_skill - 1e-12:
+            raise ValueError(
+                f"worker {self.worker_id}: latent skill cannot decrease "
+                f"({self.latent_skill} -> {new_latent})"
+            )
+        self.round_gains.append(max(new_latent - self.latent_skill, 0.0))
+        self.latent_skill = new_latent
+
+    @property
+    def last_gain(self) -> float:
+        """Latent gain in the most recent completed round (0 before round 1)."""
+        return self.round_gains[-1] if self.round_gains else 0.0
+
+
+def make_workers(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    mean: float = 0.45,
+    spread: float = 0.22,
+) -> list[Worker]:
+    """Draw ``n`` workers with Beta-like latent skills.
+
+    Latents are sampled from a clipped normal centred on ``mean`` — a
+    reasonable stand-in for a crowd of varying familiarity with the HIT
+    topic (the paper's pre-qualification found mixed expertise).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    latents = np.clip(rng.normal(mean, spread, size=n), _MIN_LATENT, 1.0)
+    return [Worker(worker_id=i, latent_skill=float(s)) for i, s in enumerate(latents)]

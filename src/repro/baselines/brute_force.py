@@ -1,0 +1,264 @@
+"""Exact (exponential-time) TDG solver (``BRUTE-FORCE``, Section V-B1).
+
+Enumerates every sequence of equi-sized ``k``-groupings over ``α`` rounds
+and returns the maximum aggregated learning gain.  Tractable only for tiny
+instances (the paper uses ``n ∈ {4, 6, 8}``, ``k = 2``, ``α ≤ 4``); used
+to validate DyGroups-Star's k=2 optimality (Theorem 5 / Section V-B3).
+
+Three optimizations keep the search honest but fast:
+
+* group-order canonicalization — the lowest-indexed unassigned member
+  anchors each group, so each *partition* is enumerated exactly once;
+* memoization on the (rounded, descending-sorted) skill multiset — future
+  gains depend only on the multiset of skills, not on who holds them, so
+  distinct groupings that produce the same post-round skill multiset share
+  one subtree;
+* batched evaluation — all partitions of a state are updated in one
+  vectorized numpy block (a ``(P, k, size)`` tensor of member positions is
+  precomputed once), which is two orders of magnitude faster than
+  constructing a :class:`~repro.core.grouping.Grouping` per candidate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro._validation import (
+    as_skill_array,
+    require_divisible_groups,
+    require_positive_int,
+)
+from repro.core.gain_functions import GainFunction, LinearGain
+from repro.core.grouping import Grouping
+from repro.core.interactions import InteractionMode, get_mode
+from repro.core.skills import descending_order
+
+__all__ = ["BruteForceResult", "brute_force_tdg", "iter_equal_partitions", "count_equal_partitions"]
+
+
+def count_equal_partitions(n: int, k: int) -> int:
+    """Number of ways to split ``n`` members into ``k`` unlabeled equi-sized groups."""
+    size = require_divisible_groups(n, k)
+    return math.factorial(n) // (math.factorial(size) ** k * math.factorial(k))
+
+
+def iter_equal_partitions(members: tuple[int, ...], size: int) -> Iterator[tuple[tuple[int, ...], ...]]:
+    """Yield every partition of ``members`` into unlabeled groups of ``size``.
+
+    Canonical order: the smallest remaining member anchors each group, so
+    each unordered partition appears exactly once.
+    """
+    if not members:
+        yield ()
+        return
+    first, rest = members[0], members[1:]
+    for combo in itertools.combinations(rest, size - 1):
+        group = (first, *combo)
+        chosen = set(combo)
+        remaining = tuple(m for m in rest if m not in chosen)
+        for tail in iter_equal_partitions(remaining, size):
+            yield (group, *tail)
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Outcome of the exact TDG search.
+
+    Attributes:
+        total_gain: the optimal aggregated learning gain over α rounds.
+        groupings: one optimal grouping sequence, expressed over the input
+            participant indices.
+        states_explored: number of distinct (skill multiset, rounds-left)
+            states the memoized search expanded.
+    """
+
+    total_gain: float
+    groupings: tuple[Grouping, ...]
+    states_explored: int
+
+
+class _BatchedEvaluator:
+    """Vectorized one-round evaluation of every partition of a state.
+
+    ``members`` is the precomputed ``(P, k, size)`` tensor of member
+    positions per partition; :meth:`evaluate` maps a descending-sorted
+    skill vector to the per-partition round gains and the (descending,
+    rounded) child states.
+    """
+
+    def __init__(
+        self,
+        partitions: list[tuple[tuple[int, ...], ...]],
+        mode_name: str,
+        rate: float,
+        gain: GainFunction,
+        round_decimals: int,
+    ) -> None:
+        self._members = np.array(partitions, dtype=np.intp)  # (P, k, size)
+        self._mode_name = mode_name
+        self._rate = rate
+        self._gain = gain
+        self._decimals = round_decimals
+        p, k, size = self._members.shape
+        self._n = k * size
+
+    def evaluate(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(round_gains, child_states)`` for every partition.
+
+        ``child_states`` is ``(P, n)`` with each row descending-sorted and
+        rounded (the memoization key material).
+        """
+        group_vals = values[self._members]  # (P, k, size)
+        if self._gain.is_linear:
+            if self._mode_name == "star":
+                maxima = group_vals.max(axis=2, keepdims=True)
+                updated = group_vals + self._rate * (maxima - group_vals)
+            else:  # clique, Theorem 3 batched
+                desc = -np.sort(-group_vals, axis=2)
+                prefix = np.cumsum(desc, axis=2)
+                updated = desc.copy()
+                size = desc.shape[2]
+                if size > 1:
+                    ranks = np.arange(1, size, dtype=np.float64)
+                    updated[:, :, 1:] += (
+                        self._rate * (prefix[:, :, :-1] - ranks * desc[:, :, 1:]) / ranks
+                    )
+        else:
+            updated = self._updated_general(group_vals)
+        round_gains = (updated - group_vals).sum(axis=(1, 2))
+        flat = updated.reshape(updated.shape[0], self._n)
+        child = np.round(-np.sort(-flat, axis=1), self._decimals)
+        return round_gains, child
+
+    def _updated_general(self, group_vals: np.ndarray) -> np.ndarray:
+        """Non-linear gains: literal Equation 2 / star definition, batched."""
+        desc = -np.sort(-group_vals, axis=2)
+        updated = desc.copy()
+        size = desc.shape[2]
+        if self._mode_name == "star":
+            top = desc[:, :, :1]
+            updated = desc + np.asarray(self._gain(top - desc))
+        else:
+            for i in range(1, size):
+                total = np.zeros(desc.shape[:2])
+                for j in range(i):
+                    delta = np.maximum(desc[:, :, j] - desc[:, :, i], 0.0)
+                    total += np.asarray(self._gain(delta))
+                updated[:, :, i] = desc[:, :, i] + total / i
+        return updated
+
+
+def brute_force_tdg(
+    skills: np.ndarray,
+    *,
+    k: int,
+    alpha: int,
+    mode: "str | InteractionMode" = "star",
+    rate: float | None = None,
+    gain: GainFunction | None = None,
+    max_partitions: int = 50_000,
+    round_decimals: int = 10,
+) -> BruteForceResult:
+    """Solve the TDG instance exactly.
+
+    Args:
+        skills: initial positive skills (keep ``n`` tiny: ≤ 10 or so).
+        k: number of groups; must divide ``n``.
+        alpha: number of rounds.
+        mode: ``"star"`` or ``"clique"``.
+        rate: linear learning rate (shorthand for ``gain=LinearGain(rate)``).
+        gain: explicit gain function (exactly one of ``rate``/``gain``).
+        max_partitions: safety cap on the per-round branching factor.
+        round_decimals: decimals used when canonicalizing skill multisets
+            for memoization (also bounds numerical drift between states).
+
+    Raises:
+        ValueError: if the instance's per-round branching factor exceeds
+            ``max_partitions``.
+    """
+    array = as_skill_array(skills)
+    n = len(array)
+    size = require_divisible_groups(n, k)
+    alpha = require_positive_int(alpha, name="alpha")
+    if (gain is None) == (rate is None):
+        raise ValueError("provide exactly one of gain= or rate=")
+    gain_fn = gain if gain is not None else LinearGain(rate)  # type: ignore[arg-type]
+    mode_obj = get_mode(mode)
+    effective_rate = gain_fn.rate if gain_fn.is_linear else 0.0  # type: ignore[attr-defined]
+
+    branching = count_equal_partitions(n, k)
+    if branching > max_partitions:
+        raise ValueError(
+            f"instance has {branching} partitions per round (> max_partitions={max_partitions}); "
+            "brute force is only intended for tiny instances"
+        )
+
+    partitions = list(iter_equal_partitions(tuple(range(n)), size))
+    evaluator = _BatchedEvaluator(partitions, mode_obj.name, effective_rate, gain_fn, round_decimals)
+    memo: dict[tuple[tuple[float, ...], int], tuple[float, int | None]] = {}
+
+    def canonical(values: np.ndarray) -> tuple[float, ...]:
+        return tuple(np.round(np.sort(values)[::-1], round_decimals))
+
+    def best(state: tuple[float, ...], rounds_left: int) -> tuple[float, int | None]:
+        """Optimal remaining gain from a descending-sorted skill state."""
+        if rounds_left == 0:
+            return 0.0, None
+        key = (state, rounds_left)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        values = np.array(state, dtype=np.float64)
+        round_gains, child_states = evaluator.evaluate(values)
+        best_gain = -np.inf
+        best_partition: int | None = None
+        if rounds_left == 1:
+            index = int(np.argmax(round_gains))
+            best_gain = float(round_gains[index])
+            best_partition = index
+        else:
+            # Deduplicate identical child states before recursing.
+            seen: dict[tuple[float, ...], float] = {}
+            for index in range(len(partitions)):
+                child_key = tuple(child_states[index])
+                sub_gain = seen.get(child_key)
+                if sub_gain is None:
+                    sub_gain, _ = best(child_key, rounds_left - 1)
+                    seen[child_key] = sub_gain
+                total = float(round_gains[index]) + sub_gain
+                if total > best_gain:
+                    best_gain = total
+                    best_partition = index
+        memo[key] = (best_gain, best_partition)
+        return best_gain, best_partition
+
+    initial_state = canonical(array)
+    total, _ = best(initial_state, alpha)
+
+    # Reconstruct one optimal sequence by replaying the memoized choices on
+    # the *actual* (unrounded, original-index) skill array.  Partitions are
+    # expressed over descending ranks; map rank -> original index each round.
+    groupings: list[Grouping] = []
+    current = array.copy()
+    for rounds_left in range(alpha, 0, -1):
+        # best() is memoized; if floating-point drift between the rounded
+        # DFS chain and the exact replay trajectory produces an unseen
+        # state, it is simply solved afresh.
+        _, partition_index = best(canonical(current), rounds_left)
+        assert partition_index is not None
+        partition = partitions[partition_index]
+        ranks_to_index = descending_order(current)
+        grouping = Grouping(tuple(int(ranks_to_index[r]) for r in group) for group in partition)
+        groupings.append(grouping)
+        current = mode_obj.update(current, grouping, gain_fn)
+
+    return BruteForceResult(
+        total_gain=float(total),
+        groupings=tuple(groupings),
+        states_explored=len(memo),
+    )

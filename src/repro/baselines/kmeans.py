@@ -1,0 +1,84 @@
+"""``K-MEANS`` baseline (Section V-B1).
+
+The paper devises this heuristic as a baseline: pick ``k`` random
+participants as group *centers*, then assign every remaining participant
+to the nearest (in skill) group that is not yet full.
+
+Skills are one-dimensional, so the nearest *open* center is either the
+first open center to the left or to the right of the participant's
+position in the sorted center array — found with a binary search plus two
+outward scans, ``O(log k)`` amortized per assignment instead of the naive
+``O(k)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_divisible_groups
+from repro.core.grouping import Grouping
+from repro.core.simulation import GroupingPolicy
+
+__all__ = ["KMeansGrouping"]
+
+
+class KMeansGrouping(GroupingPolicy):
+    """Capacity-constrained nearest-center grouping with random centers.
+
+    Assignment order is randomized each round (drawn from the simulation
+    rng), matching the first-come-first-served flavour of the heuristic:
+    once a group is full, later participants spill to the next nearest
+    open center.
+    """
+
+    name = "kmeans"
+
+    def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+        n = len(skills)
+        size = require_divisible_groups(n, k)
+
+        center_members = rng.choice(n, size=k, replace=False)
+        center_order = np.argsort(skills[center_members], kind="stable")
+        centers = center_members[center_order]  # participant ids, ascending by skill
+        center_skills = skills[centers].astype(np.float64)
+
+        groups: list[list[int]] = [[int(c)] for c in centers]
+        capacity = np.full(k, size - 1, dtype=np.intp)
+
+        remaining = np.setdiff1d(np.arange(n), centers)
+        remaining = rng.permutation(remaining)
+        positions = np.searchsorted(center_skills, skills[remaining])
+        for member, pos in zip(remaining, positions):
+            target = _nearest_open_center(float(skills[member]), center_skills, capacity, int(pos))
+            groups[target].append(int(member))
+            capacity[target] -= 1
+        return Grouping(groups)
+
+
+def _nearest_open_center(
+    skill: float, center_skills: np.ndarray, capacity: np.ndarray, pos: int
+) -> int:
+    """Index of the closest center with spare capacity.
+
+    ``pos`` is the insertion point of ``skill`` in the ascending
+    ``center_skills`` array.  Because the array is sorted, the nearest open
+    center is the first open one scanning left from ``pos − 1`` or the
+    first open one scanning right from ``pos`` — whichever is closer
+    (ties go left, i.e. to the lower-skilled center).
+    """
+    k = len(center_skills)
+    left = pos - 1
+    while left >= 0 and capacity[left] <= 0:
+        left -= 1
+    right = pos
+    while right < k and capacity[right] <= 0:
+        right += 1
+    if left < 0 and right >= k:
+        raise RuntimeError("no center with spare capacity (capacity bookkeeping bug)")
+    if left < 0:
+        return right
+    if right >= k:
+        return left
+    left_dist = abs(skill - center_skills[left])
+    right_dist = abs(skill - center_skills[right])
+    return left if left_dist <= right_dist else right

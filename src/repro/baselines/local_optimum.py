@@ -1,0 +1,74 @@
+"""Arbitrary round-optimal groupings for Star mode (ablation A1).
+
+Theorem 1 shows that *any* grouping placing the top-``k`` skills in
+distinct groups maximizes the Star round gain — there are exponentially
+many such local optima (Lemma 1).  DyGroups picks the variance-maximizing
+one; this module provides the others, to isolate the value of the
+variance tie-break (the insight behind the Section III-A toy example and
+the k=2 optimality proof):
+
+* ``"random"`` — non-teachers split uniformly at random;
+* ``"reversed"`` — non-teachers assigned in *ascending* blocks, so the
+  best teacher gets the weakest learners (the paper's "arbitrary locally
+  optimal" walk-through, which finishes with total gain 2.4 vs DyGroups'
+  2.55 on the toy example);
+* ``"interleaved"`` — non-teachers dealt round-robin (the clique-style
+  split applied to star mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_divisible_groups
+from repro.core.grouping import Grouping
+from repro.core.simulation import GroupingPolicy
+from repro.core.skills import descending_order
+
+__all__ = ["ArbitraryLocalOptimum", "STRATEGIES"]
+
+#: Recognized non-teacher assignment strategies.
+STRATEGIES = ("random", "reversed", "interleaved")
+
+
+class ArbitraryLocalOptimum(GroupingPolicy):
+    """Star-round-optimal grouping with a non-variance-maximizing split.
+
+    Args:
+        strategy: one of :data:`STRATEGIES`; see module docstring.
+    """
+
+    def __init__(self, strategy: str = "random") -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        self._strategy = strategy
+        self.name = f"local-optimum-{strategy}"
+
+    @property
+    def strategy(self) -> str:
+        """The non-teacher assignment strategy."""
+        return self._strategy
+
+    def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+        n = len(skills)
+        size = require_divisible_groups(n, k)
+        order = descending_order(skills)
+        teachers = order[:k]
+        rest = order[k:]
+        per_group = size - 1
+
+        if self._strategy == "random":
+            rest = rng.permutation(rest)
+            blocks = [rest[i * per_group : (i + 1) * per_group] for i in range(k)]
+        elif self._strategy == "reversed":
+            ascending = rest[::-1]
+            blocks = [ascending[i * per_group : (i + 1) * per_group] for i in range(k)]
+        else:  # interleaved
+            blocks = [rest[i::k] for i in range(k)]
+
+        return Grouping(
+            np.concatenate(([teachers[i]], blocks[i])) for i in range(k)
+        )
+
+    def __repr__(self) -> str:
+        return f"ArbitraryLocalOptimum(strategy={self._strategy!r})"

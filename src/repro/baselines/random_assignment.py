@@ -1,0 +1,27 @@
+"""``RANDOM-ASSIGNMENT`` baseline (Section V-B1).
+
+Each round, the participants are shuffled uniformly at random and split
+into ``k`` contiguous blocks.  Every equi-sized partition is produced with
+equal probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_divisible_groups
+from repro.core.grouping import Grouping
+from repro.core.simulation import GroupingPolicy
+
+__all__ = ["RandomAssignment"]
+
+
+class RandomAssignment(GroupingPolicy):
+    """Uniformly random equi-sized grouping, fresh each round."""
+
+    name = "random"
+
+    def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+        require_divisible_groups(len(skills), k)
+        order = rng.permutation(len(skills))
+        return Grouping.blocks_of_sorted(order, k)

@@ -1,0 +1,85 @@
+"""Name-based policy registry.
+
+The experiment harness, CLI, and benches refer to grouping algorithms by
+their canonical string names.  :func:`make_policy` builds a fresh policy
+instance for a name, threading through the context (mode, learning rate)
+that objective-aware policies such as LPA require.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.annealing import AnnealingGrouping
+from repro.baselines.kmeans import KMeansGrouping
+from repro.baselines.local_optimum import ArbitraryLocalOptimum
+from repro.baselines.lpa import LpaGrouping
+from repro.baselines.percentile import PercentilePartitions
+from repro.baselines.random_assignment import RandomAssignment
+from repro.baselines.static import StaticPolicy
+from repro.core.dygroups import DyGroupsClique, DyGroupsStar, dygroups_policy
+from repro.core.simulation import GroupingPolicy
+
+__all__ = ["POLICY_NAMES", "make_policy"]
+
+#: Canonical algorithm names accepted by :func:`make_policy`.
+POLICY_NAMES: tuple[str, ...] = (
+    "dygroups",
+    "dygroups-star",
+    "dygroups-clique",
+    "random",
+    "kmeans",
+    "percentile",
+    "lpa",
+    "annealing",
+    "static-dygroups",
+    "static-random",
+    "local-optimum-random",
+    "local-optimum-reversed",
+    "local-optimum-interleaved",
+)
+
+
+def make_policy(
+    name: str,
+    *,
+    mode: str = "star",
+    rate: float = 0.5,
+    percentile_p: float = 0.75,
+    lpa_max_evals: int | None = None,
+) -> GroupingPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    Args:
+        name: one of :data:`POLICY_NAMES` (``"dygroups"`` resolves to the
+            instantiation matching ``mode``).
+        mode: interaction mode context (needed by ``dygroups`` and
+            ``lpa``).
+        rate: learning-rate context (needed by ``lpa``).
+        percentile_p: the Percentile-Partitions split parameter.
+        lpa_max_evals: optional evaluation budget for the search-based
+            baselines (LPA's swap evaluations / annealing's steps).
+
+    Raises:
+        ValueError: for an unknown name.
+    """
+    factories: dict[str, Callable[[], GroupingPolicy]] = {
+        "dygroups": lambda: dygroups_policy(mode),
+        "dygroups-star": DyGroupsStar,
+        "dygroups-clique": DyGroupsClique,
+        "random": RandomAssignment,
+        "kmeans": KMeansGrouping,
+        "percentile": lambda: PercentilePartitions(percentile_p),
+        "lpa": lambda: LpaGrouping(mode, rate, max_evals=lpa_max_evals),
+        "annealing": lambda: AnnealingGrouping(mode, rate, steps=lpa_max_evals),
+        "static-dygroups": lambda: StaticPolicy(dygroups_policy(mode)),
+        "static-random": lambda: StaticPolicy(RandomAssignment()),
+        "local-optimum-random": lambda: ArbitraryLocalOptimum("random"),
+        "local-optimum-reversed": lambda: ArbitraryLocalOptimum("reversed"),
+        "local-optimum-interleaved": lambda: ArbitraryLocalOptimum("interleaved"),
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}") from None
+    return factory()

@@ -1,0 +1,51 @@
+"""Static (one-shot) grouping baseline.
+
+Prior work ([1], [2] in the paper) treats groups as *static*: a single
+grouping is formed once and every individual stays in that group for all
+``α`` rounds.  :class:`StaticPolicy` wraps any grouping policy, delegates
+to it in round 1, and replays that same grouping for every later round —
+the ablation that isolates the value of *dynamic* re-grouping
+(DESIGN.md experiment A3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grouping import Grouping
+from repro.core.simulation import GroupingPolicy
+
+__all__ = ["StaticPolicy"]
+
+
+class StaticPolicy(GroupingPolicy):
+    """Freeze the wrapped policy's first grouping for all rounds.
+
+    Args:
+        base: the policy that forms the one-shot grouping in round 1.
+
+    The policy is stateful across rounds of one simulation; the simulation
+    engine calls :meth:`reset` at the start of each run.
+    """
+
+    def __init__(self, base: GroupingPolicy) -> None:
+        self._base = base
+        self._frozen: Grouping | None = None
+        self.name = f"static-{base.name}"
+
+    @property
+    def base(self) -> GroupingPolicy:
+        """The wrapped one-shot policy."""
+        return self._base
+
+    def reset(self) -> None:
+        self._frozen = None
+        self._base.reset()
+
+    def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+        if self._frozen is None:
+            self._frozen = self._base.propose(skills, k, rng)
+        return self._frozen
+
+    def __repr__(self) -> str:
+        return f"StaticPolicy({self._base!r})"

@@ -1,0 +1,326 @@
+"""Command-line interface: ``dygroups`` / ``python -m repro``.
+
+Subcommands:
+
+* ``toy`` — the paper's Section II/III toy example, round by round;
+* ``run`` — compare algorithms under one configuration;
+* ``sweep`` — vary one parameter over a grid;
+* ``figure`` — regenerate any figure of the paper (``--full`` for the
+  paper-sized grids);
+* ``amt`` — the simulated human-subject experiments;
+* ``theorems`` — the numeric theorem-verification battery;
+* ``list`` — available figures, algorithms, and distributions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dygroups",
+        description="DyGroups: targeted dynamic groups formation for peer learning (ICDE 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("toy", help="run the paper's 9-student toy example")
+
+    run = sub.add_parser("run", help="compare algorithms under one configuration")
+    _add_spec_arguments(run)
+    run.add_argument(
+        "--save", metavar="PATH", default=None, help="also write the outcome as JSON"
+    )
+
+    solo = sub.add_parser("simulate", help="run one policy on skills loaded from a file")
+    solo.add_argument("--skills-file", required=True, help=".json/.csv/.txt skill vector")
+    solo.add_argument("--policy", default="dygroups")
+    solo.add_argument("--k", type=int, required=True)
+    solo.add_argument("--alpha", type=int, default=5)
+    solo.add_argument("--rate", type=float, default=0.5)
+    solo.add_argument("--mode", choices=("star", "clique"), default="star")
+    solo.add_argument("--seed", type=int, default=0)
+    solo.add_argument(
+        "--save", metavar="PATH", default=None, help="write the full trajectory as JSON"
+    )
+
+    swp = sub.add_parser("sweep", help="vary one parameter over a grid")
+    _add_spec_arguments(swp)
+    swp.add_argument("--parameter", required=True, choices=("n", "k", "alpha", "rate"))
+    swp.add_argument(
+        "--values", required=True, help="comma-separated grid, e.g. 100,1000,10000"
+    )
+
+    grd = sub.add_parser(
+        "grid", help="cross two or more parameters (sensitivity analysis)"
+    )
+    _add_spec_arguments(grd)
+    grd.add_argument(
+        "--vary",
+        required=True,
+        action="append",
+        metavar="PARAM=V1,V2,...",
+        help="a grid dimension, e.g. --vary k=5,50 --vary rate=0.2,0.8",
+    )
+    grd.add_argument("--reference", default="random", help="denominator algorithm for ratios")
+
+    fig = sub.add_parser("figure", help="regenerate a figure from the paper")
+    fig.add_argument("name", help="figure id, e.g. fig05a (see `dygroups list`)")
+    fig.add_argument("--full", action="store_true", help="use the paper-sized grids")
+    fig.add_argument("--runs", type=int, default=None, help="override the number of runs")
+
+    amt = sub.add_parser("amt", help="run a simulated human-subject experiment")
+    amt.add_argument("experiment", type=int, choices=(1, 2), help="experiment number")
+    amt.add_argument("--seed", type=int, default=0)
+
+    theorems = sub.add_parser("theorems", help="run the theorem-verification battery")
+    theorems.add_argument("--seed", type=int, default=0)
+    theorems.add_argument("--trials", type=int, default=50, help="Theorem 5 trial count")
+
+    repr_cmd = sub.add_parser(
+        "reproduce", help="regenerate the synthetic figures and grade the paper's claims"
+    )
+    repr_cmd.add_argument("--full", action="store_true", help="paper-sized grids (hours)")
+    repr_cmd.add_argument("--runs", type=int, default=None)
+
+    report = sub.add_parser("report", help="print all archived benchmark results")
+    report.add_argument(
+        "--results-dir", default=None, help="override the benchmarks/results directory"
+    )
+
+    sub.add_parser("list", help="list figures, algorithms, and distributions")
+    return parser
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=2_000)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--alpha", type=int, default=5)
+    parser.add_argument("--rate", type=float, default=0.5)
+    parser.add_argument("--mode", choices=("star", "clique"), default="star")
+    parser.add_argument("--distribution", default="lognormal")
+    parser.add_argument(
+        "--algorithms",
+        default="dygroups,random,percentile,lpa,kmeans",
+        help="comma-separated algorithm names",
+    )
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _spec_from_args(args: argparse.Namespace):
+    from repro.experiments.spec import ExperimentSpec
+
+    return ExperimentSpec(
+        n=args.n,
+        k=args.k,
+        alpha=args.alpha,
+        rate=args.rate,
+        mode=args.mode,
+        distribution=args.distribution,
+        algorithms=tuple(a.strip() for a in args.algorithms.split(",") if a.strip()),
+        runs=args.runs,
+        seed=args.seed,
+    )
+
+
+def _command_toy() -> int:
+    from repro.core import dygroups
+    from repro.data import toy_example_skills
+
+    skills = toy_example_skills()
+    print("Toy example (Section II): 9 students, k=3 groups, r=0.5, alpha=3\n")
+    for mode in ("star", "clique"):
+        result = dygroups(skills, k=3, alpha=3, rate=0.5, mode=mode, record_history=True)
+        print(f"DyGroups-{mode.capitalize()}:")
+        assert result.skill_history is not None
+        for t, grouping in enumerate(result.groupings, start=1):
+            groups_text = ", ".join(
+                "[" + ", ".join(f"{result.skill_history[t - 1][m]:.4g}" for m in g) + "]"
+                for g in grouping
+            )
+            print(f"  round {t}: {groups_text}  (LG={result.round_gains[t - 1]:.6g})")
+        print(f"  total learning gain: {result.total_gain:.6g}\n")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_spec
+    from repro.experiments.tables import comparison_table
+
+    outcome = run_spec(_spec_from_args(args))
+    print(comparison_table(outcome))
+    if args.save:
+        from repro.io import save_json, spec_outcome_to_dict
+
+        path = save_json(spec_outcome_to_dict(outcome), args.save)
+        print(f"\nsaved outcome to {path}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    from repro.baselines.registry import make_policy
+    from repro.core.simulation import simulate
+    from repro.io import load_skills
+
+    skills = load_skills(args.skills_file)
+    policy = make_policy(args.policy, mode=args.mode, rate=args.rate)
+    result = simulate(
+        policy,
+        skills,
+        k=args.k,
+        alpha=args.alpha,
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+        record_history=True,
+    )
+    print(result)
+    print("round gains:", [round(float(g), 6) for g in result.round_gains])
+    print(f"total gain:  {result.total_gain:.6g}")
+    if args.save:
+        from repro.io import save_json, simulation_result_to_dict
+
+        path = save_json(simulation_result_to_dict(result), args.save)
+        print(f"saved trajectory to {path}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.render import render_table
+    from repro.experiments.sweep import sweep
+
+    values = [float(v) for v in args.values.split(",") if v.strip()]
+    series_set = sweep(
+        _spec_from_args(args),
+        args.parameter,
+        values,
+        title=f"Sweep over {args.parameter}",
+    )
+    print(render_table(series_set))
+    return 0
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    from repro.experiments.grid import grid_table, run_grid
+
+    parameters: dict[str, list] = {}
+    for dimension in args.vary:
+        if "=" not in dimension:
+            print(f"bad --vary value {dimension!r}; expected PARAM=V1,V2,...", file=sys.stderr)
+            return 2
+        name, _, raw = dimension.partition("=")
+        values = [float(v) if name == "rate" else v for v in raw.split(",") if v]
+        if name in ("n", "k", "alpha"):
+            values = [int(float(v)) for v in values]
+        parameters[name] = values
+    cells = run_grid(_spec_from_args(args), parameters)
+    algorithm = "dygroups" if "dygroups" in args.algorithms else args.algorithms.split(",")[0]
+    print(grid_table(cells, algorithm=algorithm, reference=args.reference))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import FIGURES
+    from repro.experiments.render import render_table
+    from repro.metrics.series import SeriesSet
+
+    try:
+        figure = FIGURES[args.name]
+    except KeyError:
+        print(f"unknown figure {args.name!r}; run `dygroups list`", file=sys.stderr)
+        return 2
+    produced = figure(full=args.full, runs=args.runs)
+    parts = produced if isinstance(produced, tuple) else (produced,)
+    for part in parts:
+        assert isinstance(part, SeriesSet)
+        print(render_table(part))
+        print()
+    return 0
+
+
+def _command_amt(args: argparse.Namespace) -> int:
+    from repro.amt import run_experiment_1, run_experiment_2
+
+    runner = run_experiment_1 if args.experiment == 1 else run_experiment_2
+    result = runner(seed=args.seed)
+    config = result.config
+    print(
+        f"Simulated AMT Experiment-{args.experiment}: populations of {config.population_size}, "
+        f"k={config.k}, r={config.rate}, alpha={config.alpha}\n"
+    )
+    for name, trace in result.traces.items():
+        scores = ", ".join(f"{s:.4f}" for s in trace.mean_scores)
+        retention = ", ".join(f"{r:.3f}" for r in trace.retention)
+        print(f"{name}:")
+        print(f"  mean assessment per round: [{scores}]")
+        print(f"  retention per round:       [{retention}]")
+        print(f"  total latent gain:         {trace.total_gain:.4f}\n")
+    print("ranking (best first):", " > ".join(result.ranking()))
+    return 0
+
+
+def _command_theorems(args: argparse.Namespace) -> int:
+    from repro.theory import verify_all
+
+    battery = verify_all(seed=args.seed, theorem5_trials=args.trials)
+    print(battery.summary())
+    return 0 if battery.all_hold else 1
+
+
+def _command_list() -> int:
+    from repro.baselines.registry import POLICY_NAMES
+    from repro.data.distributions import DISTRIBUTIONS
+    from repro.experiments.figures import FIGURES
+
+    print("figures:       ", ", ".join(sorted(FIGURES)))
+    print("algorithms:    ", ", ".join(POLICY_NAMES))
+    print("distributions: ", ", ".join(sorted(DISTRIBUTIONS)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=6, suppress=True)
+    if args.command == "toy":
+        return _command_toy()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "grid":
+        return _command_grid(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "amt":
+        return _command_amt(args)
+    if args.command == "theorems":
+        return _command_theorems(args)
+    if args.command == "reproduce":
+        from repro.experiments.reproduction import reproduce
+
+        report = reproduce(full=args.full, runs=args.runs)
+        print(report.summary())
+        return 0 if report.all_hold else 1
+    if args.command == "report":
+        from repro.experiments.report import render_report
+
+        print(render_report(args.results_dir))
+        return 0
+    if args.command == "list":
+        return _command_list()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

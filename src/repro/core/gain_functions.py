@@ -1,0 +1,112 @@
+"""Learning-gain functions for 2-person interactions.
+
+Section II of the paper defines the learning outcome of a 2-person
+interaction between participants ``i`` and ``j`` with skills ``s_i > s_j``:
+``s_i`` is unaltered and ``s_j`` becomes ``s_j + f(Δ)`` where
+``Δ = s_i − s_j``.  The paper works with the *linear* family
+``f(Δ) = r·Δ`` with learning rate ``r ∈ (0, 1)``; Section VII points out
+that DyGroups can be adapted to any *concave* gain function, which
+:mod:`repro.extensions.concave` implements on top of the abstractions here.
+
+All gain functions are vectorized: they accept scalars or numpy arrays of
+non-negative skill differences and apply elementwise.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Union
+
+import numpy as np
+
+from repro._validation import require_learning_rate
+
+__all__ = ["GainFunction", "LinearGain", "pairwise_gain"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class GainFunction(abc.ABC):
+    """Abstract learning-gain function ``f``.
+
+    Subclasses implement :meth:`__call__` mapping a non-negative skill
+    difference ``Δ`` to the learner's skill increment ``f(Δ)``.  Valid gain
+    functions must satisfy the model's sanity conditions, which the test
+    suite checks property-based:
+
+    * ``f(0) == 0`` — no gap, no learning;
+    * ``0 <= f(Δ) <= Δ`` — a learner never overtakes the teacher;
+    * monotone non-decreasing in ``Δ``.
+    """
+
+    @abc.abstractmethod
+    def __call__(self, delta: ArrayLike) -> ArrayLike:
+        """Return the learning gain for skill difference ``delta >= 0``."""
+
+    @property
+    @abc.abstractmethod
+    def is_linear(self) -> bool:
+        """Whether the function is linear (enables closed-form updates)."""
+
+    def directed_gain(self, teacher: ArrayLike, learner: ArrayLike) -> ArrayLike:
+        """Gain of ``learner`` from ``teacher`` (the paper's ``f(i → j)``).
+
+        Zero whenever the teacher is not more skilled than the learner.
+        """
+        delta = np.maximum(np.asarray(teacher, dtype=np.float64) - learner, 0.0)
+        return self(delta)
+
+
+class LinearGain(GainFunction):
+    """The paper's linear learning-gain function ``f(Δ) = r·Δ``.
+
+    Args:
+        rate: the learning rate ``r``; must lie in the open interval (0, 1).
+
+    Example:
+        >>> f = LinearGain(0.5)
+        >>> f(0.6)
+        0.3
+    """
+
+    __slots__ = ("_rate",)
+
+    def __init__(self, rate: float) -> None:
+        self._rate = require_learning_rate(rate)
+
+    @property
+    def rate(self) -> float:
+        """The learning rate ``r``."""
+        return self._rate
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def __call__(self, delta: ArrayLike) -> ArrayLike:
+        delta = np.asarray(delta, dtype=np.float64)
+        if np.any(delta < 0.0):
+            raise ValueError("skill difference delta must be non-negative")
+        result = self._rate * delta
+        return float(result) if result.ndim == 0 else result
+
+    def __repr__(self) -> str:
+        return f"LinearGain(rate={self._rate})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinearGain) and other._rate == self._rate
+
+    def __hash__(self) -> int:
+        return hash((LinearGain, self._rate))
+
+
+def pairwise_gain(gain: GainFunction, s_i: float, s_j: float) -> float:
+    """Skill increment of participant ``j`` after interacting with ``i``.
+
+    Implements the asymmetric 2-person interaction of Section II: the more
+    skilled participant is unaltered; the less skilled one gains
+    ``f(|s_i − s_j|)``.  Returns 0 when ``s_i <= s_j``.
+    """
+    if s_i <= s_j:
+        return 0.0
+    return float(gain(s_i - s_j))

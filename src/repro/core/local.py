@@ -1,0 +1,82 @@
+"""Round-local groupers (``DYGROUPS-MODE-LOCAL``, Algorithms 2 and 3).
+
+Both groupers sort the participants by descending skill (``O(n log n)``)
+and then assign in ``O(n)``:
+
+* :func:`dygroups_star_local` — Algorithm 2.  The top-``k`` skills become
+  the *teachers* of the ``k`` groups (Theorem 1: any such grouping
+  maximizes the round gain).  Among all round-optimal groupings, the
+  variance-maximizing one (Theorem 2) assigns the remaining members in
+  descending *contiguous blocks*: the next ``n/k − 1`` best join teacher 1,
+  the following block joins teacher 2, and so on.
+
+* :func:`dygroups_clique_local` — Algorithm 3.  Deals the descending-sorted
+  members *round-robin* over the ``k`` groups, producing the unique
+  grouping whose ``j``-th ranked skill in group ``i`` dominates the
+  ``j``-th ranked skill in group ``i+1`` (Theorem 4: round-gain optimal
+  for the clique mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_skill_array, require_divisible_groups
+from repro.core.grouping import Grouping
+from repro.core.skills import descending_order
+
+__all__ = ["dygroups_star_local", "dygroups_clique_local"]
+
+
+def dygroups_star_local(skills: np.ndarray, k: int) -> Grouping:
+    """Variance-maximizing round-optimal grouping for Star mode.
+
+    Args:
+        skills: 1-D positive skill array of length ``n``.
+        k: number of groups; must divide ``n``.
+
+    Returns:
+        A :class:`Grouping` where group ``i`` holds the ``i``-th best
+        teacher plus the ``i``-th descending block of the remaining
+        members.
+
+    Example (the paper's toy example, Section III-A round 1):
+        >>> import numpy as np
+        >>> s = np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+        >>> [sorted(s[list(g)].tolist()) for g in dygroups_star_local(s, 3)]
+        [[0.5, 0.6, 0.9], [0.3, 0.4, 0.8], [0.1, 0.2, 0.7]]
+    """
+    array = as_skill_array(skills)
+    size = require_divisible_groups(len(array), k)
+    order = descending_order(array)
+    teachers = order[:k]
+    rest = order[k:]
+    members_per_group = size - 1
+    groups = []
+    for i in range(k):
+        block = rest[i * members_per_group : (i + 1) * members_per_group]
+        groups.append(np.concatenate(([teachers[i]], block)))
+    return Grouping(groups)
+
+
+def dygroups_clique_local(skills: np.ndarray, k: int) -> Grouping:
+    """Round-gain-maximizing grouping for Clique mode (round-robin deal).
+
+    Args:
+        skills: 1-D positive skill array of length ``n``.
+        k: number of groups; must divide ``n``.
+
+    Returns:
+        A :class:`Grouping` where member of descending rank ``j`` lands in
+        group ``j mod k``.
+
+    Example (the paper's toy example, Section III-B round 1):
+        >>> import numpy as np
+        >>> s = np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+        >>> [sorted(s[list(g)].tolist()) for g in dygroups_clique_local(s, 3)]
+        [[0.3, 0.6, 0.9], [0.2, 0.5, 0.8], [0.1, 0.4, 0.7]]
+    """
+    array = as_skill_array(skills)
+    require_divisible_groups(len(array), k)
+    order = descending_order(array)
+    return Grouping(order[i::k] for i in range(k))

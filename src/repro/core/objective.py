@@ -1,0 +1,92 @@
+"""TDG objective functions.
+
+Problem 1 maximizes the aggregated learning gain over ``α`` rounds,
+``Σ_t LG(G_t)``.  Because skill only ever increases and no skill is lost,
+this telescopes into the *equivalent objective* of Section IV-C:
+
+    ``Σ_t LG(G_t)  =  Σ_i (s_i^α − s_i^0)``
+
+i.e. total final skill minus total initial skill.  Section IV-C further
+rewrites the problem in terms of distances to the top skill,
+``b_i = s_1 − s_i`` (Equation 4): maximizing total gain is equivalent to
+*minimizing* ``Σ_i b_i^α``, since the top skill ``s_1`` is invariant.
+
+These identities are load-bearing for the k=2 optimality proof, and this
+module exposes them both for the algorithms and for the numeric theorem
+checks in :mod:`repro.theory`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.gain_functions import GainFunction
+from repro.core.grouping import Grouping
+from repro.core.interactions import InteractionMode, get_mode
+
+__all__ = [
+    "learning_gain",
+    "total_learning_gain",
+    "gain_from_trajectory",
+    "b_distances",
+    "b_objective",
+]
+
+
+def learning_gain(
+    skills: np.ndarray,
+    grouping: Grouping,
+    mode: "str | InteractionMode",
+    gain: GainFunction,
+) -> float:
+    """Aggregated learning gain ``LG(G)`` of one round (Equation 3)."""
+    return get_mode(mode).round_gain(np.asarray(skills, dtype=np.float64), grouping, gain)
+
+
+def total_learning_gain(
+    skills: np.ndarray,
+    groupings: Sequence[Grouping],
+    mode: "str | InteractionMode",
+    gain: GainFunction,
+) -> float:
+    """Total gain ``Σ_t LG(G_t)`` of a grouping sequence applied in order.
+
+    Skill values are advanced round by round; the input array is not
+    mutated.
+    """
+    resolved = get_mode(mode)
+    current = np.asarray(skills, dtype=np.float64)
+    total = 0.0
+    for grouping in groupings:
+        updated = resolved.update(current, grouping, gain)
+        total += float(np.sum(updated - current))
+        current = updated
+    return total
+
+
+def gain_from_trajectory(initial: np.ndarray, final: np.ndarray) -> float:
+    """Total gain via the telescoped objective ``Σ_i (s_i^α − s_i^0)``."""
+    initial = np.asarray(initial, dtype=np.float64)
+    final = np.asarray(final, dtype=np.float64)
+    if initial.shape != final.shape:
+        raise ValueError(f"shape mismatch: initial {initial.shape} vs final {final.shape}")
+    return float(np.sum(final - initial))
+
+
+def b_distances(skills: np.ndarray) -> np.ndarray:
+    """Distances to the highest skill, ``b_i = max(s) − s_i`` (Equation 4)."""
+    array = np.asarray(skills, dtype=np.float64)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("skills must be a non-empty 1-D array")
+    return array.max() - array
+
+
+def b_objective(skills: np.ndarray) -> float:
+    """The Section IV-C surrogate ``Σ_i b_i`` — lower is better.
+
+    Minimizing this after ``α`` rounds is equivalent to maximizing the
+    total learning gain because the top skill never changes.
+    """
+    return float(np.sum(b_distances(skills)))

@@ -1,0 +1,141 @@
+"""Skill-update engines (``UPDATE-SKILLS-STAR`` / ``UPDATE-SKILLS-CLIQUE``).
+
+Given the current skill array and a grouping, these functions return the
+post-round skill array under the Star or Clique interaction mode of
+Section II.  The fast implementations follow the paper's complexity
+analysis:
+
+* Star: each learner interacts only with its group's teacher — ``O(n)``.
+* Clique: Theorem 3's prefix-sum trick computes all within-group averaged
+  gains in ``O(n)`` total (after per-group sorting) for *linear* gain
+  functions.  For non-linear gain functions (the Section VII extension) the
+  averaged gain is not a function of prefix sums, so a naive ``O(n·t)``
+  reference is used instead.
+
+Naive pairwise reference implementations are exported as well; the test
+suite checks fast ≡ naive property-based.
+
+Tie convention (clique): the paper's Equation 2 divides the ``i``-th
+ranked member's summed pairwise gain by ``i − 1`` — its *rank* minus one,
+not the number of strictly more skilled peers.  We implement that formula
+literally; with duplicated skill values members tied at the same skill are
+ranked stably by participant index, so the update is deterministic and
+independent of the order in which a group's members are listed.  (An
+alternative strictly-greater-divisor convention looks natural but breaks
+Theorem 4: diluting a weak learner's average with mediocre teachers can
+then change the optimal grouping.  The property-based test suite contains
+the counterexample that rules it out.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gain_functions import GainFunction
+from repro.core.grouping import Grouping
+
+__all__ = [
+    "update_star",
+    "update_clique",
+    "update_star_naive",
+    "update_clique_naive",
+    "group_max",
+]
+
+
+def _check_inputs(skills: np.ndarray, grouping: Grouping) -> None:
+    if skills.ndim != 1:
+        raise ValueError(f"skills must be 1-D, got shape {skills.shape}")
+    if len(skills) != grouping.n:
+        raise ValueError(f"skills has {len(skills)} entries but grouping covers n={grouping.n}")
+
+
+def group_max(skills: np.ndarray, grouping: Grouping) -> np.ndarray:
+    """Per-group maximum skill (the 'teacher' skill), indexed by group."""
+    _check_inputs(skills, grouping)
+    maxima = np.full(grouping.k, -np.inf)
+    np.maximum.at(maxima, grouping.assignment, skills)
+    return maxima
+
+
+def update_star(skills: np.ndarray, grouping: Grouping, gain: GainFunction) -> np.ndarray:
+    """Post-round skills under Star mode, vectorized ``O(n)``.
+
+    Every member learns from its group's highest-skilled member; the
+    teacher itself has zero skill difference and is unaltered.
+    """
+    _check_inputs(skills, grouping)
+    teachers = group_max(skills, grouping)[grouping.assignment]
+    delta = teachers - skills
+    return skills + np.asarray(gain(delta), dtype=np.float64)
+
+
+def update_star_naive(skills: np.ndarray, grouping: Grouping, gain: GainFunction) -> np.ndarray:
+    """Reference Star update: explicit loop over groups and members."""
+    _check_inputs(skills, grouping)
+    new = np.array(skills, dtype=np.float64, copy=True)
+    for group in grouping:
+        teacher = max(float(skills[m]) for m in group)
+        for m in group:
+            new[m] = skills[m] + gain.directed_gain(teacher, float(skills[m]))
+    return new
+
+
+def _sorted_group_matrix(skills: np.ndarray, grouping: Grouping) -> tuple[np.ndarray, np.ndarray]:
+    """Sort members within each group by descending skill (stable by index).
+
+    Returns ``(perm, s_mat)`` where ``perm`` is the participant permutation
+    and ``s_mat`` is the ``(k, group_size)`` matrix of descending-sorted
+    group skills, row ``g`` holding group ``g``'s members.  Ties keep
+    ascending participant-index order, fixing the paper's rank ``i``
+    deterministically.
+    """
+    labels = grouping.assignment
+    # lexsort is stable and uses the *last* key as primary: sort by group
+    # label, then by descending skill; ties fall back to index order.
+    perm = np.lexsort((-skills, labels))
+    s_mat = skills[perm].reshape(grouping.k, grouping.group_size)
+    return perm, s_mat
+
+
+def update_clique(skills: np.ndarray, grouping: Grouping, gain: GainFunction) -> np.ndarray:
+    """Post-round skills under Clique mode.
+
+    Uses the ``O(n)`` prefix-sum formulation of Theorem 3 when ``gain`` is
+    linear; otherwise falls back to the naive pairwise computation.
+    """
+    _check_inputs(skills, grouping)
+    if not gain.is_linear:
+        return update_clique_naive(skills, grouping, gain)
+    rate: float = gain.rate  # type: ignore[attr-defined]
+    perm, s_mat = _sorted_group_matrix(skills, grouping)
+    k, t = s_mat.shape
+    increment = np.zeros_like(s_mat)
+    if t > 1:
+        # Theorem 3: with c_i the sum of the top-i skills, the member of
+        # rank i+1 gains r·(c_i − i·s_{i+1}) / i.
+        prefix = np.cumsum(s_mat, axis=1)
+        ranks = np.arange(1, t, dtype=np.float64)
+        increment[:, 1:] = rate * (prefix[:, :-1] - ranks * s_mat[:, 1:]) / ranks
+    new = np.empty_like(skills, dtype=np.float64)
+    new[perm] = (s_mat + increment).ravel()
+    return new
+
+
+def update_clique_naive(skills: np.ndarray, grouping: Grouping, gain: GainFunction) -> np.ndarray:
+    """Reference Clique update: the literal Equation 2, ``O(t²)`` per group.
+
+    The member of rank ``i`` (descending skill, ties broken by ascending
+    participant index) gains ``(1/(i−1)) Σ_{j≠i} f(p_j → p_i)``.  Works
+    with any :class:`GainFunction`.
+    """
+    _check_inputs(skills, grouping)
+    new = np.array(skills, dtype=np.float64, copy=True)
+    for group in grouping:
+        ranked = sorted(group, key=lambda m: (-float(skills[m]), m))
+        values = [float(skills[m]) for m in ranked]
+        for i in range(1, len(ranked)):
+            s = values[i]
+            total = sum(gain.directed_gain(v, s) for v in values[:i])
+            new[ranked[i]] = s + total / i
+    return new

@@ -1,0 +1,42 @@
+"""Synthetic skill data: distributions and canned instances."""
+
+from repro.data.datasets import TOY_EXAMPLE, toy_example_skills
+from repro.data.scenarios import (
+    SCENARIOS,
+    bimodal_community,
+    classroom,
+    crowd_workers,
+    expert_panel,
+    get_scenario,
+    power_law_platform,
+)
+from repro.data.distributions import (
+    DISTRIBUTIONS,
+    LOGNORMAL_MU,
+    LOGNORMAL_SIGMA,
+    ZIPF_SHAPES,
+    get_distribution,
+    lognormal_skills,
+    uniform_skills,
+    zipf_skills,
+)
+
+__all__ = [
+    "TOY_EXAMPLE",
+    "toy_example_skills",
+    "SCENARIOS",
+    "get_scenario",
+    "classroom",
+    "crowd_workers",
+    "expert_panel",
+    "bimodal_community",
+    "power_law_platform",
+    "DISTRIBUTIONS",
+    "LOGNORMAL_MU",
+    "LOGNORMAL_SIGMA",
+    "ZIPF_SHAPES",
+    "get_distribution",
+    "lognormal_skills",
+    "uniform_skills",
+    "zipf_skills",
+]

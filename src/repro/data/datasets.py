@@ -1,0 +1,22 @@
+"""Canned instances used throughout the paper, tests, and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["toy_example_skills", "TOY_EXAMPLE"]
+
+#: The Section II toy example: 9 students, skills 0.1 … 0.9.
+TOY_EXAMPLE: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def toy_example_skills() -> np.ndarray:
+    """Fresh copy of the paper's toy-example skill array.
+
+    The running example of Sections II and III: ``n = 9`` students in a
+    Python programming course with ``k = 3`` groups, ``r = 0.5``.  After
+    3 rounds, DyGroups-Star achieves a total gain of 2.55, the paper's
+    "arbitrary local optimum" walk-through achieves 2.4, and
+    DyGroups-Clique achieves 2.334375 — all verified in the test suite.
+    """
+    return np.array(TOY_EXAMPLE, dtype=np.float64)

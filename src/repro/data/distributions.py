@@ -1,0 +1,123 @@
+"""Synthetic initial-skill generators (Section V-B1, "Distribution").
+
+The paper draws initial skills from distributions guaranteed to produce
+positive values:
+
+* **log-normal** with ``µ = e`` and ``σ = √e`` (parameters of the
+  underlying normal, as passed to the generator);
+* **Zipf** with shape parameters ``2.3`` and ``10``;
+* **uniform** on (0, 1] — used by the Section V-B3 brute-force validation.
+
+All generators take either a seed or a ``numpy.random.Generator`` and
+return strictly positive ``float64`` arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro._validation import require_positive_int
+
+__all__ = [
+    "LOGNORMAL_MU",
+    "LOGNORMAL_SIGMA",
+    "ZIPF_SHAPES",
+    "lognormal_skills",
+    "zipf_skills",
+    "uniform_skills",
+    "get_distribution",
+    "DISTRIBUTIONS",
+]
+
+#: The paper's log-normal location parameter (µ = e).
+LOGNORMAL_MU: float = math.e
+#: The paper's log-normal scale parameter (σ = √e).
+LOGNORMAL_SIGMA: float = math.sqrt(math.e)
+#: The paper's two Zipf shape settings.
+ZIPF_SHAPES: tuple[float, float] = (2.3, 10.0)
+
+
+def _resolve_rng(rng: np.random.Generator | None, seed: int | None) -> np.random.Generator:
+    if rng is not None and seed is not None:
+        raise ValueError("provide at most one of rng= or seed=")
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def lognormal_skills(
+    n: int,
+    *,
+    mu: float = LOGNORMAL_MU,
+    sigma: float = LOGNORMAL_SIGMA,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Draw ``n`` log-normal skills (defaults: the paper's µ=e, σ=√e)."""
+    n = require_positive_int(n, name="n")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return _resolve_rng(rng, seed).lognormal(mean=mu, sigma=sigma, size=n)
+
+
+def zipf_skills(
+    n: int,
+    *,
+    shape: float = ZIPF_SHAPES[0],
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Draw ``n`` Zipf-distributed skills (positive integers as floats).
+
+    The paper's shape settings are 2.3 and 10.  Shape must exceed 1 for
+    the Zipf distribution to be proper.
+    """
+    n = require_positive_int(n, name="n")
+    if shape <= 1.0:
+        raise ValueError(f"Zipf shape must exceed 1, got {shape}")
+    return _resolve_rng(rng, seed).zipf(a=shape, size=n).astype(np.float64)
+
+
+def uniform_skills(
+    n: int,
+    *,
+    low: float = 0.0,
+    high: float = 1.0,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Draw ``n`` uniform skills on (low, high] — strictly positive.
+
+    ``numpy`` samples the half-open interval [low, high); we mirror it to
+    (low, high] so a draw of exactly ``low`` (e.g. 0) cannot produce an
+    invalid non-positive skill.
+    """
+    n = require_positive_int(n, name="n")
+    if not 0.0 <= low < high:
+        raise ValueError(f"need 0 <= low < high, got low={low}, high={high}")
+    draws = _resolve_rng(rng, seed).uniform(low, high, size=n)
+    return high - (draws - low)
+
+
+#: Named distributions for the experiment harness and CLI.
+DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
+    "lognormal": lognormal_skills,
+    "zipf": zipf_skills,
+    "zipf-10": lambda n, **kw: zipf_skills(n, shape=ZIPF_SHAPES[1], **kw),
+    "uniform": uniform_skills,
+}
+
+
+def get_distribution(name: str) -> Callable[..., np.ndarray]:
+    """Look up a named skill distribution generator.
+
+    Raises:
+        ValueError: for an unknown name.
+    """
+    try:
+        return DISTRIBUTIONS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; expected one of {sorted(DISTRIBUTIONS)}"
+        ) from None

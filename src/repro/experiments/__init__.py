@@ -1,0 +1,41 @@
+"""Experiment harness: specs, runners, sweeps, figures, rendering."""
+
+from repro.experiments.figures import FIGURES, base_spec
+from repro.experiments.grid import GridCell, grid_table, run_grid
+from repro.experiments.report import collect_results, render_report
+from repro.experiments.reproduction import (
+    FigureVerdict,
+    ReproductionReport,
+    reproduce,
+)
+from repro.experiments.render import format_value, render_chart, render_table
+from repro.experiments.runner import AlgorithmOutcome, SpecOutcome, draw_skills, run_spec
+from repro.experiments.spec import DEFAULT_ALGORITHMS, ExperimentSpec
+from repro.experiments.sweep import SWEEPABLE, sweep, sweep_outcomes
+from repro.experiments.tables import comparison_table
+
+__all__ = [
+    "FIGURES",
+    "base_spec",
+    "GridCell",
+    "grid_table",
+    "run_grid",
+    "collect_results",
+    "render_report",
+    "FigureVerdict",
+    "ReproductionReport",
+    "reproduce",
+    "format_value",
+    "render_chart",
+    "render_table",
+    "AlgorithmOutcome",
+    "SpecOutcome",
+    "draw_skills",
+    "run_spec",
+    "DEFAULT_ALGORITHMS",
+    "ExperimentSpec",
+    "SWEEPABLE",
+    "sweep",
+    "sweep_outcomes",
+    "comparison_table",
+]

@@ -1,0 +1,99 @@
+"""Text rendering of experiment results: aligned tables and ASCII charts.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output readable in a terminal and diffable in logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics.series import Series, SeriesSet
+
+__all__ = ["render_table", "render_chart", "render_history", "format_value"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def format_value(value: float, *, digits: int = 6) -> str:
+    """Compact numeric formatting: fixed for small, scientific for huge."""
+    if value == 0.0:
+        return "0"
+    magnitude = abs(value)
+    if 1e-4 <= magnitude < 1e7:
+        return f"{value:.{digits}g}"
+    return f"{value:.{max(digits - 2, 1)}e}"
+
+
+def render_table(series_set: SeriesSet, *, digits: int = 6) -> str:
+    """Render a :class:`SeriesSet` as an aligned text table.
+
+    The first column is the x-grid; one column per series follows.
+    """
+    header = [series_set.x_label] + list(series_set.labels())
+    rows: list[list[str]] = [header]
+    for i, x in enumerate(series_set.x):
+        row = [format_value(x, digits=digits)]
+        row.extend(format_value(s.y[i], digits=digits) for s in series_set.series)
+        rows.append(row)
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    lines = [series_set.title, "=" * len(series_set.title)]
+    for r, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(header))))
+    lines.append(f"(y = {series_set.y_label})")
+    return "\n".join(lines)
+
+
+def render_history(result, *, metric: str = "mean") -> str:
+    """One-line sparkline of a simulation's per-round skill trajectory.
+
+    Args:
+        result: a :class:`~repro.core.simulation.SimulationResult` created
+            with ``record_history=True``.
+        metric: ``"mean"``, ``"min"``, or ``"variance"`` of the skills per
+            round.
+
+    Raises:
+        ValueError: if the result has no history or the metric is unknown.
+    """
+    history = result.skill_history
+    if history is None:
+        raise ValueError("result has no skill history (record_history=True needed)")
+    if metric == "mean":
+        values = history.mean(axis=1)
+    elif metric == "min":
+        values = history.min(axis=1)
+    elif metric == "variance":
+        values = history.var(axis=1)
+    else:
+        raise ValueError(f"metric must be 'mean', 'min' or 'variance', got {metric!r}")
+    low = float(values.min())
+    high = float(values.max())
+    span = high - low
+    if span == 0.0:
+        bars = _SPARK_LEVELS[-1] * len(values)
+    else:
+        indices = ((values - low) / span * (len(_SPARK_LEVELS) - 1)).round().astype(int)
+        bars = "".join(_SPARK_LEVELS[i] for i in indices)
+    return f"{metric} [{bars}] {format_value(low)} -> {format_value(high)}"
+
+
+def render_chart(series: Series, *, width: int = 50, log_x: bool = False) -> str:
+    """Render one series as a horizontal ASCII bar chart.
+
+    Bars are scaled to the series maximum; useful for eyeballing shapes
+    (monotonicity, crossovers) straight from a bench log.
+    """
+    if width < 10:
+        raise ValueError(f"width must be at least 10, got {width}")
+    peak = max(abs(v) for v in series.y)
+    lines = [f"{series.label}"]
+    for x, y in series:
+        bar_len = 0 if peak == 0 else int(round(width * abs(y) / peak))
+        x_text = f"{x:.3g}"
+        if log_x and x > 0:
+            x_text = f"10^{math.log10(x):.2g}" if x >= 10 else x_text
+        lines.append(f"  {x_text:>8}  {'#' * bar_len}{' ' * (width - bar_len)} {format_value(y)}")
+    return "\n".join(lines)

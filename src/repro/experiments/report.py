@@ -1,0 +1,49 @@
+"""Collect archived benchmark results into one report.
+
+Every bench in ``benchmarks/`` archives its printed series under
+``benchmarks/results/<name>.txt``.  :func:`collect_results` gathers them
+(ordered to follow the paper's figure numbering) and renders a single
+report — the machine-generated companion to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["collect_results", "render_report", "DEFAULT_RESULTS_DIR"]
+
+#: Where the benches archive their output, relative to the repo root.
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def collect_results(results_dir: "str | Path | None" = None) -> dict[str, str]:
+    """Read every archived result, keyed by its bench name.
+
+    Returns an empty mapping when the directory does not exist (no
+    benches have run yet).
+    """
+    directory = Path(results_dir) if results_dir is not None else DEFAULT_RESULTS_DIR
+    if not directory.is_dir():
+        return {}
+    results = {}
+    for path in sorted(directory.glob("*.txt")):
+        results[path.stem] = path.read_text().rstrip("\n")
+    return results
+
+
+def render_report(results_dir: "str | Path | None" = None) -> str:
+    """Render all archived results as one sectioned text report."""
+    results = collect_results(results_dir)
+    if not results:
+        return (
+            "No archived benchmark results found.\n"
+            "Run `pytest benchmarks/ --benchmark-only` first."
+        )
+    sections = [f"Benchmark report — {len(results)} experiments\n"]
+    for name, body in results.items():
+        sections.append("=" * 72)
+        sections.append(f"[{name}]")
+        sections.append("=" * 72)
+        sections.append(body)
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,133 @@
+"""One-call reproduction: run every figure and grade the paper's claims.
+
+:func:`reproduce` executes the figure builders (bench-sized by default),
+evaluates the corresponding shape claims from :mod:`repro.claims`, and
+returns a :class:`ReproductionReport` — the programmatic equivalent of
+running the benchmark harness, for users who want the verdicts inside a
+Python session (or a CI job) rather than a pytest run.
+
+The synthetic-figure claims graded here:
+
+* Figures 5/7/8/9 — gain monotone in n / α / r, DyGroups wins;
+* Figure 6 — gain monotone decreasing in k, DyGroups wins;
+* Figure 10(a) — DyGroups-Star/random ratio > 1 at small α, decaying.
+
+The human-experiment and inequality figures need richer data than a
+single :class:`~repro.metrics.series.SeriesSet`; they are covered by the
+benches (see docs/benchmarks.md) and excluded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.claims import ClaimCheck, monotone_trend, observation_2_dygroups_wins
+from repro.experiments import figures as figure_builders
+from repro.metrics.series import SeriesSet
+
+__all__ = ["FigureVerdict", "ReproductionReport", "reproduce", "SYNTHETIC_FIGURES"]
+
+#: Figure id -> (builder name, trend direction for the dygroups series).
+SYNTHETIC_FIGURES: dict[str, tuple[str, str]] = {
+    "fig05a": ("fig05a", "increasing"),
+    "fig05b": ("fig05b", "increasing"),
+    "fig06a": ("fig06a", "decreasing"),
+    "fig06b": ("fig06b", "decreasing"),
+    "fig07a": ("fig07a", "increasing"),
+    "fig07b": ("fig07b", "increasing"),
+    "fig08a": ("fig08a", "increasing"),
+    "fig08b": ("fig08b", "increasing"),
+    "fig09a": ("fig09a", "increasing"),
+    "fig09b": ("fig09b", "increasing"),
+}
+
+
+@dataclass(frozen=True)
+class FigureVerdict:
+    """One figure's reproduction outcome.
+
+    Attributes:
+        figure: figure id (e.g. ``"fig05a"``).
+        checks: the claim checks evaluated on the regenerated series.
+        series: the regenerated data.
+    """
+
+    figure: str
+    checks: tuple[ClaimCheck, ...]
+    series: SeriesSet
+
+    @property
+    def holds(self) -> bool:
+        """Whether every claim for this figure passed."""
+        return all(check.holds for check in self.checks)
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """All figure verdicts from one :func:`reproduce` run."""
+
+    verdicts: tuple[FigureVerdict, ...]
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every figure reproduced."""
+        return all(v.holds for v in self.verdicts)
+
+    def summary(self) -> str:
+        """Human-readable per-figure PASS/FAIL summary."""
+        lines = ["Reproduction report", "==================="]
+        for verdict in self.verdicts:
+            lines.append(f"{'PASS' if verdict.holds else 'FAIL'}  {verdict.figure}")
+            for check in verdict.checks:
+                lines.append(f"      {check}")
+        lines.append("")
+        lines.append(
+            "ALL FIGURES REPRODUCED" if self.all_hold else "SOME FIGURES DID NOT REPRODUCE"
+        )
+        return "\n".join(lines)
+
+
+def _grade(figure: str, direction: str, series_set: SeriesSet) -> FigureVerdict:
+    dygroups = series_set.get("dygroups")
+    checks = [
+        monotone_trend(
+            series_set.x,
+            dygroups.y,
+            direction=direction,
+            claim=f"{figure}: gain {direction} in {series_set.x_label}",
+        ),
+        observation_2_dygroups_wins(
+            {label: series_set.get(label).y[-1] for label in series_set.labels()},
+            tie_tolerance=0.0,
+        ),
+    ]
+    return FigureVerdict(figure=figure, checks=tuple(checks), series=series_set)
+
+
+def reproduce(
+    *,
+    full: bool = False,
+    runs: int | None = None,
+    builders: Mapping[str, Callable[..., SeriesSet]] | None = None,
+) -> ReproductionReport:
+    """Regenerate the synthetic effectiveness figures and grade them.
+
+    Args:
+        full: use the paper-sized grids (slow).
+        runs: override the number of averaged runs per grid point.
+        builders: override the figure builders (dependency injection for
+            tests); maps builder name to a callable with the standard
+            ``(full=..., runs=...)`` signature.
+
+    Bench-sized, this takes minutes; ``full=True`` takes hours.
+    """
+    verdicts = []
+    for figure, (builder_name, direction) in SYNTHETIC_FIGURES.items():
+        if builders is not None:
+            builder = builders[builder_name]
+        else:
+            builder = getattr(figure_builders, builder_name)
+        series_set = builder(full=full, runs=runs)
+        verdicts.append(_grade(figure, direction, series_set))
+    return ReproductionReport(verdicts=tuple(verdicts))

@@ -1,0 +1,124 @@
+"""Experiment runner: execute a spec for every algorithm, average over runs.
+
+The runner owns seeding discipline: run ``i`` of a spec derives all of its
+randomness (skill draw + policy randomness) from ``spec.seed + i``, and
+every algorithm sees the *same* initial skills in run ``i`` — a paired
+design that removes skill-draw variance from algorithm comparisons, as in
+the paper's matched-population protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.registry import make_policy
+from repro.core.simulation import SimulationResult, simulate
+from repro.data.distributions import get_distribution
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["AlgorithmOutcome", "SpecOutcome", "run_spec", "draw_skills"]
+
+
+@dataclass(frozen=True)
+class AlgorithmOutcome:
+    """Averaged results for one algorithm under one spec.
+
+    Attributes:
+        name: algorithm name.
+        mean_total_gain: total gain averaged over runs.
+        std_total_gain: sample standard deviation over runs (0 if 1 run).
+        mean_round_gains: per-round gains averaged over runs (length α).
+        mean_runtime_seconds: wall-clock seconds per run, averaged.
+    """
+
+    name: str
+    mean_total_gain: float
+    std_total_gain: float
+    mean_round_gains: tuple[float, ...]
+    mean_runtime_seconds: float
+
+
+@dataclass(frozen=True)
+class SpecOutcome:
+    """All algorithms' averaged results for one spec."""
+
+    spec: ExperimentSpec
+    outcomes: dict[str, AlgorithmOutcome]
+
+    def gain_of(self, name: str) -> float:
+        """Mean total gain of the named algorithm."""
+        return self.outcomes[name].mean_total_gain
+
+    def ranking(self) -> list[str]:
+        """Algorithm names sorted by mean total gain, best first."""
+        return sorted(self.outcomes, key=lambda a: self.outcomes[a].mean_total_gain, reverse=True)
+
+
+def draw_skills(spec: ExperimentSpec, run_index: int) -> np.ndarray:
+    """The initial skill array of run ``run_index`` of ``spec``."""
+    generate = get_distribution(spec.distribution)
+    return generate(spec.n, seed=spec.seed + run_index)
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    *,
+    keep_results: bool = False,
+) -> SpecOutcome | tuple[SpecOutcome, dict[str, list[SimulationResult]]]:
+    """Run every algorithm of ``spec`` for ``spec.runs`` repetitions.
+
+    Args:
+        spec: the experiment configuration.
+        keep_results: also return the raw per-run
+            :class:`SimulationResult` lists (memory-heavy for large n).
+
+    Returns:
+        The averaged :class:`SpecOutcome`; with ``keep_results=True``, a
+        ``(outcome, results_by_algorithm)`` tuple.
+    """
+    totals: dict[str, list[float]] = {name: [] for name in spec.algorithms}
+    rounds: dict[str, list[np.ndarray]] = {name: [] for name in spec.algorithms}
+    runtimes: dict[str, list[float]] = {name: [] for name in spec.algorithms}
+    raw: dict[str, list[SimulationResult]] = {name: [] for name in spec.algorithms}
+
+    for run_index in range(spec.runs):
+        skills = draw_skills(spec, run_index)
+        for name in spec.algorithms:
+            policy = make_policy(
+                name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
+            )
+            started = time.perf_counter()
+            result = simulate(
+                policy,
+                skills,
+                k=spec.k,
+                alpha=spec.alpha,
+                mode=spec.mode,
+                rate=spec.rate,
+                seed=spec.seed + run_index,
+                record_groupings=False,
+            )
+            elapsed = time.perf_counter() - started
+            totals[name].append(result.total_gain)
+            rounds[name].append(result.round_gains)
+            runtimes[name].append(elapsed)
+            if keep_results:
+                raw[name].append(result)
+
+    outcomes = {
+        name: AlgorithmOutcome(
+            name=name,
+            mean_total_gain=float(np.mean(totals[name])),
+            std_total_gain=float(np.std(totals[name], ddof=1)) if spec.runs > 1 else 0.0,
+            mean_round_gains=tuple(np.mean(np.vstack(rounds[name]), axis=0)),
+            mean_runtime_seconds=float(np.mean(runtimes[name])),
+        )
+        for name in spec.algorithms
+    }
+    outcome = SpecOutcome(spec=spec, outcomes=outcomes)
+    if keep_results:
+        return outcome, raw
+    return outcome

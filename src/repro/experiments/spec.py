@@ -1,0 +1,82 @@
+"""Experiment specifications.
+
+An :class:`ExperimentSpec` captures one synthetic-data configuration from
+Section V-B: population size, groups, rounds, learning rate, interaction
+mode, initial-skill distribution, the algorithms to compare, and how many
+independent runs to average ("In experiments involving randomness, we
+average over 10 different runs").
+
+The paper's default parameters (Section V-B2) are the dataclass defaults:
+``k = 5``, ``n = 10000``, ``r = 0.5``, ``α = 5``, star mode, log-normal
+initial skills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro._validation import (
+    require_divisible_groups,
+    require_learning_rate,
+    require_positive_int,
+)
+from repro.baselines.registry import POLICY_NAMES
+from repro.core.interactions import get_mode
+from repro.data.distributions import DISTRIBUTIONS
+
+__all__ = ["ExperimentSpec", "DEFAULT_ALGORITHMS"]
+
+#: The algorithm line-up of the paper's effectiveness figures.
+DEFAULT_ALGORITHMS: tuple[str, ...] = ("dygroups", "random", "percentile", "lpa", "kmeans")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One synthetic-data experiment configuration.
+
+    Attributes:
+        n: number of participants.
+        k: number of groups per round.
+        alpha: number of rounds.
+        rate: linear learning rate ``r``.
+        mode: interaction mode name.
+        distribution: initial-skill distribution name (see
+            :data:`repro.data.distributions.DISTRIBUTIONS`).
+        algorithms: policy names to compare.
+        runs: independent repetitions to average over.
+        seed: base seed; run ``i`` uses ``seed + i``.
+        lpa_max_evals: optional LPA evaluation budget override (the
+            pure-Python LPA is the costliest baseline; benches cap it).
+    """
+
+    n: int = 10_000
+    k: int = 5
+    alpha: int = 5
+    rate: float = 0.5
+    mode: str = "star"
+    distribution: str = "lognormal"
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS
+    runs: int = 10
+    seed: int = 7
+    lpa_max_evals: int | None = None
+
+    def __post_init__(self) -> None:
+        require_divisible_groups(self.n, self.k)
+        require_positive_int(self.alpha, name="alpha")
+        require_learning_rate(self.rate, name="rate")
+        require_positive_int(self.runs, name="runs")
+        get_mode(self.mode)
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; expected one of {sorted(DISTRIBUTIONS)}"
+            )
+        if not self.algorithms:
+            raise ValueError("algorithms must be non-empty")
+        unknown = [a for a in self.algorithms if a not in POLICY_NAMES]
+        if unknown:
+            raise ValueError(f"unknown algorithms {unknown}; expected names from {POLICY_NAMES}")
+
+    def with_(self, **overrides: Any) -> "ExperimentSpec":
+        """A copy of this spec with fields replaced (validated again)."""
+        return replace(self, **overrides)

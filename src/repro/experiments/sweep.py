@@ -1,0 +1,71 @@
+"""Parameter sweeps: run a spec across a grid of one parameter.
+
+A sweep is the building block of every effectiveness figure (Figures
+5–9): fix the defaults, vary one of ``n``, ``k``, ``α`` or ``r``, and
+record each algorithm's mean total gain per grid point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import SpecOutcome, run_spec
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics.series import Series, SeriesSet
+
+__all__ = ["sweep", "sweep_outcomes", "SWEEPABLE"]
+
+#: Spec fields a sweep may vary.
+SWEEPABLE: tuple[str, ...] = ("n", "k", "alpha", "rate")
+
+
+def sweep_outcomes(
+    spec: ExperimentSpec, parameter: str, values: Sequence[float]
+) -> list[SpecOutcome]:
+    """Run ``spec`` once per value of ``parameter`` and return raw outcomes.
+
+    Raises:
+        ValueError: for an unsweepable parameter or an empty grid.
+    """
+    if parameter not in SWEEPABLE:
+        raise ValueError(f"parameter must be one of {SWEEPABLE}, got {parameter!r}")
+    if not values:
+        raise ValueError("values must be non-empty")
+    outcomes = []
+    for value in values:
+        cast = float(value) if parameter == "rate" else int(value)
+        outcomes.append(run_spec(spec.with_(**{parameter: cast})))
+    return outcomes
+
+
+def sweep(
+    spec: ExperimentSpec,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    title: str,
+    y_label: str = "aggregate learning gain",
+    metric: str = "gain",
+) -> SeriesSet:
+    """Run the sweep and package it as a figure-ready :class:`SeriesSet`.
+
+    Args:
+        spec: the base configuration.
+        parameter: one of :data:`SWEEPABLE`.
+        values: the grid.
+        title: figure title.
+        y_label: y-axis label.
+        metric: ``"gain"`` (mean total gain) or ``"runtime"``
+            (mean wall-clock seconds per run — the Figure 12/13 metric).
+    """
+    if metric not in ("gain", "runtime"):
+        raise ValueError(f"metric must be 'gain' or 'runtime', got {metric!r}")
+    outcomes = sweep_outcomes(spec, parameter, values)
+    series = []
+    for name in spec.algorithms:
+        ys = []
+        for outcome in outcomes:
+            algo = outcome.outcomes[name]
+            ys.append(algo.mean_total_gain if metric == "gain" else algo.mean_runtime_seconds)
+        series.append(Series(label=name, x=tuple(float(v) for v in values), y=tuple(ys)))
+    return SeriesSet(title=title, x_label=parameter, y_label=y_label, series=tuple(series))

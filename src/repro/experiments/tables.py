@@ -1,0 +1,40 @@
+"""Tabular rendering of spec outcomes (algorithm comparison tables)."""
+
+from __future__ import annotations
+
+from repro.experiments.render import format_value
+from repro.experiments.runner import SpecOutcome
+
+__all__ = ["comparison_table"]
+
+
+def comparison_table(outcome: SpecOutcome, *, digits: int = 6) -> str:
+    """Render one spec's algorithm comparison as an aligned text table.
+
+    Columns: algorithm, mean total gain (± std when runs > 1), mean
+    per-run wall-clock seconds.  Rows are sorted best-first.
+    """
+    spec = outcome.spec
+    header = ["algorithm", "mean total gain", "std", "runtime (s)"]
+    rows = [header]
+    for name in outcome.ranking():
+        algo = outcome.outcomes[name]
+        rows.append(
+            [
+                name,
+                format_value(algo.mean_total_gain, digits=digits),
+                format_value(algo.std_total_gain, digits=3),
+                format_value(algo.mean_runtime_seconds, digits=3),
+            ]
+        )
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    title = (
+        f"n={spec.n} k={spec.k} alpha={spec.alpha} r={spec.rate} "
+        f"mode={spec.mode} dist={spec.distribution} runs={spec.runs}"
+    )
+    lines = [title, "=" * len(title)]
+    for r, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(header))))
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Extensions implementing the paper's Section VII future-work directions."""
+
+from repro.extensions.affinity import (
+    AffinityAwarePolicy,
+    AffinityState,
+    mean_within_group_affinity,
+)
+from repro.extensions.concave import CONCAVE_GAINS, LogGain, PowerGain, SqrtGain
+from repro.extensions.fairness import FairnessAwarePolicy, FairnessReport, fairness_report
+from repro.extensions.heterogeneous import (
+    HeterogeneousDyGroups,
+    HeterogeneousResult,
+    simulate_heterogeneous,
+    update_star_heterogeneous,
+    validate_rates,
+)
+from repro.extensions.retention_feedback import (
+    RetentionSimulationResult,
+    simulate_with_retention,
+)
+from repro.extensions.saturation import (
+    FullRateResult,
+    rounds_to_saturation_bound,
+    simulate_full_rate,
+)
+from repro.extensions.variable_groups import (
+    VariableGrouping,
+    VariableSimulationResult,
+    simulate_variable,
+    update_variable,
+    variable_clique_local,
+    variable_star_local,
+)
+
+__all__ = [
+    "AffinityAwarePolicy",
+    "AffinityState",
+    "mean_within_group_affinity",
+    "CONCAVE_GAINS",
+    "LogGain",
+    "PowerGain",
+    "SqrtGain",
+    "FairnessAwarePolicy",
+    "FairnessReport",
+    "fairness_report",
+    "HeterogeneousDyGroups",
+    "HeterogeneousResult",
+    "simulate_heterogeneous",
+    "update_star_heterogeneous",
+    "validate_rates",
+    "RetentionSimulationResult",
+    "simulate_with_retention",
+    "FullRateResult",
+    "rounds_to_saturation_bound",
+    "simulate_full_rate",
+    "VariableGrouping",
+    "VariableSimulationResult",
+    "simulate_variable",
+    "update_variable",
+    "variable_clique_local",
+    "variable_star_local",
+]

@@ -1,0 +1,205 @@
+"""Affinity-aware bi-criteria grouping (Section VII, "Alternative formulations").
+
+The paper sketches a future direction: "a time-evolving affinity among
+individuals [8] that impact learning … solve a bi-criteria optimization
+problem, with the goal of forming dynamic groups where both affinity and
+skill evolves across rounds."
+
+This module implements that sketch:
+
+* an :class:`AffinityState` — a symmetric pairwise-affinity matrix that
+  *evolves*: affinities of co-grouped pairs grow toward 1 by a relaxation
+  factor each round, others decay;
+* a bi-criteria objective ``(1 − λ)·LG(G) + λ·A(G)`` where ``A(G)`` is
+  the mean within-group affinity (both terms normalized to comparable
+  scale);
+* :class:`AffinityAwarePolicy` — seeds from DyGroups' grouping, then
+  hill-climbs member swaps on the bi-criteria objective.
+
+With ``λ = 0`` the policy reduces to (a local search around) DyGroups;
+with ``λ = 1`` it greedily keeps friends together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    require_divisible_groups,
+    require_learning_rate,
+    require_positive_int,
+    require_probability,
+)
+from repro.baselines._round_gain import group_gain_sorted
+from repro.core.grouping import Grouping
+from repro.core.interactions import get_mode
+from repro.core.local import dygroups_clique_local, dygroups_star_local
+from repro.core.simulation import GroupingPolicy
+
+__all__ = ["AffinityState", "AffinityAwarePolicy", "mean_within_group_affinity"]
+
+
+class AffinityState:
+    """A symmetric, evolving pairwise-affinity matrix in [0, 1].
+
+    Args:
+        n: number of participants.
+        initial: starting affinity for every pair (default 0.1 — mostly
+            strangers).
+        growth: relaxation factor toward 1 for co-grouped pairs.
+        decay: multiplicative decay for separated pairs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        initial: float = 0.1,
+        growth: float = 0.3,
+        decay: float = 0.95,
+    ) -> None:
+        n = require_positive_int(n, name="n")
+        initial = require_probability(initial, name="initial")
+        self._growth = require_probability(growth, name="growth")
+        self._decay = require_probability(decay, name="decay")
+        self._matrix = np.full((n, n), initial, dtype=np.float64)
+        np.fill_diagonal(self._matrix, 0.0)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The current affinity matrix (copy)."""
+        return self._matrix.copy()
+
+    @property
+    def n(self) -> int:
+        """Number of participants."""
+        return self._matrix.shape[0]
+
+    def affinity(self, i: int, j: int) -> float:
+        """Current affinity of the pair ``(i, j)``."""
+        return float(self._matrix[i, j])
+
+    def evolve(self, grouping: Grouping) -> None:
+        """Advance one round: co-grouped pairs bond, others drift apart."""
+        if grouping.n != self.n:
+            raise ValueError(f"grouping covers {grouping.n} members, expected {self.n}")
+        together = np.zeros_like(self._matrix, dtype=bool)
+        for group in grouping:
+            idx = group.indices()
+            together[np.ix_(idx, idx)] = True
+        np.fill_diagonal(together, False)
+        grown = self._matrix + self._growth * (1.0 - self._matrix)
+        decayed = self._matrix * self._decay
+        self._matrix = np.where(together, grown, decayed)
+        np.fill_diagonal(self._matrix, 0.0)
+
+
+def mean_within_group_affinity(grouping: Grouping, affinity: np.ndarray) -> float:
+    """Mean pairwise affinity over all within-group pairs of a grouping."""
+    total = 0.0
+    pairs = 0
+    for group in grouping:
+        idx = group.indices()
+        size = len(idx)
+        if size < 2:
+            continue
+        block = affinity[np.ix_(idx, idx)]
+        total += float(block.sum()) / 2.0
+        pairs += size * (size - 1) // 2
+    if pairs == 0:
+        raise ValueError("grouping has no within-group pairs")
+    return total / pairs
+
+
+class AffinityAwarePolicy(GroupingPolicy):
+    """Bi-criteria grouping: trade off learning gain against affinity.
+
+    Args:
+        state: the evolving affinity state (shared across rounds; the
+            policy advances it after each proposal).
+        mode: interaction mode for gain scoring.
+        rate: linear learning rate for gain scoring.
+        weight: λ ∈ [0, 1]; 0 = pure learning gain, 1 = pure affinity.
+        sweeps: swap-improvement passes over the population per round.
+    """
+
+    name = "affinity-aware"
+
+    def __init__(
+        self,
+        state: AffinityState,
+        *,
+        mode: str = "star",
+        rate: float = 0.5,
+        weight: float = 0.3,
+        sweeps: int = 2,
+    ) -> None:
+        self._state = state
+        self._mode_name = get_mode(mode).name
+        self._rate = require_learning_rate(rate)
+        self._weight = require_probability(weight, name="weight")
+        self._sweeps = require_positive_int(sweeps, name="sweeps")
+        self._previous: Grouping | None = None
+
+    def reset(self) -> None:
+        self._previous = None
+
+    @property
+    def required_mode(self) -> str:
+        """The interaction mode the internal gain scoring assumes."""
+        return self._mode_name
+
+    def _objective(self, groups: list[np.ndarray], skills: np.ndarray) -> float:
+        gain_total = 0.0
+        for members in groups:
+            values = np.sort(skills[members])[::-1]
+            gain_total += group_gain_sorted(values, self._rate, self._mode_name)
+        # Normalize gain by its DyGroups upper-bound scale so both terms
+        # live on comparable [0, 1]-ish scales.
+        scale = max(float(np.sum(skills.max() - skills)), 1e-12)
+        grouping = Grouping(groups)
+        affinity_term = mean_within_group_affinity(grouping, self._state._matrix)
+        return (1.0 - self._weight) * (gain_total / scale) + self._weight * affinity_term
+
+    def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+        skills = np.asarray(skills, dtype=np.float64)
+        n = len(skills)
+        size = require_divisible_groups(n, k)
+        seed_grouping = (
+            dygroups_star_local(skills, k)
+            if self._mode_name == "star"
+            else dygroups_clique_local(skills, k)
+        )
+        # Candidate starts: the gain-optimal grouping, and — once
+        # affinities exist — the previous round's grouping, which is the
+        # natural affinity maximizer (friends stay together).  The search
+        # refines whichever scores best on the bi-criteria objective.
+        candidates = [seed_grouping]
+        if self._previous is not None and self._previous.n == n and self._previous.k == k:
+            candidates.append(self._previous)
+        scored = [
+            ([g.indices().copy() for g in candidate], candidate) for candidate in candidates
+        ]
+        groups, _ = max(scored, key=lambda pair: self._objective(pair[0], skills))
+        best = self._objective(groups, skills)
+
+        for _ in range(self._sweeps):
+            improved = False
+            for _ in range(n):
+                g1, g2 = rng.choice(k, size=2, replace=False)
+                p1 = int(rng.integers(size))
+                p2 = int(rng.integers(size))
+                groups[g1][p1], groups[g2][p2] = groups[g2][p2], groups[g1][p1]
+                candidate = self._objective(groups, skills)
+                if candidate > best + 1e-12:
+                    best = candidate
+                    improved = True
+                else:
+                    groups[g1][p1], groups[g2][p2] = groups[g2][p2], groups[g1][p1]
+            if not improved:
+                break
+
+        grouping = Grouping(groups)
+        self._state.evolve(grouping)
+        self._previous = grouping
+        return grouping

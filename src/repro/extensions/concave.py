@@ -1,0 +1,114 @@
+"""Concave learning-gain functions (Section VII, "Other learning gain functions").
+
+The paper notes that DyGroups can be *adapted* to any concave learning
+gain, but that for non-linear concave functions the greedy algorithm is
+no longer optimal.  This module provides a family of well-behaved concave
+gain functions and exposes them through the standard
+:class:`~repro.core.gain_functions.GainFunction` interface, so every
+algorithm, simulation, and benchmark runs unchanged on top of them (the
+clique update automatically falls back to the exact pairwise computation).
+
+All members satisfy the model's sanity conditions for any rate
+``r ∈ (0, 1)``:
+
+* ``f(0) = 0``;
+* ``f`` is concave and strictly increasing;
+* ``f(Δ) ≤ r·Δ ≤ Δ`` — a learner never overtakes its teacher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_learning_rate
+from repro.core.gain_functions import ArrayLike, GainFunction
+
+__all__ = ["LogGain", "SqrtGain", "PowerGain", "CONCAVE_GAINS"]
+
+
+class _ConcaveGain(GainFunction):
+    """Shared plumbing for the concave family."""
+
+    __slots__ = ("_rate",)
+
+    def __init__(self, rate: float) -> None:
+        self._rate = require_learning_rate(rate)
+
+    @property
+    def rate(self) -> float:
+        """The learning-rate scale ``r``."""
+        return self._rate
+
+    @property
+    def is_linear(self) -> bool:
+        return False
+
+    def _transform(self, delta: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, delta: ArrayLike) -> ArrayLike:
+        delta = np.asarray(delta, dtype=np.float64)
+        if np.any(delta < 0.0):
+            raise ValueError("skill difference delta must be non-negative")
+        result = self._rate * self._transform(delta)
+        return float(result) if result.ndim == 0 else result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rate={self._rate})"
+
+
+class LogGain(_ConcaveGain):
+    """``f(Δ) = r·ln(1 + Δ)`` — logarithmic saturation.
+
+    ``ln(1 + Δ) ≤ Δ`` for all ``Δ ≥ 0``, so learners never overtake.
+    """
+
+    def _transform(self, delta: np.ndarray) -> np.ndarray:
+        return np.log1p(delta)
+
+
+class SqrtGain(_ConcaveGain):
+    """``f(Δ) = 2r·(√(1 + Δ) − 1)`` — square-root saturation.
+
+    The factor 2 normalizes the derivative at 0 to ``r``, matching the
+    linear gain for small skill gaps; ``2(√(1+Δ) − 1) ≤ Δ`` always.
+    """
+
+    def _transform(self, delta: np.ndarray) -> np.ndarray:
+        return 2.0 * (np.sqrt(1.0 + delta) - 1.0)
+
+
+class PowerGain(_ConcaveGain):
+    """``f(Δ) = r·((1 + Δ)^γ − 1)/γ`` with exponent ``γ ∈ (0, 1)``.
+
+    A one-parameter concave family interpolating between the logarithmic
+    (``γ → 0``) and linear (``γ → 1``) behaviours; the derivative at 0 is
+    ``r`` for every ``γ``.
+    """
+
+    __slots__ = ("_gamma",)
+
+    def __init__(self, rate: float, gamma: float = 0.5) -> None:
+        super().__init__(rate)
+        if not 0.0 < gamma < 1.0:
+            raise ValueError(f"gamma must lie in (0, 1), got {gamma}")
+        self._gamma = float(gamma)
+
+    @property
+    def gamma(self) -> float:
+        """The concavity exponent γ."""
+        return self._gamma
+
+    def _transform(self, delta: np.ndarray) -> np.ndarray:
+        return ((1.0 + delta) ** self._gamma - 1.0) / self._gamma
+
+    def __repr__(self) -> str:
+        return f"PowerGain(rate={self._rate}, gamma={self._gamma})"
+
+
+#: Named constructors for the CLI / ablation benches.
+CONCAVE_GAINS = {
+    "log": LogGain,
+    "sqrt": SqrtGain,
+    "power": PowerGain,
+}

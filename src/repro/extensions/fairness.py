@@ -1,0 +1,96 @@
+"""Fairness-aware grouping (Section VII, "Fairness").
+
+Section V-B5 observes that DyGroups *increases* inequality relative to
+random grouping (the variance tie-break deliberately keeps strong
+teachers strong).  The paper flags bi-criteria optimization of fairness
+and learning gain as "an extremely interesting theoretical and practical
+issue"; this module provides the natural first instrument:
+
+* :class:`FairnessAwarePolicy` — a star-round-optimal grouping (so the
+  round's learning gain is untouched, by Theorem 1) that assigns the
+  *weakest* learners to the *best* teachers.  Among all round-optimal
+  groupings this is the variance-**minimizing** one — the exact mirror of
+  DyGroups' tie-break, trading future-round gain for equity;
+* :func:`fairness_report` — gain + inequality metrics for a result, the
+  basis of the extended fairness ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import require_divisible_groups
+from repro.core.grouping import Grouping
+from repro.core.simulation import GroupingPolicy, SimulationResult
+from repro.core.skills import descending_order
+from repro.metrics.inequality import atkinson, coefficient_of_variation, gini, theil
+
+__all__ = ["FairnessAwarePolicy", "FairnessReport", "fairness_report"]
+
+
+class FairnessAwarePolicy(GroupingPolicy):
+    """Round-optimal star grouping that pairs best teachers with weakest learners.
+
+    Teachers are the top-``k`` skills (preserving the round's maximal
+    learning gain under Star mode); the remaining members are assigned in
+    *ascending* blocks, so group 1 — led by the best teacher — receives
+    the weakest learners.  This minimizes post-round variance among
+    round-optimal groupings.
+    """
+
+    name = "fair-star"
+
+    def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+        n = len(skills)
+        size = require_divisible_groups(n, k)
+        order = descending_order(skills)
+        teachers = order[:k]
+        ascending_rest = order[k:][::-1]
+        per_group = size - 1
+        return Grouping(
+            np.concatenate(([teachers[i]], ascending_rest[i * per_group : (i + 1) * per_group]))
+            for i in range(k)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FairnessReport:
+    """Gain and inequality profile of one simulation result.
+
+    Attributes:
+        policy_name: which policy produced the trajectory.
+        total_gain: the TDG objective value.
+        cv: final coefficient of variation.
+        gini: final Gini coefficient.
+        theil: final Theil T index.
+        atkinson: final Atkinson index (ε = 0.5).
+        bottom_decile_gain: mean skill gain of the initially weakest 10%
+            of participants — the equity-of-outcome view.
+    """
+
+    policy_name: str
+    total_gain: float
+    cv: float
+    gini: float
+    theil: float
+    atkinson: float
+    bottom_decile_gain: float
+
+
+def fairness_report(result: SimulationResult) -> FairnessReport:
+    """Compute the fairness profile of a finished simulation."""
+    initial = result.initial_skills
+    final = result.final_skills
+    decile = max(1, len(initial) // 10)
+    weakest = np.argsort(initial, kind="stable")[:decile]
+    return FairnessReport(
+        policy_name=result.policy_name,
+        total_gain=result.total_gain,
+        cv=coefficient_of_variation(final),
+        gini=gini(final),
+        theil=theil(final),
+        atkinson=atkinson(final),
+        bottom_decile_gain=float(np.mean(final[weakest] - initial[weakest])),
+    )

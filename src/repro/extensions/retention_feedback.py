@@ -1,0 +1,146 @@
+"""Retention feedback: dropouts change who is left to learn (Section VII).
+
+Observation III notes DyGroups' higher worker retention and the paper
+asks about "the impact of retention on the aggregate learning gain.  A
+faster overall learning gain may [yield] higher satisfaction among
+participants, and thus create a positive feedback loop."
+
+This module closes that loop in the synthetic setting: after each round,
+every participant independently stays with a gain-dependent probability
+(the :class:`~repro.amt.retention.RetentionModel`); dropped participants
+stop learning *and stop teaching*.  Because strong teachers who learned
+nothing this round are the likeliest to leave, policies that spread
+learning widely retain their teaching capital — a dynamic invisible to
+the fixed-population model.
+
+The welfare measure is the aggregate gain over the *original* cohort
+(dropouts keep their last skill), so retention differences translate
+directly into welfare differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import (
+    as_skill_array,
+    require_learning_rate,
+    require_positive_int,
+)
+from repro.amt.retention import RetentionModel
+from repro.core.gain_functions import LinearGain
+from repro.core.interactions import get_mode
+from repro.core.simulation import GroupingPolicy
+
+__all__ = ["RetentionSimulationResult", "simulate_with_retention"]
+
+
+@dataclass(frozen=True)
+class RetentionSimulationResult:
+    """Trajectory of a retention-feedback simulation.
+
+    Attributes:
+        policy_name: the grouping policy used.
+        round_gains: aggregate skill gain per round (length α).
+        retention: fraction of the original cohort active after each
+            round, starting at 1.0 (length α + 1).
+        final_skills: skills of the whole original cohort (dropouts keep
+            their last value).
+        rounds_played: rounds in which learning actually happened (a
+            round is skipped once fewer than ``2·k`` members remain).
+    """
+
+    policy_name: str
+    round_gains: tuple[float, ...]
+    retention: tuple[float, ...]
+    final_skills: np.ndarray
+    rounds_played: int
+
+    @property
+    def total_gain(self) -> float:
+        """Aggregate welfare gain over the original cohort."""
+        return float(sum(self.round_gains))
+
+    @property
+    def final_retention(self) -> float:
+        """Fraction of the cohort still active after the last round."""
+        return self.retention[-1]
+
+
+def simulate_with_retention(
+    policy: GroupingPolicy,
+    skills: np.ndarray,
+    *,
+    k: int,
+    alpha: int,
+    rate: float,
+    mode: str = "star",
+    retention: RetentionModel | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> RetentionSimulationResult:
+    """Run ``policy`` for α rounds over a population that can quit.
+
+    Each round groups only the active members (a random subset sits out
+    if their count is not divisible by ``k``); afterwards every active
+    member independently stays with probability given by the retention
+    model applied to its rate-normalized round gain.
+
+    Raises:
+        ValueError: for invalid parameters (as in
+            :func:`repro.core.simulation.simulate`).
+    """
+    array = as_skill_array(skills)
+    k = require_positive_int(k, name="k")
+    alpha = require_positive_int(alpha, name="alpha")
+    rate = require_learning_rate(rate)
+    if rng is not None and seed is not None:
+        raise ValueError("provide at most one of rng= or seed=")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    model = retention if retention is not None else RetentionModel()
+    mode_obj = get_mode(mode)
+    gain_fn = LinearGain(rate)
+
+    required = getattr(policy, "required_mode", None)
+    if required is not None and required != mode_obj.name:
+        raise ValueError(
+            f"policy {policy.name!r} optimizes for mode {required!r} but this run uses {mode_obj.name!r}"
+        )
+
+    policy.reset()
+    n = len(array)
+    current = array.copy()
+    active = np.ones(n, dtype=bool)
+    gains: list[float] = []
+    retention_curve = [1.0]
+    rounds_played = 0
+
+    for _ in range(alpha):
+        active_idx = np.flatnonzero(active)
+        participating = (len(active_idx) // k) * k
+        round_gain_per_member = np.zeros(n, dtype=np.float64)
+        if participating >= 2 * k:
+            chosen = generator.choice(active_idx, size=participating, replace=False)
+            sub_skills = current[chosen]
+            grouping = policy.propose(sub_skills, k, generator)
+            updated = mode_obj.update(sub_skills, grouping, gain_fn)
+            round_gain_per_member[chosen] = updated - sub_skills
+            current[chosen] = updated
+            rounds_played += 1
+        gains.append(float(round_gain_per_member.sum()))
+
+        # Retention draw over active members, driven by their own gain.
+        normalized = round_gain_per_member[active_idx] / rate
+        stays = model.sample_stays(normalized, generator)
+        active[active_idx] = stays
+        retention_curve.append(float(active.sum()) / n)
+
+    return RetentionSimulationResult(
+        policy_name=policy.name,
+        round_gains=tuple(gains),
+        retention=tuple(retention_curve),
+        final_skills=current,
+        rounds_played=rounds_played,
+    )

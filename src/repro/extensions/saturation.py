@@ -1,0 +1,93 @@
+"""The r = 1 special case: full learning per interaction (footnote 5).
+
+The paper omits ``r = 1`` from the main model ("the case r=1 is
+relatively straightforward") but uses it in the evaluation discussion:
+"In the special case of r = 1, by definition of the star mode, it takes
+``log_{n/k}(n)`` rounds to make everyone reach the highest skill value
+for DYGROUPS and LPA" (Section V-B2).
+
+With ``r = 1`` a star-mode learner jumps exactly to its teacher's skill,
+so each round every group collapses onto its maximum.  Under DyGroups the
+count of members holding the global maximum multiplies by the group size
+``t = n/k`` each round (the max-holders seed ``t·|holders|`` members),
+hence saturation after ``⌈log_t(n)⌉`` rounds.  This module implements the
+dynamics and the closed-form bound, both verified in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_skill_array, require_divisible_groups
+from repro.core.grouping import Grouping
+from repro.core.simulation import GroupingPolicy
+from repro.core.update import group_max
+
+__all__ = ["rounds_to_saturation_bound", "FullRateResult", "simulate_full_rate"]
+
+
+def rounds_to_saturation_bound(n: int, k: int) -> int:
+    """``⌈log_{n/k}(n)⌉`` — the paper's saturation-round bound for r = 1."""
+    size = require_divisible_groups(n, k)
+    if size < 2:
+        raise ValueError("group size must be at least 2")
+    return max(1, math.ceil(math.log(n) / math.log(size)))
+
+
+@dataclass(frozen=True)
+class FullRateResult:
+    """Outcome of an r = 1 star-mode simulation.
+
+    Attributes:
+        rounds_to_saturation: rounds until every member holds the global
+            maximum skill (``alpha_max`` if never reached).
+        saturated: whether full saturation was reached.
+        max_holder_counts: number of max-skill holders after each round
+            (index 0 = before round 1).
+    """
+
+    rounds_to_saturation: int
+    saturated: bool
+    max_holder_counts: tuple[int, ...]
+
+
+def simulate_full_rate(
+    policy: GroupingPolicy,
+    skills: np.ndarray,
+    *,
+    k: int,
+    alpha_max: int = 64,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> FullRateResult:
+    """Run star-mode dynamics with ``r = 1`` until saturation.
+
+    Every member of a group jumps to the group maximum each round.  Stops
+    as soon as all members hold the global maximum, or after
+    ``alpha_max`` rounds.
+    """
+    array = as_skill_array(skills)
+    require_divisible_groups(len(array), k)
+    if rng is not None and seed is not None:
+        raise ValueError("provide at most one of rng= or seed=")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+
+    policy.reset()
+    top = float(array.max())
+    current = array.copy()
+    counts = [int(np.sum(current >= top))]
+    rounds = 0
+    while counts[-1] < len(current) and rounds < alpha_max:
+        grouping: Grouping = policy.propose(current, k, generator)
+        current = group_max(current, grouping)[grouping.assignment]
+        counts.append(int(np.sum(current >= top)))
+        rounds += 1
+    saturated = counts[-1] == len(current)
+    return FullRateResult(
+        rounds_to_saturation=rounds,
+        saturated=saturated,
+        max_holder_counts=tuple(counts),
+    )

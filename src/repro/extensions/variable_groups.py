@@ -1,0 +1,190 @@
+"""Variable-size groups (Section VII, "Alternative formulations").
+
+The paper's formulation fixes equi-sized groups but notes that "DYGROUPS
+can be adapted for the case when groups have varying sizes".  This module
+is that adaptation: groupings are described by an explicit list of group
+*sizes* summing to ``n``, and the two local groupers generalize naturally:
+
+* star — the ``len(sizes)`` highest-skilled members become teachers; the
+  remaining members fill the groups in descending contiguous blocks
+  (group order follows the given size order);
+* clique — members are dealt round-robin over the groups, skipping groups
+  that have reached their capacity.
+
+Updates reuse the core engines via a small per-group dispatch, so the
+learning semantics are identical to the equi-sized case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import as_skill_array, require_learning_rate, require_positive_int
+from repro.core.gain_functions import GainFunction, LinearGain
+from repro.core.skills import descending_order
+
+__all__ = [
+    "VariableGrouping",
+    "variable_star_local",
+    "variable_clique_local",
+    "update_variable",
+    "simulate_variable",
+    "VariableSimulationResult",
+]
+
+
+@dataclass(frozen=True)
+class VariableGrouping:
+    """A partition of ``n`` participants into groups of given sizes.
+
+    Attributes:
+        groups: member-index arrays, one per group.
+    """
+
+    groups: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        members = np.concatenate(self.groups) if self.groups else np.array([], dtype=np.intp)
+        n = len(members)
+        if n == 0:
+            raise ValueError("a grouping must cover at least one participant")
+        if len(np.unique(members)) != n or members.min() != 0 or members.max() != n - 1:
+            raise ValueError("groups must exactly partition the indices 0..n-1")
+        if any(len(g) < 1 for g in self.groups):
+            raise ValueError("every group needs at least one member")
+
+    @property
+    def n(self) -> int:
+        """Total number of participants covered."""
+        return int(sum(len(g) for g in self.groups))
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Group sizes, in group order."""
+        return tuple(len(g) for g in self.groups)
+
+
+def _validate_sizes(n: int, sizes: Sequence[int]) -> list[int]:
+    sizes = [require_positive_int(s, name="size") for s in sizes]
+    if not sizes:
+        raise ValueError("sizes must be non-empty")
+    if sum(sizes) != n:
+        raise ValueError(f"sizes sum to {sum(sizes)}, expected n={n}")
+    return sizes
+
+
+def variable_star_local(skills: np.ndarray, sizes: Sequence[int]) -> VariableGrouping:
+    """Star-mode local grouping for variable group sizes (see module docs)."""
+    array = as_skill_array(skills)
+    size_list = _validate_sizes(len(array), sizes)
+    order = descending_order(array)
+    k = len(size_list)
+    teachers = order[:k]
+    rest = order[k:]
+    groups = []
+    cursor = 0
+    for gi, size in enumerate(size_list):
+        block = rest[cursor : cursor + size - 1]
+        cursor += size - 1
+        groups.append(np.concatenate(([teachers[gi]], block)).astype(np.intp))
+    return VariableGrouping(groups=tuple(groups))
+
+
+def variable_clique_local(skills: np.ndarray, sizes: Sequence[int]) -> VariableGrouping:
+    """Clique-mode local grouping: capacity-aware round-robin deal."""
+    array = as_skill_array(skills)
+    size_list = _validate_sizes(len(array), sizes)
+    order = descending_order(array)
+    k = len(size_list)
+    groups: list[list[int]] = [[] for _ in range(k)]
+    gi = 0
+    for member in order:
+        # Advance to the next group with spare capacity (cyclically).
+        for _ in range(k):
+            if len(groups[gi]) < size_list[gi]:
+                break
+            gi = (gi + 1) % k
+        groups[gi].append(int(member))
+        gi = (gi + 1) % k
+    return VariableGrouping(groups=tuple(np.array(g, dtype=np.intp) for g in groups))
+
+
+def update_variable(
+    skills: np.ndarray,
+    grouping: VariableGrouping,
+    gain: GainFunction,
+    mode: str,
+) -> np.ndarray:
+    """Post-round skills for a variable-size grouping.
+
+    Args:
+        mode: ``"star"`` or ``"clique"``.
+    """
+    array = np.asarray(skills, dtype=np.float64)
+    if grouping.n != len(array):
+        raise ValueError(f"grouping covers {grouping.n} members, skills has {len(array)}")
+    new = array.copy()
+    for members in grouping.groups:
+        values = array[members]
+        if mode == "star":
+            teacher = float(values.max())
+            new[members] = values + np.asarray(gain.directed_gain(teacher, values))
+        elif mode == "clique":
+            for local, s in enumerate(values):
+                teachers = values[values > s]
+                if teachers.size:
+                    total = float(np.sum(gain.directed_gain(teachers, float(s))))
+                    new[members[local]] = s + total / teachers.size
+        else:
+            raise ValueError(f"mode must be 'star' or 'clique', got {mode!r}")
+    return new
+
+
+@dataclass(frozen=True)
+class VariableSimulationResult:
+    """Trajectory of a variable-size-group simulation."""
+
+    sizes: tuple[int, ...]
+    mode: str
+    round_gains: tuple[float, ...]
+    final_skills: np.ndarray
+
+    @property
+    def total_gain(self) -> float:
+        """Aggregated learning gain over all rounds."""
+        return float(sum(self.round_gains))
+
+
+def simulate_variable(
+    skills: np.ndarray,
+    sizes: Sequence[int],
+    *,
+    alpha: int,
+    rate: float,
+    mode: str = "star",
+) -> VariableSimulationResult:
+    """Run the DyGroups adaptation with variable group sizes for α rounds."""
+    array = as_skill_array(skills)
+    size_list = _validate_sizes(len(array), sizes)
+    alpha = require_positive_int(alpha, name="alpha")
+    gain = LinearGain(require_learning_rate(rate))
+    grouper = variable_star_local if mode == "star" else variable_clique_local
+    if mode not in ("star", "clique"):
+        raise ValueError(f"mode must be 'star' or 'clique', got {mode!r}")
+
+    current = array
+    gains = []
+    for _ in range(alpha):
+        grouping = grouper(current, size_list)
+        updated = update_variable(current, grouping, gain, mode)
+        gains.append(float(np.sum(updated - current)))
+        current = updated
+    return VariableSimulationResult(
+        sizes=tuple(size_list),
+        mode=mode,
+        round_gains=tuple(gains),
+        final_skills=current,
+    )

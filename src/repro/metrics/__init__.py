@@ -1,0 +1,46 @@
+"""Metrics: learning gain, inequality indices, line fits, labeled series."""
+
+from repro.metrics.diagnostics import (
+    GroupingDiagnostics,
+    diagnose_grouping,
+    teacher_utilization_series,
+)
+from repro.metrics.fit import LinearFit, fit_line
+from repro.metrics.gain import (
+    gain_ratio,
+    normalized_gain,
+    per_round_gain_series,
+    remaining_learnable_skill,
+)
+from repro.metrics.inequality import atkinson, coefficient_of_variation, gini, theil
+from repro.metrics.series import Series, SeriesSet
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    bootstrap_diff_ci,
+    paired_permutation_test,
+    permutation_test,
+)
+
+__all__ = [
+    "GroupingDiagnostics",
+    "diagnose_grouping",
+    "teacher_utilization_series",
+    "LinearFit",
+    "fit_line",
+    "gain_ratio",
+    "normalized_gain",
+    "per_round_gain_series",
+    "remaining_learnable_skill",
+    "atkinson",
+    "coefficient_of_variation",
+    "gini",
+    "theil",
+    "Series",
+    "SeriesSet",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "bootstrap_diff_ci",
+    "paired_permutation_test",
+    "permutation_test",
+]

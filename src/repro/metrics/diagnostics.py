@@ -1,0 +1,88 @@
+"""Grouping diagnostics: explain *why* a grouping performs as it does.
+
+The aggregate learning gain is one number; these diagnostics decompose a
+grouping (or a whole simulation) into the quantities the paper reasons
+about — the teachers' strength, how far learners sit from their teachers,
+and how much of the available teaching capital a policy actually uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grouping import Grouping
+from repro.core.simulation import SimulationResult
+from repro.core.update import group_max
+
+__all__ = ["GroupingDiagnostics", "diagnose_grouping", "teacher_utilization_series"]
+
+
+@dataclass(frozen=True, slots=True)
+class GroupingDiagnostics:
+    """Structural statistics of one grouping against a skill array.
+
+    Attributes:
+        k: number of groups.
+        group_size: members per group.
+        teacher_skills: per-group maximum skill, descending.
+        teacher_utilization: sum of group maxima divided by the sum of
+            the ``k`` largest skills — 1.0 exactly when the grouping is
+            star-round-optimal (Theorem 1).
+        mean_gap_to_teacher: mean over members of (group max − skill).
+        max_gap_to_teacher: largest such gap.
+        within_group_ranges: per-group max − min, descending.
+    """
+
+    k: int
+    group_size: int
+    teacher_skills: tuple[float, ...]
+    teacher_utilization: float
+    mean_gap_to_teacher: float
+    max_gap_to_teacher: float
+    within_group_ranges: tuple[float, ...]
+
+
+def diagnose_grouping(skills: np.ndarray, grouping: Grouping) -> GroupingDiagnostics:
+    """Compute :class:`GroupingDiagnostics` for one grouping."""
+    array = np.asarray(skills, dtype=np.float64)
+    if array.ndim != 1 or len(array) != grouping.n:
+        raise ValueError(
+            f"skills must be 1-D with length {grouping.n}, got shape {array.shape}"
+        )
+    maxima = group_max(array, grouping)
+    top_k_sum = float(np.sort(array)[::-1][: grouping.k].sum())
+    gaps = maxima[grouping.assignment] - array
+    ranges = []
+    for group in grouping:
+        values = array[group.indices()]
+        ranges.append(float(values.max() - values.min()))
+    return GroupingDiagnostics(
+        k=grouping.k,
+        group_size=grouping.group_size,
+        teacher_skills=tuple(sorted((float(m) for m in maxima), reverse=True)),
+        teacher_utilization=float(maxima.sum()) / top_k_sum if top_k_sum > 0 else 1.0,
+        mean_gap_to_teacher=float(gaps.mean()),
+        max_gap_to_teacher=float(gaps.max()),
+        within_group_ranges=tuple(sorted(ranges, reverse=True)),
+    )
+
+
+def teacher_utilization_series(result: SimulationResult) -> list[float]:
+    """Per-round teacher utilization of a recorded simulation.
+
+    Requires the result to carry both its groupings and its skill
+    history; raises :class:`ValueError` otherwise.  A policy that always
+    places the top-``k`` skills in distinct groups (any star-round-optimal
+    policy) scores 1.0 every round.
+    """
+    if not result.groupings:
+        raise ValueError("result has no recorded groupings (record_groupings=True needed)")
+    if result.skill_history is None:
+        raise ValueError("result has no skill history (record_history=True needed)")
+    series = []
+    for t, grouping in enumerate(result.groupings):
+        diagnostics = diagnose_grouping(result.skill_history[t], grouping)
+        series.append(diagnostics.teacher_utilization)
+    return series

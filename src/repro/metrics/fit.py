@@ -1,0 +1,65 @@
+"""Least-squares linear fit (Figure 2: linear fit to learning gain).
+
+The paper fits a line to the cumulative learning gain across rounds
+(Observation IV: the gain appears to grow *linearly* in the first rounds
+even though a negative second derivative would be expected).  This module
+provides a dependency-free ordinary-least-squares fit with the R² summary
+the figure relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_line"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinearFit:
+    """An ordinary-least-squares line ``y ≈ slope·x + intercept``.
+
+    Attributes:
+        slope: fitted slope.
+        intercept: fitted intercept.
+        r_squared: coefficient of determination in [0, 1]; 1 for a
+            degenerate zero-variance ``y``.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+    def __str__(self) -> str:
+        return f"y = {self.slope:.6g}·x + {self.intercept:.6g}  (R² = {self.r_squared:.4f})"
+
+
+def fit_line(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Fit ``y ≈ slope·x + intercept`` by ordinary least squares.
+
+    Raises:
+        ValueError: if the inputs differ in length, have fewer than two
+            points, or ``x`` has zero variance.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"x and y must be equal-length 1-D arrays, got {x.shape} and {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    x_mean = x.mean()
+    y_mean = y.mean()
+    x_var = float(np.sum((x - x_mean) ** 2))
+    if x_var == 0.0:
+        raise ValueError("x has zero variance; the slope is undefined")
+    slope = float(np.sum((x - x_mean) * (y - y_mean)) / x_var)
+    intercept = float(y_mean - slope * x_mean)
+    residual = y - (slope * x + intercept)
+    total = float(np.sum((y - y_mean) ** 2))
+    r_squared = 1.0 if total == 0.0 else 1.0 - float(np.sum(residual**2)) / total
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)

@@ -1,0 +1,51 @@
+"""Learning-gain metrics over simulation results.
+
+Small helpers the figures are built from: total/per-round gains, gain
+ratios between algorithms (Figure 10), and normalized gain (the fraction
+of the total *learnable* skill captured — an upper-bound-aware view used
+in the extended analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.objective import b_objective
+from repro.core.simulation import SimulationResult
+
+__all__ = ["gain_ratio", "normalized_gain", "per_round_gain_series", "remaining_learnable_skill"]
+
+
+def gain_ratio(result: SimulationResult, reference: SimulationResult) -> float:
+    """Total-gain ratio of ``result`` over ``reference`` (Figure 10).
+
+    Raises:
+        ValueError: if the reference achieved zero gain (undefined ratio).
+    """
+    denominator = reference.total_gain
+    if denominator == 0.0:
+        raise ValueError("reference result has zero total gain; ratio undefined")
+    return result.total_gain / denominator
+
+
+def remaining_learnable_skill(skills: np.ndarray) -> float:
+    """Upper bound on all future learning: ``Σ_i (max(s) − s_i)``.
+
+    No sequence of groupings can ever deliver more total gain than this,
+    because nobody can exceed the current maximum skill (the b-objective
+    of Equation 4).
+    """
+    return b_objective(skills)
+
+
+def normalized_gain(result: SimulationResult) -> float:
+    """Fraction of the initially learnable skill actually captured, in [0, 1]."""
+    learnable = remaining_learnable_skill(result.initial_skills)
+    if learnable == 0.0:
+        return 1.0
+    return result.total_gain / learnable
+
+
+def per_round_gain_series(result: SimulationResult) -> list[tuple[int, float]]:
+    """``(round, LG)`` pairs, 1-indexed rounds — the Figure 1/4 series."""
+    return [(t + 1, float(g)) for t, g in enumerate(result.round_gains)]

@@ -1,0 +1,114 @@
+"""Labeled numeric series — the interchange type between experiments and rendering.
+
+A :class:`Series` is an ordered mapping from x-values (e.g. ``n``, ``k``,
+``α``, ``r``) to y-values (e.g. aggregate learning gain), tagged with a
+label (algorithm name).  Figures are collections of series sharing an
+x-axis; :mod:`repro.experiments.render` turns them into aligned text
+tables and ASCII charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Series", "SeriesSet"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled line of a figure.
+
+    Attributes:
+        label: legend entry, e.g. ``"dygroups-star"``.
+        x: x-coordinates (parameter values).
+        y: y-coordinates (measurements), same length as ``x``.
+    """
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: len(x)={len(self.x)} != len(y)={len(self.y)}")
+        if len(self.x) == 0:
+            raise ValueError(f"series {self.label!r} is empty")
+
+    @classmethod
+    def from_pairs(cls, label: str, pairs: Sequence[tuple[float, float]]) -> "Series":
+        """Build a series from ``(x, y)`` pairs."""
+        xs, ys = zip(*pairs) if pairs else ((), ())
+        return cls(label=label, x=tuple(float(v) for v in xs), y=tuple(float(v) for v in ys))
+
+    def ratio_to(self, other: "Series", *, label: str | None = None) -> "Series":
+        """Pointwise ``self/other`` over the shared x-grid (Figure 10 style).
+
+        Raises:
+            ValueError: if the x-grids differ or ``other`` has a zero y.
+        """
+        if self.x != other.x:
+            raise ValueError(f"x-grids differ: {self.x} vs {other.x}")
+        if any(v == 0.0 for v in other.y):
+            raise ValueError(f"series {other.label!r} contains zero values; ratio undefined")
+        return Series(
+            label=label if label is not None else f"{self.label}/{other.label}",
+            x=self.x,
+            y=tuple(a / b for a, b in zip(self.y, other.y)),
+        )
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The series as ``(x, y)`` float arrays."""
+        return np.array(self.x, dtype=np.float64), np.array(self.y, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.x, self.y))
+
+
+@dataclass(frozen=True)
+class SeriesSet:
+    """A figure: several series over one x-axis.
+
+    Attributes:
+        title: figure title (e.g. ``"Fig 5(a): LG vs n — clique, log-normal"``).
+        x_label: x-axis name.
+        y_label: y-axis name.
+        series: the lines, in legend order.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError("a SeriesSet needs at least one series")
+        grids = {s.x for s in self.series}
+        if len(grids) != 1:
+            raise ValueError(f"all series must share one x-grid, got {sorted(grids)}")
+
+    @property
+    def x(self) -> tuple[float, ...]:
+        """The shared x-grid."""
+        return self.series[0].x
+
+    def get(self, label: str) -> Series:
+        """The series with the given label.
+
+        Raises:
+            KeyError: if no series has that label.
+        """
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labeled {label!r} in {self.title!r}")
+
+    def labels(self) -> tuple[str, ...]:
+        """All series labels, in legend order."""
+        return tuple(s.label for s in self.series)

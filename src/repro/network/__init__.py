@@ -1,0 +1,27 @@
+"""Graph-constrained TDG: grouping restricted by a social-network topology.
+
+The paper's TDG model assumes a fully connected underlying network
+(Section VI); this package studies the constrained converse — groups must
+induce connected subgraphs of a given social graph — with a skill-greedy
+grouper that reduces exactly to DyGroups-Star on the complete graph.
+"""
+
+from repro.network.constrained import ConnectedDyGroups, ConnectedRandom, grouping_violations
+from repro.network.topology import (
+    TOPOLOGIES,
+    complete_topology,
+    get_topology,
+    scale_free,
+    small_world,
+)
+
+__all__ = [
+    "ConnectedDyGroups",
+    "ConnectedRandom",
+    "grouping_violations",
+    "TOPOLOGIES",
+    "complete_topology",
+    "get_topology",
+    "scale_free",
+    "small_world",
+]

@@ -1,0 +1,77 @@
+"""Social-network topologies for the graph-constrained TDG variant.
+
+The paper positions TDG against diffusion problems: "all these works
+assume the presence of a graph topology or network.  Conversely, TDG
+assumes a fully connected underlying network" (Section VI).  The
+:mod:`repro.network` package asks the converse question — what happens to
+targeted dynamic grouping when a topology *is* imposed — and needs
+realistic graphs to do it.
+
+All generators return a connected :class:`networkx.Graph` on nodes
+``0 … n−1`` (participant indices) and are fully seeded.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro._validation import require_positive_int
+
+__all__ = ["complete_topology", "small_world", "scale_free", "TOPOLOGIES", "get_topology"]
+
+
+def _ensure_connected(graph: nx.Graph) -> nx.Graph:
+    """Connect a possibly fragmented graph by chaining its components."""
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    for previous, current in zip(components, components[1:]):
+        graph.add_edge(previous[0], current[0])
+    return graph
+
+
+def complete_topology(n: int, *, seed: int | None = None) -> nx.Graph:
+    """The paper's implicit setting: everyone can group with everyone."""
+    n = require_positive_int(n, name="n")
+    return nx.complete_graph(n)
+
+
+def small_world(n: int, *, k: int = 6, p: float = 0.1, seed: int | None = None) -> nx.Graph:
+    """Watts–Strogatz small-world graph (offline communities, classrooms).
+
+    Args:
+        n: nodes.
+        k: each node joins to its ``k`` nearest ring neighbours.
+        p: rewiring probability.
+    """
+    n = require_positive_int(n, name="n")
+    if k >= n:
+        raise ValueError(f"ring degree k={k} must be below n={n}")
+    graph = nx.watts_strogatz_graph(n, k, p, seed=seed)
+    return _ensure_connected(graph)
+
+
+def scale_free(n: int, *, m: int = 3, seed: int | None = None) -> nx.Graph:
+    """Barabási–Albert scale-free graph (online social platforms)."""
+    n = require_positive_int(n, name="n")
+    if m >= n:
+        raise ValueError(f"attachment m={m} must be below n={n}")
+    return nx.barabasi_albert_graph(n, m, seed=seed)
+
+
+#: Named topologies for benches and tests.
+TOPOLOGIES = {
+    "complete": complete_topology,
+    "small-world": small_world,
+    "scale-free": scale_free,
+}
+
+
+def get_topology(name: str):
+    """Look up a named topology generator.
+
+    Raises:
+        ValueError: for an unknown name.
+    """
+    try:
+        return TOPOLOGIES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown topology {name!r}; expected one of {sorted(TOPOLOGIES)}") from None

@@ -1,0 +1,37 @@
+"""Numeric verification of the paper's theorems (Section IV)."""
+
+from repro.theory.theorem1 import Theorem1Report, check_theorem1
+from repro.theory.theorem2 import (
+    Theorem2Report,
+    check_theorem2,
+    random_round_optimal_grouping,
+)
+from repro.theory.theorem3 import (
+    Theorem3Report,
+    Theorem4Report,
+    check_theorem3,
+    check_theorem4,
+)
+from repro.theory.theorem5 import (
+    Theorem5Report,
+    check_theorem5_instance,
+    check_theorem5_trials,
+)
+from repro.theory.verify import TheoremBattery, verify_all
+
+__all__ = [
+    "Theorem1Report",
+    "check_theorem1",
+    "Theorem2Report",
+    "check_theorem2",
+    "random_round_optimal_grouping",
+    "Theorem3Report",
+    "Theorem4Report",
+    "check_theorem3",
+    "check_theorem4",
+    "Theorem5Report",
+    "check_theorem5_instance",
+    "check_theorem5_trials",
+    "TheoremBattery",
+    "verify_all",
+]

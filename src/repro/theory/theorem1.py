@@ -1,0 +1,91 @@
+"""Numeric verification of Theorem 1 (star round-optimal groupings).
+
+Theorem 1: for Star mode with the linear gain, (a) every round-gain-
+maximizing grouping places the top-``k`` skills in distinct groups, and
+(b) *every* grouping that does so achieves the same (maximal) gain.
+
+:func:`check_theorem1` verifies both claims by exhaustive enumeration on
+a small instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_skill_array, require_divisible_groups
+from repro.baselines.brute_force import iter_equal_partitions
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.core.interactions import Star
+
+__all__ = ["Theorem1Report", "check_theorem1"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1Report:
+    """Outcome of one exhaustive Theorem 1 check.
+
+    Attributes:
+        holds: both claims verified.
+        groupings_checked: number of partitions enumerated.
+        optimal_gain: the maximal round gain found.
+        optimal_count: number of partitions achieving it.
+        claim_a_violations: optimal partitions whose teachers are not the
+            top-k skills.
+        claim_b_violations: top-k-teacher partitions that are suboptimal.
+    """
+
+    holds: bool
+    groupings_checked: int
+    optimal_gain: float
+    optimal_count: int
+    claim_a_violations: int
+    claim_b_violations: int
+
+
+def _has_top_k_teachers(skills: np.ndarray, grouping: Grouping, k: int) -> bool:
+    """Whether each group's maximum is one of the k highest skill values.
+
+    Stated on *values* so instances with ties are judged correctly.
+    """
+    top_values = np.sort(skills)[::-1][:k]
+    maxima = sorted((float(skills[list(g)].max()) for g in grouping), reverse=True)
+    return np.allclose(maxima, top_values, atol=_TOL)
+
+
+def check_theorem1(skills: np.ndarray, k: int, rate: float = 0.5) -> Theorem1Report:
+    """Exhaustively verify Theorem 1 on one instance.
+
+    Keep ``len(skills)`` small (≤ 10): the check enumerates every
+    equi-sized partition.
+    """
+    array = as_skill_array(skills)
+    size = require_divisible_groups(len(array), k)
+    mode = Star()
+    gain = LinearGain(rate)
+
+    records: list[tuple[float, bool]] = []
+    for partition in iter_equal_partitions(tuple(range(len(array))), size):
+        grouping = Grouping(partition)
+        records.append(
+            (mode.round_gain(array, grouping, gain), _has_top_k_teachers(array, grouping, k))
+        )
+
+    optimal_gain = max(g for g, _ in records)
+    claim_a_violations = sum(
+        1 for g, top in records if g >= optimal_gain - _TOL and not top
+    )
+    claim_b_violations = sum(1 for g, top in records if top and g < optimal_gain - _TOL)
+    optimal_count = sum(1 for g, _ in records if g >= optimal_gain - _TOL)
+    return Theorem1Report(
+        holds=claim_a_violations == 0 and claim_b_violations == 0,
+        groupings_checked=len(records),
+        optimal_gain=float(optimal_gain),
+        optimal_count=optimal_count,
+        claim_a_violations=claim_a_violations,
+        claim_b_violations=claim_b_violations,
+    )

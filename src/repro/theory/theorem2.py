@@ -1,0 +1,93 @@
+"""Numeric verification of Theorem 2 (variance maximization).
+
+Theorem 2: among all star-round-optimal groupings (top-``k`` teachers in
+distinct groups), the block assignment of ``DYGROUPS-STAR-LOCAL``
+(Algorithm 2) maximizes the variance of the post-round skill values.
+
+:func:`check_theorem2` samples random round-optimal groupings and checks
+that none yields a strictly higher post-update variance than the
+algorithm's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_skill_array, require_divisible_groups
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.core.local import dygroups_star_local
+from repro.core.skills import descending_order
+from repro.core.update import update_star
+
+__all__ = ["Theorem2Report", "check_theorem2", "random_round_optimal_grouping"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem2Report:
+    """Outcome of one sampled Theorem 2 check.
+
+    Attributes:
+        holds: no sampled round-optimal grouping beat the algorithm.
+        algorithm_variance: post-round variance of Algorithm 2's output.
+        best_sampled_variance: highest post-round variance among samples.
+        samples: number of random round-optimal groupings drawn.
+    """
+
+    holds: bool
+    algorithm_variance: float
+    best_sampled_variance: float
+    samples: int
+
+
+def random_round_optimal_grouping(
+    skills: np.ndarray, k: int, rng: np.random.Generator
+) -> Grouping:
+    """A uniformly random grouping with the top-``k`` skills as teachers.
+
+    By Theorem 1 every such grouping maximizes the star round gain.
+    """
+    array = as_skill_array(skills)
+    size = require_divisible_groups(len(array), k)
+    order = descending_order(array)
+    teachers = order[:k]
+    rest = rng.permutation(order[k:])
+    per_group = size - 1
+    return Grouping(
+        np.concatenate(([teachers[i]], rest[i * per_group : (i + 1) * per_group]))
+        for i in range(k)
+    )
+
+
+def check_theorem2(
+    skills: np.ndarray,
+    k: int,
+    rate: float = 0.5,
+    *,
+    samples: int = 200,
+    rng: np.random.Generator | None = None,
+) -> Theorem2Report:
+    """Sampled verification of Theorem 2 on one instance."""
+    array = as_skill_array(skills)
+    gain = LinearGain(rate)
+    generator = rng if rng is not None else np.random.default_rng(0)
+
+    algorithm_updated = update_star(array, dygroups_star_local(array, k), gain)
+    algorithm_variance = float(np.var(algorithm_updated))
+
+    best_sampled = -np.inf
+    for _ in range(samples):
+        grouping = random_round_optimal_grouping(array, k, generator)
+        variance = float(np.var(update_star(array, grouping, gain)))
+        best_sampled = max(best_sampled, variance)
+
+    return Theorem2Report(
+        holds=best_sampled <= algorithm_variance + _TOL,
+        algorithm_variance=algorithm_variance,
+        best_sampled_variance=float(best_sampled),
+        samples=samples,
+    )

@@ -1,0 +1,84 @@
+"""Run the full battery of theorem checks (CLI: ``dygroups theorems``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.local import dygroups_clique_local
+from repro.data.distributions import uniform_skills
+from repro.theory.theorem1 import Theorem1Report, check_theorem1
+from repro.theory.theorem2 import Theorem2Report, check_theorem2
+from repro.theory.theorem3 import (
+    Theorem3Report,
+    Theorem4Report,
+    check_theorem3,
+    check_theorem4,
+)
+from repro.theory.theorem5 import Theorem5Report, check_theorem5_trials
+
+__all__ = ["TheoremBattery", "verify_all"]
+
+
+@dataclass(frozen=True, slots=True)
+class TheoremBattery:
+    """All theorem-check reports from one :func:`verify_all` run."""
+
+    theorem1: Theorem1Report
+    theorem2: Theorem2Report
+    theorem3: Theorem3Report
+    theorem4: Theorem4Report
+    theorem5: Theorem5Report
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every check passed."""
+        return all(
+            report.holds
+            for report in (self.theorem1, self.theorem2, self.theorem3, self.theorem4, self.theorem5)
+        )
+
+    def summary(self) -> str:
+        """Human-readable pass/fail summary."""
+        lines = ["Theorem verification battery", "============================"]
+        entries = [
+            ("Theorem 1 (star round-optimality)", self.theorem1.holds),
+            ("Theorem 2 (variance maximization)", self.theorem2.holds),
+            ("Theorem 3 (O(n) clique update)", self.theorem3.holds),
+            ("Theorem 4 (clique round-optimality)", self.theorem4.holds),
+            (
+                f"Theorem 5 (k=2 optimality, {self.theorem5.trials} trials)",
+                self.theorem5.holds,
+            ),
+        ]
+        for label, ok in entries:
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        return "\n".join(lines)
+
+
+def verify_all(*, seed: int = 0, theorem5_trials: int = 50) -> TheoremBattery:
+    """Run every theorem check on small random instances.
+
+    Args:
+        seed: controls the random instances used throughout.
+        theorem5_trials: number of randomized brute-force comparisons
+            (the paper runs 1000; the default keeps the battery fast).
+    """
+    rng = np.random.default_rng(seed)
+    skills_9 = uniform_skills(9, rng=rng)
+    skills_8 = uniform_skills(8, rng=rng)
+    skills_60 = uniform_skills(60, rng=rng)
+
+    report1 = check_theorem1(skills_9, k=3)
+    report2 = check_theorem2(skills_60, k=5, rng=rng)
+    report3 = check_theorem3(skills_60, dygroups_clique_local(skills_60, 5))
+    report4 = check_theorem4(skills_8, k=2)
+    report5 = check_theorem5_trials(theorem5_trials, seed=seed)
+    return TheoremBattery(
+        theorem1=report1,
+        theorem2=report2,
+        theorem3=report3,
+        theorem4=report4,
+        theorem5=report5,
+    )

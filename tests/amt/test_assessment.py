@@ -1,0 +1,58 @@
+"""Unit tests for repro.amt.assessment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amt.assessment import DEFAULT_QUESTIONS, assess, estimate_skills
+
+
+class TestAssess:
+    def test_scores_are_multiples_of_tenth(self, rng):
+        scores = assess(np.full(100, 0.5), rng)
+        assert np.all((scores * DEFAULT_QUESTIONS) % 1 == 0)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_unbiased_estimate(self):
+        rng = np.random.default_rng(0)
+        scores = assess(np.full(20_000, 0.63), rng)
+        assert scores.mean() == pytest.approx(0.63, abs=0.01)
+
+    def test_perfect_latent_scores_one(self, rng):
+        scores = assess(np.full(10, 1.0), rng)
+        np.testing.assert_array_equal(scores, 1.0)
+
+    def test_rejects_invalid_latents(self, rng):
+        with pytest.raises(ValueError):
+            assess(np.array([0.0]), rng)
+        with pytest.raises(ValueError):
+            assess(np.array([1.1]), rng)
+
+    def test_question_count_validated(self, rng):
+        with pytest.raises(ValueError):
+            assess(np.array([0.5]), rng, questions=0)
+
+
+class TestEstimateSkills:
+    def test_strictly_inside_unit_interval(self, rng):
+        # Laplace smoothing keeps estimates away from 0 and 1 even for
+        # extreme latents.
+        lows = estimate_skills(np.full(200, 1e-6), rng)
+        highs = estimate_skills(np.full(200, 1.0), rng)
+        assert np.all(lows > 0.0)
+        assert np.all(highs < 1.0)
+
+    def test_estimates_track_latents(self):
+        rng = np.random.default_rng(1)
+        latents = np.linspace(0.1, 0.9, 9)
+        estimates = np.vstack([estimate_skills(latents, rng) for _ in range(2000)]).mean(axis=0)
+        # Smoothed expectation is (10 * latent + 1) / 12.
+        expected = (DEFAULT_QUESTIONS * latents + 1) / (DEFAULT_QUESTIONS + 2)
+        np.testing.assert_allclose(estimates, expected, atol=0.01)
+
+    def test_usable_as_policy_skills(self, rng):
+        from repro._validation import as_skill_array
+
+        estimates = estimate_skills(np.full(10, 0.5), rng)
+        as_skill_array(estimates)  # must not raise

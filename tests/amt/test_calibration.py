@@ -1,0 +1,92 @@
+"""Unit tests for the simulated pre-deployment calibration study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amt.calibration import (
+    best_group_size,
+    estimate_learning_rate,
+    interactivity,
+    run_calibration,
+)
+
+
+class TestInteractivity:
+    def test_peak_at_four_to_five(self):
+        assert interactivity(4) == max(interactivity(s) for s in range(2, 16))
+        assert interactivity(5) > interactivity(10)
+
+    def test_pairs_below_peak(self):
+        assert interactivity(2) < interactivity(4)
+
+    def test_large_groups_decay(self):
+        assert interactivity(10) > interactivity(15)
+
+    def test_bounded(self):
+        for size in range(2, 20):
+            assert 0.0 < interactivity(size) <= 1.0
+
+    def test_rejects_singletons(self):
+        with pytest.raises(ValueError):
+            interactivity(1)
+
+
+class TestEstimateLearningRate:
+    def test_recovers_exact_slope(self):
+        gaps = np.linspace(0, 1, 50)
+        gains = 0.42 * gaps
+        assert estimate_learning_rate(gaps, gains) == pytest.approx(0.42)
+
+    def test_clipped_to_unit_interval(self):
+        gaps = np.linspace(0.1, 1, 20)
+        assert estimate_learning_rate(gaps, 1.7 * gaps) == 1.0
+        assert estimate_learning_rate(gaps, -0.3 * gaps) == 0.0
+
+    def test_robust_to_noise(self, rng):
+        gaps = rng.uniform(0, 0.8, size=2000)
+        gains = 0.5 * gaps + rng.normal(0, 0.05, size=2000)
+        assert estimate_learning_rate(gaps, gains) == pytest.approx(0.5, abs=0.03)
+
+
+class TestRunCalibration:
+    def test_result_fields(self):
+        result = run_calibration(4, seed=0)
+        assert result.group_size == 4
+        assert 0.0 <= result.estimated_rate <= 1.0
+        assert result.mean_gain > 0.0
+        assert result.interactivity == interactivity(4)
+
+    def test_recovers_effective_rate_roughly(self):
+        # With the ideal group size (interactivity 1.0) and enough data,
+        # the recovered rate approximates the true rate 0.5, with the
+        # documented mild attenuation (max-of-noisy-scores gap bias).
+        result = run_calibration(4, groups=40, rounds=3, seed=1)
+        assert 0.3 <= result.estimated_rate <= 0.6
+
+    def test_rate_ordering_tracks_interactivity(self):
+        ideal = run_calibration(4, groups=40, rounds=3, seed=2)
+        crowded = run_calibration(15, groups=12, rounds=3, seed=2)
+        assert ideal.estimated_rate > crowded.estimated_rate
+
+    def test_small_groups_learn_less_per_worker(self):
+        pair = run_calibration(2, groups=30, rounds=2, seed=2)
+        ideal = run_calibration(4, groups=30, rounds=2, seed=2)
+        assert ideal.mean_gain > pair.mean_gain
+
+    def test_seeded_reproducibility(self):
+        a = run_calibration(5, seed=3)
+        b = run_calibration(5, seed=3)
+        assert a.estimated_rate == b.estimated_rate
+
+
+class TestBestGroupSize:
+    def test_prefers_four_to_five(self):
+        best, results = best_group_size(seed=0)
+        assert best in (4, 5)
+        assert len(results) == 7
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            best_group_size(())

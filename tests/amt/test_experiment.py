@@ -1,0 +1,157 @@
+"""Unit and integration tests for the simulated AMT experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amt.experiment import (
+    EXPERIMENT_1_POLICIES,
+    EXPERIMENT_2_POLICIES,
+    AmtConfig,
+    run_experiment_1,
+    run_experiment_2,
+    welch_t_statistic,
+)
+
+
+class TestAmtConfig:
+    def test_defaults_match_paper(self):
+        config = AmtConfig()
+        assert config.population_size == 32
+        assert config.k == 4
+        assert config.rate == 0.5
+        assert config.questions == 10
+
+    def test_rejects_indivisible_population(self):
+        with pytest.raises(ValueError):
+            AmtConfig(population_size=30, k=4)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            AmtConfig(alpha=0)
+
+
+class TestExperiment1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment_1(seed=0)
+
+    def test_policy_lineup(self, result):
+        assert set(result.traces) == set(EXPERIMENT_1_POLICIES)
+
+    def test_trace_lengths(self, result):
+        for trace in result.traces.values():
+            assert len(trace.mean_scores) == result.config.alpha + 1
+            assert len(trace.round_gains) == result.config.alpha
+            assert len(trace.retention) == result.config.alpha + 1
+
+    def test_observation_1_skills_improve(self, result):
+        # Observation I: aggregated skill improves with peer interaction.
+        for trace in result.traces.values():
+            assert trace.mean_scores[-1] > trace.mean_scores[0]
+
+    def test_retention_starts_full_and_decreases(self, result):
+        for trace in result.traces.values():
+            assert trace.retention[0] == 1.0
+            assert trace.retention[-1] <= 1.0
+            assert all(a >= b for a, b in zip(trace.retention, trace.retention[1:]))
+
+    def test_round_gains_non_negative(self, result):
+        for trace in result.traces.values():
+            assert all(g >= 0 for g in trace.round_gains)
+
+    def test_deterministic_by_seed(self):
+        a = run_experiment_1(seed=5)
+        b = run_experiment_1(seed=5)
+        for name in a.traces:
+            assert a.traces[name].mean_scores == b.traces[name].mean_scores
+
+    def test_observation_2_dygroups_wins_on_average(self):
+        # Observation II: DyGroups outperforms the baseline.  A single
+        # cohort of 32 is noisy, so aggregate over several seeds.
+        margins = []
+        for seed in range(8):
+            result = run_experiment_1(seed=seed)
+            margins.append(
+                result.traces["dygroups"].total_gain - result.traces["kmeans"].total_gain
+            )
+        assert np.mean(margins) > 0
+
+
+class TestExperiment2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment_2(seed=0)
+
+    def test_policy_lineup(self, result):
+        assert set(result.traces) == set(EXPERIMENT_2_POLICIES)
+
+    def test_two_rounds(self, result):
+        assert result.config.alpha == 2
+        for trace in result.traces.values():
+            assert len(trace.round_gains) == 2
+
+    def test_alpha_forced_to_two(self):
+        result = run_experiment_2(seed=0, config=AmtConfig(alpha=3))
+        assert result.config.alpha == 2
+
+    def test_ranking_contains_all_policies(self, result):
+        assert sorted(result.ranking()) == sorted(EXPERIMENT_2_POLICIES)
+
+    def test_dygroups_beats_kmeans_and_percentile_on_average(self):
+        # Observation II's robust core: DyGroups clearly outgains the
+        # weaker baselines over several seeds.  (DyGroups and our LPA
+        # proxy — both round-optimal groupers — statistically tie at
+        # alpha=2; see EXPERIMENTS.md.)
+        totals = {name: [] for name in EXPERIMENT_2_POLICIES}
+        for seed in range(8):
+            result = run_experiment_2(seed=seed)
+            for name, trace in result.traces.items():
+                totals[name].append(trace.total_gain)
+        means = {name: float(np.mean(g)) for name, g in totals.items()}
+        assert means["dygroups"] > means["kmeans"]
+        assert means["dygroups"] > means["percentile"]
+        # DyGroups sits in the top tier (within 5% of the best policy).
+        assert means["dygroups"] >= 0.95 * max(means.values())
+
+
+class TestWelchT:
+    def test_detects_separated_samples(self, rng):
+        a = rng.normal(1.0, 0.1, size=50)
+        b = rng.normal(0.0, 0.1, size=50)
+        t, p = welch_t_statistic(a, b)
+        assert t > 10
+        assert p < 1e-6
+
+    def test_symmetric(self, rng):
+        a = rng.normal(0.0, 1.0, size=30)
+        b = rng.normal(0.5, 1.0, size=30)
+        t_ab, p_ab = welch_t_statistic(a, b)
+        t_ba, p_ba = welch_t_statistic(b, a)
+        assert t_ab == pytest.approx(-t_ba)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_identical_distributions_large_p(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.0, 1.0, size=200)
+        b = rng.normal(0.0, 1.0, size=200)
+        _, p = welch_t_statistic(a, b)
+        assert p > 0.05
+
+    def test_p_matches_scipy(self, rng):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a = rng.normal(0.2, 1.0, size=40)
+        b = rng.normal(0.0, 1.5, size=35)
+        t, p = welch_t_statistic(a, b)
+        ref = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert t == pytest.approx(ref.statistic, rel=1e-6)
+        assert p == pytest.approx(ref.pvalue, rel=1e-4)
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            welch_t_statistic(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_constant_samples(self):
+        with pytest.raises(ValueError):
+            welch_t_statistic(np.full(5, 1.0), np.full(5, 2.0))

@@ -1,0 +1,67 @@
+"""Unit tests for repro.amt.population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amt.population import Population, matched_split
+from repro.amt.worker import Worker, make_workers
+
+
+class TestPopulation:
+    def test_active_filtering(self):
+        workers = [Worker(0, 0.5), Worker(1, 0.6)]
+        workers[1].active = False
+        population = Population(name="p", workers=workers)
+        assert population.n == 2
+        assert len(population.active_workers) == 1
+        assert population.retention_fraction() == 0.5
+
+    def test_latent_skills(self):
+        population = Population(name="p", workers=[Worker(0, 0.2), Worker(1, 0.8)])
+        np.testing.assert_allclose(population.latent_skills(), [0.2, 0.8])
+
+    def test_mean_latent_active_only(self):
+        workers = [Worker(0, 0.2), Worker(1, 0.8)]
+        workers[0].active = False
+        population = Population(name="p", workers=workers)
+        assert population.mean_latent(active_only=True) == pytest.approx(0.8)
+        assert population.mean_latent() == pytest.approx(0.5)
+
+    def test_retention_of_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            Population(name="p").retention_fraction()
+
+
+class TestMatchedSplit:
+    def test_sizes(self, rng):
+        workers = make_workers(64, rng)
+        populations = matched_split(workers, ["a", "b"], rng)
+        assert [p.n for p in populations] == [32, 32]
+
+    def test_matched_means(self, rng):
+        # The paper: "very similar skill distributions, and in particular
+        # the same average skill".
+        workers = make_workers(128, rng)
+        populations = matched_split(workers, ["a", "b", "c", "d"], rng)
+        means = [p.mean_latent() for p in populations]
+        assert max(means) - min(means) < 0.02
+
+    def test_partition_is_exact(self, rng):
+        workers = make_workers(12, rng)
+        populations = matched_split(workers, ["a", "b", "c"], rng)
+        ids = sorted(w.worker_id for p in populations for w in p.workers)
+        assert ids == list(range(12))
+
+    def test_rejects_uneven_split(self, rng):
+        with pytest.raises(ValueError):
+            matched_split(make_workers(10, rng), ["a", "b", "c"], rng)
+
+    def test_rejects_no_names(self, rng):
+        with pytest.raises(ValueError):
+            matched_split(make_workers(4, rng), [], rng)
+
+    def test_names_assigned(self, rng):
+        populations = matched_split(make_workers(8, rng), ["x", "y"], rng)
+        assert [p.name for p in populations] == ["x", "y"]

@@ -1,0 +1,56 @@
+"""Unit tests for repro.amt.retention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amt.retention import RetentionModel
+
+
+class TestRetentionModel:
+    def test_probabilities_in_unit_interval(self):
+        model = RetentionModel()
+        probs = model.stay_probabilities(np.linspace(0, 1, 11))
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_monotone_in_gain(self):
+        model = RetentionModel()
+        probs = model.stay_probabilities(np.array([0.0, 0.5, 1.0]))
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_base_rate_at_zero_gain(self):
+        model = RetentionModel(base_logit=0.0)
+        assert model.stay_probabilities(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_gains_above_one_clipped(self):
+        model = RetentionModel()
+        a = model.stay_probabilities(np.array([1.0]))
+        b = model.stay_probabilities(np.array([5.0]))
+        assert a[0] == pytest.approx(b[0])
+
+    def test_negative_gains_clipped_to_base(self):
+        model = RetentionModel()
+        a = model.stay_probabilities(np.array([0.0]))
+        b = model.stay_probabilities(np.array([-3.0]))
+        assert a[0] == pytest.approx(b[0])
+
+    def test_sample_stays_shape_and_dtype(self, rng):
+        model = RetentionModel()
+        stays = model.sample_stays(np.linspace(0, 1, 20), rng)
+        assert stays.shape == (20,)
+        assert stays.dtype == bool
+
+    def test_high_sensitivity_retains_learners(self):
+        model = RetentionModel(base_logit=0.0, sensitivity=10.0)
+        rng = np.random.default_rng(0)
+        stays = model.sample_stays(np.full(2000, 1.0), rng)
+        assert stays.mean() > 0.99
+
+    def test_empirical_rate_matches_probability(self):
+        model = RetentionModel()
+        rng = np.random.default_rng(0)
+        gains = np.full(20_000, 0.3)
+        expected = model.stay_probabilities(gains[:1])[0]
+        observed = model.sample_stays(gains, rng).mean()
+        assert observed == pytest.approx(expected, abs=0.01)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.amt.worker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amt.worker import Worker, make_workers
+
+
+class TestWorker:
+    def test_valid_construction(self):
+        worker = Worker(worker_id=0, latent_skill=0.5)
+        assert worker.active
+        assert worker.last_gain == 0.0
+
+    @pytest.mark.parametrize("latent", [0.0, -0.1, 1.5])
+    def test_rejects_invalid_latent(self, latent):
+        with pytest.raises(ValueError):
+            Worker(worker_id=0, latent_skill=latent)
+
+    def test_learn_records_gain(self):
+        worker = Worker(worker_id=0, latent_skill=0.4)
+        worker.learn(0.6)
+        assert worker.latent_skill == pytest.approx(0.6)
+        assert worker.last_gain == pytest.approx(0.2)
+        assert worker.round_gains == [pytest.approx(0.2)]
+
+    def test_learn_clips_at_one(self):
+        worker = Worker(worker_id=0, latent_skill=0.95)
+        worker.learn(1.2)
+        assert worker.latent_skill == 1.0
+
+    def test_learn_rejects_decrease(self):
+        worker = Worker(worker_id=0, latent_skill=0.8)
+        with pytest.raises(ValueError, match="cannot decrease"):
+            worker.learn(0.5)
+
+    def test_no_op_learn_gain_zero(self):
+        worker = Worker(worker_id=0, latent_skill=0.5)
+        worker.learn(0.5)
+        assert worker.last_gain == 0.0
+
+
+class TestMakeWorkers:
+    def test_count_and_ids(self, rng):
+        workers = make_workers(50, rng)
+        assert len(workers) == 50
+        assert [w.worker_id for w in workers] == list(range(50))
+
+    def test_latents_in_unit_interval(self, rng):
+        workers = make_workers(500, rng)
+        latents = np.array([w.latent_skill for w in workers])
+        assert np.all(latents > 0.0)
+        assert np.all(latents <= 1.0)
+
+    def test_mean_controls_distribution(self):
+        low = make_workers(2000, np.random.default_rng(0), mean=0.2)
+        high = make_workers(2000, np.random.default_rng(0), mean=0.7)
+        assert np.mean([w.latent_skill for w in low]) < np.mean([w.latent_skill for w in high])
+
+    def test_rejects_non_positive_n(self, rng):
+        with pytest.raises(ValueError):
+            make_workers(0, rng)

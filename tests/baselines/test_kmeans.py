@@ -1,0 +1,85 @@
+"""Unit tests for the K-Means grouping baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeansGrouping, _nearest_open_center
+
+from tests.conftest import random_positive_skills
+
+
+class TestNearestOpenCenter:
+    def test_prefers_nearest(self):
+        centers = np.array([1.0, 5.0, 9.0])
+        capacity = np.array([1, 1, 1])
+        assert _nearest_open_center(4.9, centers, capacity, 1) == 1
+
+    def test_skips_full_center(self):
+        centers = np.array([1.0, 5.0, 9.0])
+        capacity = np.array([1, 0, 1])
+        # 5.0 is nearest but full; 1.0 (distance 3.9) beats 9.0 (4.1).
+        assert _nearest_open_center(4.9, centers, capacity, 1) == 0
+
+    def test_tie_goes_left(self):
+        centers = np.array([2.0, 6.0])
+        capacity = np.array([1, 1])
+        assert _nearest_open_center(4.0, centers, capacity, 1) == 0
+
+    def test_all_full_raises(self):
+        centers = np.array([1.0, 2.0])
+        capacity = np.array([0, 0])
+        with pytest.raises(RuntimeError):
+            _nearest_open_center(1.5, centers, capacity, 1)
+
+    def test_only_right_open(self):
+        centers = np.array([1.0, 5.0])
+        capacity = np.array([0, 2])
+        assert _nearest_open_center(1.1, centers, capacity, 1) == 1
+
+
+class TestKMeansGrouping:
+    def test_valid_partition(self, rng):
+        skills = random_positive_skills(20, rng)
+        grouping = KMeansGrouping().propose(skills, 4, rng)
+        assert grouping.n == 20
+        assert grouping.k == 4
+        assert grouping.group_size == 5
+
+    def test_deterministic_under_same_rng_state(self, rng):
+        skills = random_positive_skills(20, rng)
+        a = KMeansGrouping().propose(skills, 4, np.random.default_rng(9))
+        b = KMeansGrouping().propose(skills, 4, np.random.default_rng(9))
+        assert a == b
+
+    def test_groups_cluster_similar_skills(self):
+        # Two well-separated skill clusters and two groups: the heuristic
+        # should recover the clusters (centers land in both with high
+        # probability, and members join the near cluster).
+        rng = np.random.default_rng(3)
+        low = rng.uniform(1.0, 1.2, size=10)
+        high = rng.uniform(100.0, 100.2, size=10)
+        skills = np.concatenate([low, high])
+        recovered = 0
+        for seed in range(20):
+            grouping = KMeansGrouping().propose(skills, 2, np.random.default_rng(seed))
+            for group in grouping:
+                values = skills[group.indices()]
+                if values.max() - values.min() < 50.0:
+                    recovered += 1
+        # Most runs should produce at least one homogeneous group.
+        assert recovered >= 10
+
+    def test_large_instance(self, rng):
+        skills = random_positive_skills(1000, rng)
+        grouping = KMeansGrouping().propose(skills, 10, rng)
+        assert grouping.n == 1000
+
+    def test_k_equals_n_over_2(self, rng):
+        skills = random_positive_skills(12, rng)
+        grouping = KMeansGrouping().propose(skills, 6, rng)
+        assert grouping.group_size == 2
+
+    def test_name(self):
+        assert KMeansGrouping().name == "kmeans"

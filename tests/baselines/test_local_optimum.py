@@ -1,0 +1,70 @@
+"""Unit tests for ArbitraryLocalOptimum (star round-optimal, no variance tie-break)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.local_optimum import STRATEGIES, ArbitraryLocalOptimum
+from repro.core.gain_functions import LinearGain
+from repro.core.interactions import Star
+from repro.core.local import dygroups_star_local
+
+from tests.conftest import random_positive_skills
+
+GAIN = LinearGain(0.5)
+
+
+class TestArbitraryLocalOptimum:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_valid_partition(self, strategy, rng):
+        skills = random_positive_skills(20, rng)
+        grouping = ArbitraryLocalOptimum(strategy).propose(skills, 4, rng)
+        assert grouping.n == 20
+        assert grouping.k == 4
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_round_gain_is_optimal(self, strategy, rng):
+        # Theorem 1(b): any top-k-teacher grouping achieves the optimal
+        # round gain, whatever the non-teacher split.
+        skills = random_positive_skills(20, rng)
+        grouping = ArbitraryLocalOptimum(strategy).propose(skills, 4, rng)
+        reference = dygroups_star_local(skills, 4)
+        assert Star().round_gain(skills, grouping, GAIN) == pytest.approx(
+            Star().round_gain(skills, reference, GAIN)
+        )
+
+    def test_reversed_gives_best_teacher_weakest_students(self, rng):
+        skills = np.array([9.0, 8.0, 7.0, 4.0, 3.0, 2.0])
+        grouping = ArbitraryLocalOptimum("reversed").propose(skills, 2, rng)
+        # Group 0 is led by 9.0 and receives the weakest block.
+        values = sorted(skills[grouping[0].indices()])
+        assert values == [2.0, 3.0, 9.0]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            ArbitraryLocalOptimum("bogus")
+
+    def test_name_includes_strategy(self):
+        assert ArbitraryLocalOptimum("random").name == "local-optimum-random"
+
+    def test_random_strategy_uses_rng(self, rng):
+        skills = random_positive_skills(20, rng)
+        policy = ArbitraryLocalOptimum("random")
+        a = policy.propose(skills, 4, np.random.default_rng(0))
+        b = policy.propose(skills, 4, np.random.default_rng(0))
+        c = policy.propose(skills, 4, np.random.default_rng(5))
+        assert a == b
+        assert a != c
+
+    def test_variance_not_higher_than_dygroups(self, rng):
+        # Theorem 2: DyGroups' block split has maximal post-round variance.
+        from repro.core.update import update_star
+
+        skills = random_positive_skills(20, rng)
+        dy = update_star(skills, dygroups_star_local(skills, 4), GAIN)
+        for strategy in STRATEGIES:
+            other = update_star(
+                skills, ArbitraryLocalOptimum(strategy).propose(skills, 4, rng), GAIN
+            )
+            assert float(np.var(other)) <= float(np.var(dy)) + 1e-12

@@ -1,0 +1,59 @@
+"""Unit tests for the Percentile-Partitions baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.percentile import PercentilePartitions
+
+from tests.conftest import random_positive_skills
+
+
+class TestPercentilePartitions:
+    def test_valid_partition(self, rng):
+        skills = random_positive_skills(20, rng)
+        grouping = PercentilePartitions().propose(skills, 4, rng)
+        assert grouping.n == 20
+        assert grouping.k == 4
+
+    def test_every_group_has_a_top_quartile_seed(self, rng):
+        # With p=0.75, the seeds come from the top 25% of skills; every
+        # group must contain at least one of them.
+        skills = random_positive_skills(40, rng)
+        grouping = PercentilePartitions(0.75).propose(skills, 4, rng)
+        threshold = np.quantile(skills, 0.75)
+        for group in grouping:
+            assert skills[group.indices()].max() >= threshold - 1e-9
+
+    def test_default_p_is_paper_value(self):
+        assert PercentilePartitions().p == 0.75
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            PercentilePartitions(1.5)
+        with pytest.raises(ValueError):
+            PercentilePartitions(-0.1)
+
+    def test_p_one_still_seeds_every_group(self, rng):
+        # p=1 means "no seeds" by the split; the clamp keeps one seed per
+        # group so the grouping stays well-formed.
+        skills = random_positive_skills(12, rng)
+        grouping = PercentilePartitions(1.0).propose(skills, 3, rng)
+        assert grouping.k == 3
+
+    def test_p_zero_everyone_is_a_seed(self, rng):
+        skills = random_positive_skills(12, rng)
+        grouping = PercentilePartitions(0.0).propose(skills, 3, rng)
+        assert grouping.n == 12
+
+    def test_deterministic(self, rng):
+        skills = random_positive_skills(12, rng)
+        policy = PercentilePartitions()
+        assert policy.propose(skills, 3, rng) == policy.propose(skills, 3, rng)
+
+    def test_repr_mentions_p(self):
+        assert "0.75" in repr(PercentilePartitions())
+
+    def test_name(self):
+        assert PercentilePartitions().name == "percentile"

@@ -1,0 +1,50 @@
+"""Unit tests for the Random-Assignment baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_assignment import RandomAssignment
+
+from tests.conftest import random_positive_skills
+
+
+class TestRandomAssignment:
+    def test_valid_partition(self, rng):
+        skills = random_positive_skills(12, rng)
+        grouping = RandomAssignment().propose(skills, 3, rng)
+        assert grouping.n == 12
+        assert grouping.k == 3
+        assert grouping.group_size == 4
+
+    def test_uses_rng(self, rng):
+        skills = random_positive_skills(12, rng)
+        policy = RandomAssignment()
+        a = policy.propose(skills, 3, np.random.default_rng(1))
+        b = policy.propose(skills, 3, np.random.default_rng(1))
+        c = policy.propose(skills, 3, np.random.default_rng(2))
+        assert a == b
+        assert a != c
+
+    def test_rejects_indivisible(self, rng):
+        with pytest.raises(ValueError):
+            RandomAssignment().propose(random_positive_skills(10, rng), 3, rng)
+
+    def test_roughly_uniform_over_partitions(self):
+        # For n=4, k=2 there are 3 partitions; with many draws each should
+        # appear roughly 1/3 of the time.
+        skills = np.array([1.0, 2.0, 3.0, 4.0])
+        rng = np.random.default_rng(0)
+        policy = RandomAssignment()
+        counts: dict = {}
+        draws = 1500
+        for _ in range(draws):
+            grouping = policy.propose(skills, 2, rng)
+            counts[grouping.canonical()] = counts.get(grouping.canonical(), 0) + 1
+        assert len(counts) == 3
+        for count in counts.values():
+            assert count / draws == pytest.approx(1 / 3, abs=0.06)
+
+    def test_name(self):
+        assert RandomAssignment().name == "random"

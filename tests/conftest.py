@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import Grouping
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def toy_skills() -> np.ndarray:
+    """The paper's 9-student toy example."""
+    return np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+
+
+def random_grouping(n: int, k: int, rng: np.random.Generator) -> Grouping:
+    """A uniformly random equi-sized grouping (test helper)."""
+    order = rng.permutation(n)
+    size = n // k
+    return Grouping(order[i * size : (i + 1) * size] for i in range(k))
+
+
+def random_positive_skills(n: int, rng: np.random.Generator, *, scale: float = 10.0) -> np.ndarray:
+    """Random strictly positive skills with occasional ties."""
+    values = rng.uniform(0.01, scale, size=n)
+    # Inject ties into roughly 20% of entries to exercise tie handling.
+    tie_count = max(n // 5, 0)
+    if tie_count >= 2:
+        idx = rng.choice(n, size=tie_count, replace=False)
+        values[idx] = values[idx[0]]
+    return values

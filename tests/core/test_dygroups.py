@@ -1,0 +1,119 @@
+"""Unit and paper-reproduction tests for repro.core.dygroups (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dygroups import DyGroupsClique, DyGroupsStar, dygroups, dygroups_policy
+from repro.core.interactions import Clique, Star
+
+
+class TestDyGroupsToyExample:
+    """The Section III walk-throughs, reproduced exactly."""
+
+    def test_star_total_gain(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=3, rate=0.5, mode="star")
+        assert result.total_gain == pytest.approx(2.55)
+
+    def test_clique_total_gain(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=3, rate=0.5, mode="clique")
+        assert result.total_gain == pytest.approx(2.334375)
+
+    def test_star_round1_updated_skills(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=1, rate=0.5, mode="star")
+        expected = sorted([0.9, 0.8, 0.7, 0.75, 0.7, 0.6, 0.55, 0.45, 0.4], reverse=True)
+        np.testing.assert_allclose(sorted(result.final_skills, reverse=True), expected)
+
+    def test_clique_round1_updated_skills(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=1, rate=0.5, mode="clique")
+        expected = sorted(
+            [0.9, 0.8, 0.75, 0.7, 0.65, 0.55, 0.525, 0.425, 0.325], reverse=True
+        )
+        np.testing.assert_allclose(sorted(result.final_skills, reverse=True), expected)
+
+    def test_star_final_skills(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=3, rate=0.5, mode="star")
+        expected = sorted(
+            [0.9, 0.8, 0.8, 0.85, 0.825, 0.75, 0.7375, 0.70, 0.6875], reverse=True
+        )
+        np.testing.assert_allclose(sorted(result.final_skills, reverse=True), expected)
+
+    def test_clique_final_skills(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=3, rate=0.5, mode="clique")
+        expected = sorted(
+            [0.9, 0.825, 0.8, 0.8, 0.7625, 0.7375, 0.73125, 0.66875, 0.609375],
+            reverse=True,
+        )
+        np.testing.assert_allclose(sorted(result.final_skills, reverse=True), expected)
+
+
+class TestDyGroupsDriver:
+    def test_records_alpha_groupings(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=4, rate=0.5)
+        assert len(result.groupings) == 4
+
+    def test_policies_are_deterministic(self, toy_skills, rng):
+        a = DyGroupsStar().propose(toy_skills, 3, rng)
+        b = DyGroupsStar().propose(toy_skills, 3, rng)
+        assert a == b
+
+    def test_policy_names(self):
+        assert DyGroupsStar().name == "dygroups-star"
+        assert DyGroupsClique().name == "dygroups-clique"
+
+    def test_dygroups_policy_resolution(self):
+        assert isinstance(dygroups_policy("star"), DyGroupsStar)
+        assert isinstance(dygroups_policy("clique"), DyGroupsClique)
+        assert isinstance(dygroups_policy(Star()), DyGroupsStar)
+        assert isinstance(dygroups_policy(Clique()), DyGroupsClique)
+
+    def test_dygroups_policy_unknown_mode(self):
+        with pytest.raises(ValueError):
+            dygroups_policy("mesh")
+
+    def test_more_rounds_more_gain(self, toy_skills):
+        short = dygroups(toy_skills, k=3, alpha=2, rate=0.5)
+        long = dygroups(toy_skills, k=3, alpha=6, rate=0.5)
+        assert long.total_gain > short.total_gain
+
+    def test_gain_bounded_by_learnable_skill(self, toy_skills):
+        # No algorithm can deliver more than sum(max - s_i).
+        from repro.core.objective import b_objective
+
+        result = dygroups(toy_skills, k=3, alpha=50, rate=0.5)
+        assert result.total_gain <= b_objective(toy_skills) + 1e-9
+
+    @pytest.mark.parametrize("mode", ["star", "clique"])
+    def test_beats_reversed_local_optimum(self, toy_skills, mode):
+        # DyGroups >= the paper's "arbitrary local optimum" walk-through.
+        from repro.baselines.local_optimum import ArbitraryLocalOptimum
+        from repro.core.simulation import simulate
+
+        ours = dygroups(toy_skills, k=3, alpha=3, rate=0.5, mode=mode)
+        theirs = simulate(
+            ArbitraryLocalOptimum("reversed"),
+            toy_skills,
+            k=3,
+            alpha=3,
+            mode=mode,
+            rate=0.5,
+            seed=0,
+        )
+        assert ours.total_gain >= theirs.total_gain - 1e-12
+
+    def test_reversed_local_optimum_matches_paper(self, toy_skills):
+        # The paper's walk-through of an arbitrary local optimum: 2.4.
+        from repro.baselines.local_optimum import ArbitraryLocalOptimum
+        from repro.core.simulation import simulate
+
+        result = simulate(
+            ArbitraryLocalOptimum("reversed"),
+            toy_skills,
+            k=3,
+            alpha=3,
+            mode="star",
+            rate=0.5,
+            seed=0,
+        )
+        assert result.total_gain == pytest.approx(2.4)

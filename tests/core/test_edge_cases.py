@@ -1,0 +1,125 @@
+"""Numeric and structural edge cases for the core engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dygroups import dygroups
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.core.local import dygroups_clique_local, dygroups_star_local
+from repro.core.update import update_clique, update_clique_naive, update_star
+
+
+class TestSingleGroup:
+    """k = 1: the whole population is one group."""
+
+    def test_star_single_group(self):
+        skills = np.array([1.0, 2.0, 3.0, 4.0])
+        result = dygroups(skills, k=1, alpha=1, rate=0.5, mode="star")
+        np.testing.assert_allclose(
+            np.sort(result.final_skills), [2.5, 3.0, 3.5, 4.0]
+        )
+
+    def test_clique_single_group(self):
+        skills = np.array([1.0, 2.0, 3.0, 4.0])
+        result = dygroups(skills, k=1, alpha=1, rate=0.5, mode="clique")
+        assert result.total_gain > 0
+        assert result.final_skills.max() == 4.0
+
+    def test_single_group_grouping_is_unique(self):
+        skills = np.array([1.0, 2.0, 3.0])
+        assert dygroups_star_local(skills, 1) == dygroups_clique_local(skills, 1)
+
+
+class TestPairGroups:
+    """Group size exactly 2 — the smallest legal group."""
+
+    def test_star_equals_clique_for_pairs(self, rng):
+        skills = rng.uniform(0.1, 10.0, size=10)
+        grouping = dygroups_star_local(skills, 5)
+        gain = LinearGain(0.5)
+        np.testing.assert_allclose(
+            update_star(skills, grouping, gain), update_clique(skills, grouping, gain)
+        )
+
+    def test_pairing_structure(self):
+        # Star-local with pairs: teacher i paired with rank k+i.
+        skills = np.array([6.0, 5.0, 4.0, 3.0, 2.0, 1.0])
+        grouping = dygroups_star_local(skills, 3)
+        pairs = {tuple(sorted(skills[list(g)])) for g in grouping}
+        assert pairs == {(3.0, 6.0), (2.0, 5.0), (1.0, 4.0)}
+
+
+class TestNumericExtremes:
+    def test_tiny_skills(self):
+        skills = np.full(6, 1e-12)
+        skills[0] = 2e-12
+        result = dygroups(skills, k=3, alpha=2, rate=0.5, mode="star")
+        assert np.all(np.isfinite(result.final_skills))
+        assert result.final_skills.max() == pytest.approx(2e-12)
+
+    def test_huge_skills(self):
+        skills = np.array([1e12, 1e11, 1e10, 1e9, 1e8, 1e7])
+        result = dygroups(skills, k=2, alpha=3, rate=0.5, mode="clique")
+        assert np.all(np.isfinite(result.final_skills))
+        assert result.final_skills.max() == pytest.approx(1e12)
+
+    def test_mixed_scales_no_catastrophic_cancellation(self):
+        skills = np.array([1e-9, 1e9, 2e-9, 2e9, 3e-9, 3e9])
+        gain = LinearGain(0.5)
+        grouping = dygroups_clique_local(skills, 2)
+        fast = update_clique(skills, grouping, gain)
+        naive = update_clique_naive(skills, grouping, gain)
+        np.testing.assert_allclose(fast, naive, rtol=1e-9)
+
+    @pytest.mark.parametrize("rate", [1e-6, 1.0 - 1e-6])
+    def test_rate_near_bounds(self, rate, rng):
+        skills = rng.uniform(0.1, 1.0, size=9)
+        result = dygroups(skills, k=3, alpha=2, rate=rate, mode="star")
+        assert np.all(result.final_skills >= skills - 1e-12)
+        assert np.all(result.final_skills <= skills.max() + 1e-12)
+
+    def test_near_tie_values(self):
+        # Values separated by one ulp must not break sorting or updates.
+        base = 0.5
+        skills = np.array([base, np.nextafter(base, 1.0), np.nextafter(base, 0.0), 1.0])
+        result = dygroups(skills, k=2, alpha=2, rate=0.5, mode="clique")
+        assert np.all(np.isfinite(result.final_skills))
+
+
+class TestManyRounds:
+    def test_deep_saturation_is_stable(self, rng):
+        # Hundreds of rounds: everyone converges to the max, no drift
+        # beyond it, gains go to ~0.
+        skills = rng.uniform(0.1, 1.0, size=12)
+        result = dygroups(skills, k=3, alpha=300, rate=0.5, mode="star")
+        np.testing.assert_allclose(result.final_skills, skills.max(), rtol=1e-8)
+        assert result.round_gains[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_gain_approaches_learnable_bound(self, rng):
+        from repro.core.objective import b_objective
+
+        skills = rng.uniform(0.1, 1.0, size=12)
+        result = dygroups(skills, k=3, alpha=300, rate=0.5, mode="star")
+        assert result.total_gain == pytest.approx(b_objective(skills), rel=1e-6)
+
+
+class TestDuplicateHeavyPopulations:
+    def test_all_but_one_identical(self):
+        skills = np.array([1.0] * 8 + [9.0])
+        grouping = Grouping([range(0, 3), range(3, 6), range(6, 9)])
+        updated = update_clique(skills, grouping, LinearGain(0.5))
+        # Only the group containing 9.0 learns.
+        assert float(np.sum(updated - skills)) > 0
+        assert np.all(updated[:6] == 1.0)
+
+    def test_zipf_style_many_ties(self, rng):
+        skills = rng.choice([1.0, 1.0, 1.0, 2.0, 3.0], size=20).astype(np.float64)
+        gain = LinearGain(0.5)
+        grouping = dygroups_clique_local(skills, 4)
+        np.testing.assert_allclose(
+            update_clique(skills, grouping, gain),
+            update_clique_naive(skills, grouping, gain),
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.gain_functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gain_functions import LinearGain, pairwise_gain
+
+
+class TestLinearGain:
+    def test_scalar_value(self):
+        assert LinearGain(0.5)(0.6) == pytest.approx(0.3)
+
+    def test_zero_delta_gives_zero(self):
+        assert LinearGain(0.3)(0.0) == 0.0
+
+    def test_vectorized(self):
+        gain = LinearGain(0.25)
+        deltas = np.array([0.0, 1.0, 4.0])
+        np.testing.assert_allclose(gain(deltas), [0.0, 0.25, 1.0])
+
+    def test_scalar_returns_python_float(self):
+        assert isinstance(LinearGain(0.5)(1.0), float)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LinearGain(0.5)(-0.1)
+        with pytest.raises(ValueError):
+            LinearGain(0.5)(np.array([0.1, -0.2]))
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_invalid_rate(self, rate):
+        with pytest.raises(ValueError):
+            LinearGain(rate)
+
+    def test_is_linear_flag(self):
+        assert LinearGain(0.5).is_linear
+
+    def test_rate_property(self):
+        assert LinearGain(0.7).rate == 0.7
+
+    def test_equality_and_hash(self):
+        assert LinearGain(0.5) == LinearGain(0.5)
+        assert LinearGain(0.5) != LinearGain(0.6)
+        assert hash(LinearGain(0.5)) == hash(LinearGain(0.5))
+
+    def test_repr(self):
+        assert "0.5" in repr(LinearGain(0.5))
+
+
+class TestDirectedGain:
+    def test_teacher_above_learner(self):
+        gain = LinearGain(0.5)
+        assert gain.directed_gain(0.9, 0.3) == pytest.approx(0.3)
+
+    def test_teacher_below_learner_is_zero(self):
+        gain = LinearGain(0.5)
+        assert gain.directed_gain(0.3, 0.9) == 0.0
+
+    def test_equal_skills_zero(self):
+        gain = LinearGain(0.5)
+        assert gain.directed_gain(0.4, 0.4) == 0.0
+
+    def test_vectorized_learners(self):
+        gain = LinearGain(0.5)
+        learners = np.array([0.1, 0.5, 0.9])
+        np.testing.assert_allclose(gain.directed_gain(0.5, learners), [0.2, 0.0, 0.0])
+
+
+class TestPairwiseGain:
+    def test_paper_example(self):
+        # Section II: skills 0.3 and 0.9 with r=0.5 -> learner gains 0.3.
+        gain = LinearGain(0.5)
+        assert pairwise_gain(gain, 0.9, 0.3) == pytest.approx(0.3)
+
+    def test_zero_when_not_more_skilled(self):
+        gain = LinearGain(0.5)
+        assert pairwise_gain(gain, 0.3, 0.9) == 0.0
+        assert pairwise_gain(gain, 0.5, 0.5) == 0.0

@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import Group, Grouping
+
+
+class TestGroup:
+    def test_members_coerced_to_int(self):
+        group = Group([np.int64(1), 2.0])
+        assert tuple(group) == (1, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Group([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Group([0, -1])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Group([1, 1])
+
+    def test_indices_array(self):
+        idx = Group([3, 1]).indices()
+        assert idx.dtype == np.intp
+        assert idx.tolist() == [3, 1]
+
+    def test_is_tuple(self):
+        group = Group([2, 0])
+        assert isinstance(group, tuple)
+        assert group[0] == 2
+
+
+class TestGroupingConstruction:
+    def test_valid_partition(self):
+        grouping = Grouping([[0, 3], [1, 2]])
+        assert grouping.n == 4
+        assert grouping.k == 2
+        assert grouping.group_size == 2
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            Grouping([[0, 1], [1, 2]])
+
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError, match="cover"):
+            Grouping([[0, 1], [3, 4]])
+
+    def test_rejects_uneven_sizes(self):
+        with pytest.raises(ValueError, match="equi-sized"):
+            Grouping([[0, 1, 2], [3]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Grouping([])
+
+    def test_rejects_wrong_n(self):
+        with pytest.raises(ValueError, match="expected n"):
+            Grouping([[0, 1], [2, 3]], n=6)
+
+    def test_accepts_matching_n(self):
+        assert Grouping([[0, 1], [2, 3]], n=4).n == 4
+
+
+class TestGroupingAccessors:
+    def test_assignment_labels(self):
+        grouping = Grouping([[0, 2], [1, 3]])
+        assert grouping.assignment.tolist() == [0, 1, 0, 1]
+
+    def test_assignment_is_a_copy(self):
+        grouping = Grouping([[0, 1], [2, 3]])
+        labels = grouping.assignment
+        labels[0] = 99
+        assert grouping.assignment[0] == 0
+
+    def test_group_of(self):
+        grouping = Grouping([[0, 2], [1, 3]])
+        assert grouping.group_of(2) == 0
+        assert grouping.group_of(3) == 1
+
+    def test_group_of_out_of_range(self):
+        grouping = Grouping([[0, 1]])
+        with pytest.raises(IndexError):
+            grouping.group_of(5)
+
+    def test_iteration_and_indexing(self):
+        grouping = Grouping([[0, 1], [2, 3]])
+        groups = list(grouping)
+        assert len(groups) == 2
+        assert grouping[1] == groups[1]
+        assert len(grouping) == 2
+
+
+class TestGroupingEquality:
+    def test_equal_regardless_of_order(self):
+        a = Grouping([[0, 1], [2, 3]])
+        b = Grouping([[3, 2], [1, 0]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_partitions_unequal(self):
+        a = Grouping([[0, 1], [2, 3]])
+        b = Grouping([[0, 2], [1, 3]])
+        assert a != b
+
+    def test_canonical_form(self):
+        grouping = Grouping([[3, 2], [1, 0]])
+        assert grouping.canonical() == ((0, 1), (2, 3))
+
+
+class TestGroupingConstructors:
+    def test_from_assignment(self):
+        grouping = Grouping.from_assignment([0, 1, 0, 1])
+        assert grouping == Grouping([[0, 2], [1, 3]])
+
+    def test_from_assignment_rejects_empty_group_label(self):
+        with pytest.raises(ValueError):
+            Grouping.from_assignment([0, 0, 2, 2])
+
+    def test_from_assignment_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Grouping.from_assignment([0, -1])
+
+    def test_blocks_of_sorted(self):
+        order = np.array([4, 2, 0, 1, 3, 5])
+        grouping = Grouping.blocks_of_sorted(order, 2)
+        assert list(grouping[0]) == [4, 2, 0]
+        assert list(grouping[1]) == [1, 3, 5]
+
+    def test_blocks_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            Grouping.blocks_of_sorted(np.arange(5), 2)
+
+    def test_repr_round_trips_structure(self):
+        grouping = Grouping([[0, 1], [2, 3]])
+        assert "Grouping" in repr(grouping)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.interactions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Group, Grouping
+from repro.core.interactions import MODES, Clique, Star, get_mode
+
+from tests.conftest import random_grouping, random_positive_skills
+
+GAIN = LinearGain(0.5)
+
+
+class TestGetMode:
+    def test_resolves_names(self):
+        assert get_mode("star") == Star()
+        assert get_mode("clique") == Clique()
+
+    def test_case_insensitive(self):
+        assert get_mode("STAR") == Star()
+
+    def test_instance_passthrough(self):
+        mode = Star()
+        assert get_mode(mode) is mode
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown interaction mode"):
+            get_mode("mesh")
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            get_mode(42)
+
+    def test_registry_contents(self):
+        assert set(MODES) == {"star", "clique"}
+
+
+class TestModeEquality:
+    def test_same_type_equal(self):
+        assert Star() == Star()
+        assert Clique() == Clique()
+
+    def test_different_types_unequal(self):
+        assert Star() != Clique()
+
+    def test_hashable(self):
+        assert len({Star(), Star(), Clique()}) == 2
+
+
+class TestStarGroupGain:
+    def test_paper_example(self):
+        # Section II: [0.9, 0.5, 0.3] star group gain is 0.5 (r=0.5).
+        skills = np.array([0.9, 0.5, 0.3])
+        assert Star().group_gain(skills, Group([0, 1, 2]), GAIN) == pytest.approx(0.5)
+
+    def test_gain_is_zero_for_equal_skills(self):
+        skills = np.array([2.0, 2.0, 2.0])
+        assert Star().group_gain(skills, Group([0, 1, 2]), GAIN) == 0.0
+
+
+class TestCliqueGroupGain:
+    def test_paper_example(self):
+        # Section II: [0.9, 0.5, 0.3] clique group gain is 0.4 (r=0.5).
+        skills = np.array([0.9, 0.5, 0.3])
+        assert Clique().group_gain(skills, Group([0, 1, 2]), GAIN) == pytest.approx(0.4)
+
+    def test_two_members_equals_star(self):
+        skills = np.array([0.8, 0.2])
+        group = Group([0, 1])
+        assert Clique().group_gain(skills, group, GAIN) == pytest.approx(
+            Star().group_gain(skills, group, GAIN)
+        )
+
+
+class TestRoundGainConsistency:
+    """round_gain must equal the sum of per-group gains (Equation 3)."""
+
+    @pytest.mark.parametrize("mode", [Star(), Clique()])
+    def test_round_gain_equals_sum_of_group_gains(self, mode, rng):
+        for _ in range(10):
+            skills = random_positive_skills(12, rng)
+            grouping = random_grouping(12, 3, rng)
+            total = mode.round_gain(skills, grouping, GAIN)
+            by_groups = sum(mode.group_gain(skills, g, GAIN) for g in grouping)
+            assert total == pytest.approx(by_groups, rel=1e-10, abs=1e-12)
+
+    @pytest.mark.parametrize("mode", [Star(), Clique()])
+    def test_round_gain_equals_skill_increase(self, mode, rng):
+        skills = random_positive_skills(12, rng)
+        grouping = random_grouping(12, 4, rng)
+        updated = mode.update(skills, grouping, GAIN)
+        assert mode.round_gain(skills, grouping, GAIN) == pytest.approx(
+            float(np.sum(updated - skills))
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.local (Algorithms 2 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gain_functions import LinearGain
+from repro.core.interactions import Clique, Star
+from repro.core.local import dygroups_clique_local, dygroups_star_local
+
+from tests.conftest import random_grouping, random_positive_skills
+
+GAIN = LinearGain(0.5)
+
+
+def groups_as_skill_sets(skills, grouping):
+    return [sorted(float(skills[m]) for m in group) for group in grouping]
+
+
+class TestStarLocal:
+    def test_paper_toy_round1(self, toy_skills):
+        grouping = dygroups_star_local(toy_skills, 3)
+        assert groups_as_skill_sets(toy_skills, grouping) == [
+            [0.5, 0.6, 0.9],
+            [0.3, 0.4, 0.8],
+            [0.1, 0.2, 0.7],
+        ]
+
+    def test_teachers_are_top_k(self, rng):
+        skills = random_positive_skills(20, rng)
+        grouping = dygroups_star_local(skills, 4)
+        maxima = sorted((float(skills[list(g)].max()) for g in grouping), reverse=True)
+        np.testing.assert_allclose(maxima, np.sort(skills)[::-1][:4])
+
+    def test_teacher_is_first_member_of_each_group(self, toy_skills):
+        grouping = dygroups_star_local(toy_skills, 3)
+        for group in grouping:
+            values = toy_skills[list(group)]
+            assert values[0] == values.max()
+
+    def test_descending_blocks(self, rng):
+        # Every non-teacher in group i must be >= every non-teacher in
+        # group i+1 (the variance-maximizing block property).
+        skills = random_positive_skills(24, rng)
+        grouping = dygroups_star_local(skills, 4)
+        for i in range(grouping.k - 1):
+            low_i = min(float(skills[m]) for m in list(grouping[i])[1:])
+            high_next = max(float(skills[m]) for m in list(grouping[i + 1])[1:])
+            assert low_i >= high_next - 1e-12
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            dygroups_star_local(np.arange(1.0, 8.0), 3)
+
+    def test_maximizes_round_gain_vs_random(self, rng):
+        mode = Star()
+        for _ in range(10):
+            skills = random_positive_skills(12, rng)
+            local = dygroups_star_local(skills, 3)
+            local_gain = mode.round_gain(skills, local, GAIN)
+            random_gain = mode.round_gain(skills, random_grouping(12, 3, rng), GAIN)
+            assert local_gain >= random_gain - 1e-12
+
+    def test_deterministic(self, toy_skills):
+        assert dygroups_star_local(toy_skills, 3) == dygroups_star_local(toy_skills, 3)
+
+
+class TestCliqueLocal:
+    def test_paper_toy_round1(self, toy_skills):
+        grouping = dygroups_clique_local(toy_skills, 3)
+        assert groups_as_skill_sets(toy_skills, grouping) == [
+            [0.3, 0.6, 0.9],
+            [0.2, 0.5, 0.8],
+            [0.1, 0.4, 0.7],
+        ]
+
+    def test_rankwise_dominance(self, rng):
+        # j-th ranked skill in group i >= j-th ranked skill in group i+1.
+        skills = random_positive_skills(20, rng)
+        grouping = dygroups_clique_local(skills, 4)
+        ranked = [sorted((float(skills[m]) for m in g), reverse=True) for g in grouping]
+        for i in range(len(ranked) - 1):
+            for j in range(len(ranked[i])):
+                assert ranked[i][j] >= ranked[i + 1][j] - 1e-12
+
+    def test_maximizes_round_gain_vs_random(self, rng):
+        mode = Clique()
+        for _ in range(10):
+            skills = random_positive_skills(12, rng)
+            local = dygroups_clique_local(skills, 3)
+            local_gain = mode.round_gain(skills, local, GAIN)
+            random_gain = mode.round_gain(skills, random_grouping(12, 3, rng), GAIN)
+            assert local_gain >= random_gain - 1e-12
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            dygroups_clique_local(np.arange(1.0, 8.0), 3)
+
+    def test_deterministic(self, toy_skills):
+        assert dygroups_clique_local(toy_skills, 3) == dygroups_clique_local(toy_skills, 3)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.objective."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.core.local import dygroups_star_local
+from repro.core.objective import (
+    b_distances,
+    b_objective,
+    gain_from_trajectory,
+    learning_gain,
+    total_learning_gain,
+)
+from repro.core.update import update_star
+
+from tests.conftest import random_grouping, random_positive_skills
+
+GAIN = LinearGain(0.5)
+
+
+class TestLearningGain:
+    def test_matches_paper_round1(self, toy_skills):
+        grouping = dygroups_star_local(toy_skills, 3)
+        assert learning_gain(toy_skills, grouping, "star", GAIN) == pytest.approx(1.35)
+
+    def test_zero_for_uniform_skills(self):
+        skills = np.full(6, 2.0)
+        grouping = Grouping([[0, 1, 2], [3, 4, 5]])
+        assert learning_gain(skills, grouping, "star", GAIN) == 0.0
+        assert learning_gain(skills, grouping, "clique", GAIN) == 0.0
+
+
+class TestTotalLearningGain:
+    def test_sequence_accumulates(self, toy_skills):
+        g1 = dygroups_star_local(toy_skills, 3)
+        after1 = update_star(toy_skills, g1, GAIN)
+        g2 = dygroups_star_local(after1, 3)
+        total = total_learning_gain(toy_skills, [g1, g2], "star", GAIN)
+        expected = learning_gain(toy_skills, g1, "star", GAIN) + learning_gain(
+            after1, g2, "star", GAIN
+        )
+        assert total == pytest.approx(expected)
+
+    def test_input_not_mutated(self, toy_skills):
+        before = toy_skills.copy()
+        total_learning_gain(toy_skills, [dygroups_star_local(toy_skills, 3)], "star", GAIN)
+        np.testing.assert_array_equal(toy_skills, before)
+
+    def test_empty_sequence_is_zero(self, toy_skills):
+        assert total_learning_gain(toy_skills, [], "star", GAIN) == 0.0
+
+
+class TestGainFromTrajectory:
+    def test_telescoped_identity(self, rng):
+        # Total gain over rounds == final total skill - initial total skill.
+        skills = random_positive_skills(12, rng)
+        groupings = []
+        current = skills
+        total = 0.0
+        for _ in range(3):
+            grouping = random_grouping(12, 3, rng)
+            groupings.append(grouping)
+            updated = update_star(current, grouping, GAIN)
+            total += float(np.sum(updated - current))
+            current = updated
+        assert gain_from_trajectory(skills, current) == pytest.approx(total)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            gain_from_trajectory(np.ones(3), np.ones(4))
+
+
+class TestBDistances:
+    def test_paper_example(self):
+        skills = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1])
+        expected = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+        np.testing.assert_allclose(b_distances(skills), expected)
+
+    def test_b_objective_is_sum(self):
+        skills = np.array([0.9, 0.8, 0.7])
+        assert b_objective(skills) == pytest.approx(0.1 + 0.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            b_distances(np.array([]))
+
+    def test_b_objective_decrease_equals_gain(self, rng):
+        # One round of learning reduces the b-objective by exactly the
+        # round's learning gain (the max skill never changes).
+        skills = random_positive_skills(12, rng)
+        grouping = random_grouping(12, 3, rng)
+        updated = update_star(skills, grouping, GAIN)
+        gain = float(np.sum(updated - skills))
+        assert b_objective(skills) - b_objective(updated) == pytest.approx(gain)

@@ -1,0 +1,189 @@
+"""Unit tests for repro.core.simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.core.gain_functions import LinearGain
+from repro.core.simulation import GroupingPolicy, simulate
+from repro.core.dygroups import DyGroupsStar
+from repro.baselines.random_assignment import RandomAssignment
+
+
+class _FixedPolicy(GroupingPolicy):
+    """Always returns the same blocks-in-order grouping."""
+
+    name = "fixed"
+
+    def propose(self, skills, k, rng):
+        n = len(skills)
+        size = n // k
+        return Grouping([range(i * size, (i + 1) * size) for i in range(k)])
+
+
+class _BadPolicy(GroupingPolicy):
+    """Returns a grouping with the wrong number of groups."""
+
+    name = "bad"
+
+    def propose(self, skills, k, rng):
+        return Grouping([range(len(skills))])
+
+
+class _CountingPolicy(GroupingPolicy):
+    """Counts reset and propose calls."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.resets = 0
+        self.proposals = 0
+
+    def reset(self):
+        self.resets += 1
+
+    def propose(self, skills, k, rng):
+        self.proposals += 1
+        return _FixedPolicy().propose(skills, k, rng)
+
+
+class TestSimulateBasics:
+    def test_result_fields(self, toy_skills):
+        result = simulate(_FixedPolicy(), toy_skills, k=3, alpha=2, mode="star", rate=0.5)
+        assert result.policy_name == "fixed"
+        assert result.mode_name == "star"
+        assert result.k == 3
+        assert result.alpha == 2
+        assert result.n == 9
+        assert len(result.round_gains) == 2
+        assert len(result.groupings) == 2
+
+    def test_total_gain_equals_skill_increase(self, toy_skills):
+        result = simulate(_FixedPolicy(), toy_skills, k=3, alpha=3, mode="clique", rate=0.5)
+        assert result.total_gain == pytest.approx(
+            float(np.sum(result.final_skills - result.initial_skills))
+        )
+
+    def test_cumulative_gains(self, toy_skills):
+        result = simulate(_FixedPolicy(), toy_skills, k=3, alpha=3, mode="star", rate=0.5)
+        np.testing.assert_allclose(result.cumulative_gains, np.cumsum(result.round_gains))
+
+    def test_initial_skills_snapshot_isolated(self, toy_skills):
+        result = simulate(_FixedPolicy(), toy_skills, k=3, alpha=1, mode="star", rate=0.5)
+        toy_skills[0] = 123.0
+        assert result.initial_skills[0] == 0.1
+
+    def test_record_history(self, toy_skills):
+        result = simulate(
+            _FixedPolicy(), toy_skills, k=3, alpha=2, mode="star", rate=0.5, record_history=True
+        )
+        assert result.skill_history is not None
+        assert result.skill_history.shape == (3, 9)
+        np.testing.assert_allclose(result.skill_history[0], result.initial_skills)
+        np.testing.assert_allclose(result.skill_history[-1], result.final_skills)
+
+    def test_no_history_by_default(self, toy_skills):
+        result = simulate(_FixedPolicy(), toy_skills, k=3, alpha=1, mode="star", rate=0.5)
+        assert result.skill_history is None
+
+    def test_skip_grouping_recording(self, toy_skills):
+        result = simulate(
+            _FixedPolicy(), toy_skills, k=3, alpha=2, mode="star", rate=0.5, record_groupings=False
+        )
+        assert result.groupings == ()
+
+    def test_str_contains_key_facts(self, toy_skills):
+        result = simulate(_FixedPolicy(), toy_skills, k=3, alpha=1, mode="star", rate=0.5)
+        text = str(result)
+        assert "fixed" in text and "star" in text
+
+
+class TestSimulateValidation:
+    def test_requires_exactly_one_gain_spec(self, toy_skills):
+        with pytest.raises(ValueError, match="exactly one"):
+            simulate(_FixedPolicy(), toy_skills, k=3, alpha=1, mode="star")
+        with pytest.raises(ValueError, match="exactly one"):
+            simulate(
+                _FixedPolicy(),
+                toy_skills,
+                k=3,
+                alpha=1,
+                mode="star",
+                rate=0.5,
+                gain=LinearGain(0.5),
+            )
+
+    def test_rejects_rng_and_seed_together(self, toy_skills):
+        with pytest.raises(ValueError, match="at most one"):
+            simulate(
+                _FixedPolicy(),
+                toy_skills,
+                k=3,
+                alpha=1,
+                mode="star",
+                rate=0.5,
+                seed=1,
+                rng=np.random.default_rng(2),
+            )
+
+    def test_rejects_bad_policy_output(self, toy_skills):
+        with pytest.raises(ValueError, match="returned a grouping"):
+            simulate(_BadPolicy(), toy_skills, k=3, alpha=1, mode="star", rate=0.5)
+
+    def test_rejects_indivisible_k(self, toy_skills):
+        with pytest.raises(ValueError):
+            simulate(_FixedPolicy(), toy_skills, k=2, alpha=1, mode="star", rate=0.5)
+
+    def test_mode_mismatch_with_required_mode(self, toy_skills):
+        policy = _FixedPolicy()
+        policy.required_mode = "clique"
+        with pytest.raises(ValueError, match="optimizes for mode"):
+            simulate(policy, toy_skills, k=3, alpha=1, mode="star", rate=0.5)
+
+
+class TestSimulateDeterminism:
+    def test_same_seed_same_result(self, toy_skills):
+        a = simulate(RandomAssignment(), toy_skills, k=3, alpha=3, mode="star", rate=0.5, seed=42)
+        b = simulate(RandomAssignment(), toy_skills, k=3, alpha=3, mode="star", rate=0.5, seed=42)
+        np.testing.assert_array_equal(a.final_skills, b.final_skills)
+        assert a.groupings == b.groupings
+
+    def test_different_seeds_differ(self, toy_skills):
+        a = simulate(RandomAssignment(), toy_skills, k=3, alpha=3, mode="star", rate=0.5, seed=1)
+        b = simulate(RandomAssignment(), toy_skills, k=3, alpha=3, mode="star", rate=0.5, seed=2)
+        assert a.groupings != b.groupings
+
+    def test_reset_called_once_per_simulation(self, toy_skills):
+        policy = _CountingPolicy()
+        simulate(policy, toy_skills, k=3, alpha=4, mode="star", rate=0.5)
+        assert policy.resets == 1
+        assert policy.proposals == 4
+
+
+class TestSimulateInvariants:
+    @pytest.mark.parametrize("mode", ["star", "clique"])
+    def test_skills_never_decrease(self, toy_skills, mode):
+        result = simulate(
+            RandomAssignment(),
+            toy_skills,
+            k=3,
+            alpha=5,
+            mode=mode,
+            rate=0.5,
+            seed=7,
+            record_history=True,
+        )
+        history = result.skill_history
+        assert history is not None
+        assert np.all(np.diff(history, axis=0) >= -1e-12)
+
+    @pytest.mark.parametrize("mode", ["star", "clique"])
+    def test_max_skill_invariant(self, toy_skills, mode):
+        result = simulate(DyGroupsStar(), toy_skills, k=3, alpha=5, mode=mode, rate=0.5)
+        assert result.final_skills.max() == pytest.approx(0.9)
+
+    def test_round_gains_non_negative(self, toy_skills):
+        result = simulate(RandomAssignment(), toy_skills, k=3, alpha=5, mode="star", rate=0.5, seed=3)
+        assert np.all(result.round_gains >= 0.0)

@@ -1,0 +1,56 @@
+"""Unit tests for repro.core.skills."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.skills import descending_order, skill_variance, summarize
+
+
+class TestDescendingOrder:
+    def test_simple(self):
+        skills = np.array([0.3, 0.9, 0.1])
+        assert descending_order(skills).tolist() == [1, 0, 2]
+
+    def test_stable_on_ties(self):
+        skills = np.array([0.5, 0.9, 0.5, 0.5])
+        order = descending_order(skills)
+        # The tied 0.5s keep their original index order.
+        assert order.tolist() == [1, 0, 2, 3]
+
+    def test_sorted_input(self):
+        skills = np.array([0.9, 0.8, 0.7])
+        assert descending_order(skills).tolist() == [0, 1, 2]
+
+
+class TestSkillVariance:
+    def test_matches_numpy(self, rng):
+        skills = rng.uniform(1, 5, size=50)
+        assert skill_variance(skills) == pytest.approx(float(np.var(skills)))
+
+    def test_zero_for_constant(self):
+        assert skill_variance(np.full(5, 2.0)) == 0.0
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize(np.array([1.0, 2.0, 3.0]))
+        assert summary.n == 3
+        assert summary.total == pytest.approx(6.0)
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.variance == pytest.approx(2.0 / 3.0)
+
+    def test_str_contains_stats(self):
+        text = str(summarize(np.array([1.0, 2.0])))
+        assert "n=2" in text and "mean=" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            summarize(np.ones((2, 2)))

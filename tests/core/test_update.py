@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.update (skill-update engines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.core.update import (
+    group_max,
+    update_clique,
+    update_clique_naive,
+    update_star,
+    update_star_naive,
+)
+
+from tests.conftest import random_grouping, random_positive_skills
+
+
+GAIN = LinearGain(0.5)
+
+
+class TestGroupMax:
+    def test_per_group_maxima(self):
+        skills = np.array([0.1, 0.9, 0.5, 0.7])
+        grouping = Grouping([[0, 1], [2, 3]])
+        np.testing.assert_allclose(group_max(skills, grouping), [0.9, 0.7])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="entries"):
+            group_max(np.ones(3), Grouping([[0, 1], [2, 3]]))
+
+
+class TestStarUpdate:
+    def test_paper_star_example(self):
+        # Section II: group [0.9, 0.5, 0.3], star, r=0.5 -> [0.9, 0.7, 0.6].
+        skills = np.array([0.9, 0.5, 0.3])
+        grouping = Grouping([[0, 1, 2]])
+        np.testing.assert_allclose(update_star(skills, grouping, GAIN), [0.9, 0.7, 0.6])
+
+    def test_teacher_unchanged(self):
+        skills = np.array([2.0, 1.0, 5.0, 3.0])
+        grouping = Grouping([[0, 2], [1, 3]])
+        updated = update_star(skills, grouping, GAIN)
+        assert updated[2] == 5.0  # teacher of group 0
+        assert updated[3] == 3.0  # teacher of group 1
+
+    def test_learners_move_half_way(self):
+        skills = np.array([2.0, 6.0])
+        updated = update_star(skills, Grouping([[0, 1]]), GAIN)
+        np.testing.assert_allclose(updated, [4.0, 6.0])
+
+    def test_input_not_mutated(self):
+        skills = np.array([1.0, 2.0])
+        before = skills.copy()
+        update_star(skills, Grouping([[0, 1]]), GAIN)
+        np.testing.assert_array_equal(skills, before)
+
+    def test_matches_naive_on_random_instances(self, rng):
+        for _ in range(20):
+            n, k = 12, 3
+            skills = random_positive_skills(n, rng)
+            grouping = random_grouping(n, k, rng)
+            np.testing.assert_allclose(
+                update_star(skills, grouping, GAIN),
+                update_star_naive(skills, grouping, GAIN),
+            )
+
+    def test_all_equal_skills_no_change(self):
+        skills = np.full(6, 3.0)
+        grouping = Grouping([[0, 1, 2], [3, 4, 5]])
+        np.testing.assert_allclose(update_star(skills, grouping, GAIN), skills)
+
+
+class TestCliqueUpdate:
+    def test_paper_clique_example(self):
+        # Section II: group [0.9, 0.5, 0.3], clique, r=0.5 -> [0.9, 0.7, 0.5].
+        skills = np.array([0.9, 0.5, 0.3])
+        grouping = Grouping([[0, 1, 2]])
+        np.testing.assert_allclose(update_clique(skills, grouping, GAIN), [0.9, 0.7, 0.5])
+
+    def test_matches_naive_on_random_instances(self, rng):
+        for _ in range(20):
+            n, k = 12, 3
+            skills = random_positive_skills(n, rng)
+            grouping = random_grouping(n, k, rng)
+            np.testing.assert_allclose(
+                update_clique(skills, grouping, GAIN),
+                update_clique_naive(skills, grouping, GAIN),
+                err_msg=f"skills={skills.tolist()}",
+            )
+
+    def test_member_order_within_group_is_irrelevant(self):
+        # Equation 2 ranks by skill (ties stably by participant index), so
+        # listing a group's members in any order yields the same update.
+        skills = np.array([0.5, 0.5, 0.9, 0.1])
+        a = update_clique(skills, Grouping([[0, 1, 2, 3]]), GAIN)
+        b = update_clique(skills, Grouping([[3, 2, 1, 0]]), GAIN)
+        np.testing.assert_allclose(a, b)
+
+    def test_rank_divisor_tie_convention(self):
+        # Ranks (stable by index): 0.9, 0.5(id 0), 0.5(id 1), 0.1.
+        # id0 gains r·0.4/1 = 0.2; id1 gains (r·0.4 + 0)/2 = 0.1;
+        # id3 gains (r·0.8 + r·0.4 + r·0.4)/3 = 0.8/3.
+        skills = np.array([0.5, 0.5, 0.9, 0.1])
+        updated = update_clique(skills, Grouping([[0, 1, 2, 3]]), GAIN)
+        np.testing.assert_allclose(updated, [0.7, 0.6, 0.9, 0.1 + 0.8 / 3])
+
+    def test_order_preserved_within_group(self, rng):
+        skills = random_positive_skills(20, rng)
+        grouping = random_grouping(20, 4, rng)
+        updated = update_clique(skills, grouping, GAIN)
+        for group in grouping:
+            idx = group.indices()
+            before = skills[idx]
+            after = updated[idx]
+            for i in range(len(idx)):
+                for j in range(len(idx)):
+                    if before[i] > before[j]:
+                        assert after[i] >= after[j] - 1e-12
+
+    def test_top_member_unchanged(self):
+        skills = np.array([1.0, 4.0, 2.0, 8.0])
+        grouping = Grouping([[0, 1, 2, 3]])
+        updated = update_clique(skills, grouping, GAIN)
+        assert updated[3] == 8.0
+
+    def test_two_member_group_equals_star(self, rng):
+        skills = random_positive_skills(8, rng)
+        grouping = random_grouping(8, 4, rng)
+        np.testing.assert_allclose(
+            update_clique(skills, grouping, GAIN),
+            update_star(skills, grouping, GAIN),
+        )
+
+    def test_input_not_mutated(self):
+        skills = np.array([1.0, 2.0, 3.0])
+        before = skills.copy()
+        update_clique(skills, Grouping([[0, 1, 2]]), GAIN)
+        np.testing.assert_array_equal(skills, before)
+
+    def test_all_equal_skills_no_change(self):
+        skills = np.full(6, 2.5)
+        grouping = Grouping([[0, 1, 2], [3, 4, 5]])
+        np.testing.assert_allclose(update_clique(skills, grouping, GAIN), skills)
+
+    def test_clique_gain_at_most_star_gain_per_member(self, rng):
+        # Averaging positive gains can never beat learning from the top
+        # member alone under a linear gain.
+        skills = random_positive_skills(12, rng)
+        grouping = random_grouping(12, 3, rng)
+        star = update_star(skills, grouping, GAIN)
+        clique = update_clique(skills, grouping, GAIN)
+        assert np.all(clique <= star + 1e-12)

@@ -1,0 +1,22 @@
+"""Unit tests for repro.data.datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import TOY_EXAMPLE, toy_example_skills
+
+
+class TestToyExample:
+    def test_values(self):
+        np.testing.assert_allclose(
+            toy_example_skills(), [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+        )
+
+    def test_fresh_copy_each_call(self):
+        a = toy_example_skills()
+        a[0] = 99.0
+        assert toy_example_skills()[0] == 0.1
+
+    def test_constant_matches_function(self):
+        np.testing.assert_allclose(toy_example_skills(), TOY_EXAMPLE)

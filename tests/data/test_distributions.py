@@ -1,0 +1,103 @@
+"""Unit tests for repro.data.distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    DISTRIBUTIONS,
+    LOGNORMAL_MU,
+    LOGNORMAL_SIGMA,
+    ZIPF_SHAPES,
+    get_distribution,
+    lognormal_skills,
+    uniform_skills,
+    zipf_skills,
+)
+
+
+class TestLognormal:
+    def test_positive_and_correct_size(self):
+        skills = lognormal_skills(1000, seed=0)
+        assert skills.shape == (1000,)
+        assert np.all(skills > 0)
+
+    def test_paper_parameters(self):
+        assert LOGNORMAL_MU == pytest.approx(math.e)
+        assert LOGNORMAL_SIGMA == pytest.approx(math.sqrt(math.e))
+
+    def test_underlying_normal_parameters(self):
+        # log of the draws should be ~ N(mu, sigma).
+        skills = lognormal_skills(50_000, seed=1)
+        logs = np.log(skills)
+        assert logs.mean() == pytest.approx(LOGNORMAL_MU, abs=0.05)
+        assert logs.std() == pytest.approx(LOGNORMAL_SIGMA, abs=0.05)
+
+    def test_seeded_reproducibility(self):
+        np.testing.assert_array_equal(lognormal_skills(10, seed=5), lognormal_skills(10, seed=5))
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            lognormal_skills(10, sigma=0.0)
+
+    def test_rejects_rng_and_seed(self):
+        with pytest.raises(ValueError):
+            lognormal_skills(10, seed=1, rng=np.random.default_rng(2))
+
+
+class TestZipf:
+    def test_positive_integers_as_floats(self):
+        skills = zipf_skills(1000, seed=0)
+        assert np.all(skills >= 1.0)
+        assert skills.dtype == np.float64
+
+    def test_paper_shapes(self):
+        assert ZIPF_SHAPES == (2.3, 10.0)
+
+    def test_heavier_tail_for_smaller_shape(self):
+        light = zipf_skills(20_000, shape=10.0, seed=0)
+        heavy = zipf_skills(20_000, shape=2.3, seed=0)
+        assert heavy.max() > light.max()
+
+    def test_rejects_shape_at_most_one(self):
+        with pytest.raises(ValueError):
+            zipf_skills(10, shape=1.0)
+
+
+class TestUniform:
+    def test_strictly_positive(self):
+        skills = uniform_skills(10_000, seed=0)
+        assert np.all(skills > 0.0)
+        assert np.all(skills <= 1.0)
+
+    def test_custom_range(self):
+        skills = uniform_skills(1000, low=2.0, high=3.0, seed=0)
+        assert np.all(skills > 2.0)
+        assert np.all(skills <= 3.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            uniform_skills(10, low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            uniform_skills(10, low=-1.0, high=1.0)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(DISTRIBUTIONS) == {"lognormal", "zipf", "zipf-10", "uniform"}
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_each_generator_produces_positive_skills(self, name):
+        skills = get_distribution(name)(100, seed=3)
+        assert skills.shape == (100,)
+        assert np.all(skills > 0)
+
+    def test_case_insensitive(self):
+        assert get_distribution("LogNormal") is DISTRIBUTIONS["lognormal"]
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            get_distribution("cauchy")

@@ -1,0 +1,80 @@
+"""Unit tests for repro.data.scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._validation import as_skill_array
+from repro.data.scenarios import (
+    SCENARIOS,
+    bimodal_community,
+    classroom,
+    crowd_workers,
+    expert_panel,
+    get_scenario,
+    power_law_platform,
+)
+
+
+class TestAllScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_produces_valid_skills(self, name):
+        skills = get_scenario(name)(200, seed=0)
+        assert skills.shape == (200,)
+        as_skill_array(skills)  # strictly positive, finite
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_seeded_reproducibility(self, name):
+        np.testing.assert_array_equal(
+            get_scenario(name)(50, seed=3), get_scenario(name)(50, seed=3)
+        )
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_usable_with_dygroups(self, name):
+        from repro import dygroups
+
+        skills = get_scenario(name)(60, seed=1)
+        assert dygroups(skills, k=3, alpha=2, rate=0.5).total_gain >= 0.0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("metaverse")
+
+    def test_case_insensitive_lookup(self):
+        assert get_scenario("Classroom") is SCENARIOS["classroom"]
+
+
+class TestScenarioShapes:
+    def test_classroom_has_three_tiers(self):
+        skills = classroom(1000, seed=0)
+        assert (skills > 0.75).mean() == pytest.approx(0.1, abs=0.03)
+        assert (skills < 0.30).mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_crowd_workers_bounded(self):
+        skills = crowd_workers(1000, seed=0)
+        assert np.all((skills > 0) & (skills <= 1.0))
+
+    def test_expert_panel_has_expert_minority(self):
+        skills = expert_panel(1000, expert_fraction=0.02, seed=0)
+        experts = (skills > 0.9).sum()
+        assert 15 <= experts <= 25
+        assert np.median(skills) < 0.2
+
+    def test_expert_panel_fraction_validated(self):
+        with pytest.raises(ValueError):
+            expert_panel(100, expert_fraction=0.0)
+
+    def test_bimodal_two_modes(self):
+        skills = bimodal_community(1000, seed=0)
+        assert ((skills > 0.3) & (skills < 0.7)).sum() == 0
+
+    def test_power_law_heavy_tail(self):
+        skills = power_law_platform(20_000, seed=0)
+        assert skills.min() >= 1.0
+        # Heavy tail: the max dwarfs the median.
+        assert skills.max() > 20 * np.median(skills)
+
+    def test_power_law_exponent_validated(self):
+        with pytest.raises(ValueError):
+            power_law_platform(100, exponent=0.0)

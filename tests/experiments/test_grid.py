@@ -1,0 +1,59 @@
+"""Unit tests for repro.experiments.grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.grid import GridCell, grid_table, run_grid
+from repro.experiments.spec import ExperimentSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return ExperimentSpec(n=30, k=3, alpha=2, runs=2, algorithms=("dygroups", "random"))
+
+
+class TestRunGrid:
+    def test_cartesian_product(self, tiny_spec):
+        cells = run_grid(tiny_spec, {"alpha": [1, 2], "rate": [0.3, 0.7]})
+        assert len(cells) == 4
+        combos = {(c.parameters["alpha"], c.parameters["rate"]) for c in cells}
+        assert combos == {(1, 0.3), (1, 0.7), (2, 0.3), (2, 0.7)}
+
+    def test_gains_per_algorithm(self, tiny_spec):
+        cells = run_grid(tiny_spec, {"alpha": [2]})
+        assert set(cells[0].gains) == {"dygroups", "random"}
+        assert cells[0].gains["dygroups"] > 0
+
+    def test_mode_dimension(self, tiny_spec):
+        cells = run_grid(tiny_spec, {"mode": ["star", "clique"]})
+        assert [c.parameters["mode"] for c in cells] == ["star", "clique"]
+
+    def test_unknown_parameter(self, tiny_spec):
+        with pytest.raises(ValueError, match="cannot grid over"):
+            run_grid(tiny_spec, {"seed": [1, 2]})
+
+    def test_empty_grid(self, tiny_spec):
+        with pytest.raises(ValueError, match="at least one value"):
+            run_grid(tiny_spec, {"alpha": []})
+
+    def test_advantage_ratio(self, tiny_spec):
+        cells = run_grid(tiny_spec, {"alpha": [3]})
+        assert cells[0].advantage("dygroups", "random") >= 1.0
+
+    def test_advantage_zero_reference(self):
+        cell = GridCell(parameters={"alpha": 1}, gains={"a": 1.0, "b": 0.0})
+        with pytest.raises(ValueError, match="zero gain"):
+            cell.advantage("a", "b")
+
+
+class TestGridTable:
+    def test_renders_all_cells(self, tiny_spec):
+        cells = run_grid(tiny_spec, {"alpha": [1, 2]})
+        text = grid_table(cells)
+        assert "dygroups/random" in text
+        assert text.count("\n") >= 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            grid_table([])

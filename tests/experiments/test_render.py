@@ -1,0 +1,137 @@
+"""Unit tests for repro.experiments.render and tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.render import format_value, render_chart, render_table
+from repro.experiments.runner import run_spec
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.tables import comparison_table
+from repro.metrics.series import Series, SeriesSet
+
+
+@pytest.fixture
+def series_set():
+    return SeriesSet(
+        title="Demo figure",
+        x_label="n",
+        y_label="gain",
+        series=(
+            Series(label="dygroups", x=(10.0, 100.0), y=(1.5, 12.25)),
+            Series(label="random", x=(10.0, 100.0), y=(1.0, 9.5)),
+        ),
+    )
+
+
+class TestFormatValue:
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_moderate_numbers_fixed(self):
+        assert format_value(12.5) == "12.5"
+
+    def test_huge_numbers_scientific(self):
+        assert "e" in format_value(1e12)
+
+    def test_tiny_numbers_scientific(self):
+        assert "e" in format_value(1e-9)
+
+
+class TestRenderTable:
+    def test_contains_title_and_labels(self, series_set):
+        text = render_table(series_set)
+        assert "Demo figure" in text
+        assert "dygroups" in text and "random" in text
+
+    def test_contains_all_values(self, series_set):
+        text = render_table(series_set)
+        for value in ("1.5", "12.25", "9.5"):
+            assert value in text
+
+    def test_row_count(self, series_set):
+        lines = render_table(series_set).splitlines()
+        # title + underline + header + separator + 2 rows + footer.
+        assert len(lines) == 7
+
+
+class TestRenderChart:
+    def test_bars_scale_with_values(self, series_set):
+        text = render_chart(series_set.get("dygroups"))
+        lines = [line for line in text.splitlines() if "#" in line]
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_width_validated(self, series_set):
+        with pytest.raises(ValueError):
+            render_chart(series_set.get("random"), width=2)
+
+
+class TestRenderHistory:
+    @pytest.fixture
+    def history_result(self):
+        import numpy as np
+
+        from repro.core.dygroups import dygroups
+
+        skills = np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+        return dygroups(skills, k=3, alpha=4, rate=0.5, record_history=True)
+
+    def test_sparkline_for_mean(self, history_result):
+        from repro.experiments.render import render_history
+
+        line = render_history(history_result)
+        assert line.startswith("mean [")
+        assert "->" in line
+
+    def test_all_metrics(self, history_result):
+        from repro.experiments.render import render_history
+
+        for metric in ("mean", "min", "variance"):
+            assert metric in render_history(history_result, metric=metric)
+
+    def test_rejects_missing_history(self):
+        import numpy as np
+
+        from repro.core.dygroups import dygroups
+        from repro.experiments.render import render_history
+
+        result = dygroups(np.linspace(0.1, 0.6, 6), k=3, alpha=2, rate=0.5)
+        with pytest.raises(ValueError, match="history"):
+            render_history(result)
+
+    def test_rejects_unknown_metric(self, history_result):
+        from repro.experiments.render import render_history
+
+        with pytest.raises(ValueError, match="metric"):
+            render_history(history_result, metric="median")
+
+    def test_flat_history_renders(self):
+        import numpy as np
+
+        from repro.baselines.random_assignment import RandomAssignment
+        from repro.core.simulation import simulate
+        from repro.experiments.render import render_history
+
+        result = simulate(
+            RandomAssignment(),
+            np.full(6, 2.0),
+            k=3,
+            alpha=2,
+            mode="star",
+            rate=0.5,
+            seed=0,
+            record_history=True,
+        )
+        assert "[" in render_history(result)
+
+
+class TestComparisonTable:
+    def test_renders_outcome(self):
+        spec = ExperimentSpec(n=30, k=3, alpha=2, runs=2, algorithms=("dygroups", "random"))
+        text = comparison_table(run_spec(spec))
+        assert "dygroups" in text and "random" in text
+        assert "n=30" in text
+        # Best algorithm listed first.
+        body = text.splitlines()[4:]
+        assert body[0].startswith("dygroups")

@@ -1,0 +1,43 @@
+"""Unit tests for repro.experiments.report."""
+
+from __future__ import annotations
+
+from repro.experiments.report import collect_results, render_report
+
+
+class TestCollectResults:
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+    def test_reads_all_txt_files(self, tmp_path):
+        (tmp_path / "fig01.txt").write_text("alpha\n")
+        (tmp_path / "fig02.txt").write_text("beta\n")
+        (tmp_path / "notes.md").write_text("ignored")
+        results = collect_results(tmp_path)
+        assert results == {"fig01": "alpha", "fig02": "beta"}
+
+    def test_sorted_by_name(self, tmp_path):
+        (tmp_path / "b.txt").write_text("2")
+        (tmp_path / "a.txt").write_text("1")
+        assert list(collect_results(tmp_path)) == ["a", "b"]
+
+
+class TestRenderReport:
+    def test_empty_report_hints_at_benches(self, tmp_path):
+        text = render_report(tmp_path / "none")
+        assert "pytest benchmarks/" in text
+
+    def test_sections_per_result(self, tmp_path):
+        (tmp_path / "fig05a.txt").write_text("series data")
+        text = render_report(tmp_path)
+        assert "[fig05a]" in text
+        assert "series data" in text
+        assert "1 experiments" in text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "fig07a.txt").write_text("rows")
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[fig07a]" in out

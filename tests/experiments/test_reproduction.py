@@ -1,0 +1,101 @@
+"""Unit tests for the one-call reproduction orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reproduction import (
+    SYNTHETIC_FIGURES,
+    FigureVerdict,
+    ReproductionReport,
+    reproduce,
+)
+from repro.metrics.series import Series, SeriesSet
+
+
+def _fake_builder(*, shape: str):
+    """A stand-in figure builder producing a controllable shape."""
+
+    def build(full=False, runs=None):
+        x = (1.0, 2.0, 3.0)
+        if shape == "increasing-win":
+            dygroups = (1.0, 2.0, 3.0)
+            random_y = (0.5, 1.0, 1.5)
+        elif shape == "decreasing-win":
+            dygroups = (3.0, 2.0, 1.0)
+            random_y = (2.0, 1.5, 0.5)
+        else:  # losing
+            dygroups = (1.0, 2.0, 3.0)
+            random_y = (2.0, 3.0, 4.0)
+        return SeriesSet(
+            title="fake",
+            x_label="n",
+            y_label="gain",
+            series=(
+                Series(label="dygroups", x=x, y=dygroups),
+                Series(label="random", x=x, y=random_y),
+            ),
+        )
+
+    return build
+
+
+def _builders(shape_by_name: dict[str, str]):
+    return {name: _fake_builder(shape=shape) for name, shape in shape_by_name.items()}
+
+
+def _all(shape_up: str, shape_down: str) -> dict[str, str]:
+    shapes = {}
+    for figure, (builder_name, direction) in SYNTHETIC_FIGURES.items():
+        shapes[builder_name] = shape_up if direction == "increasing" else shape_down
+    return shapes
+
+
+class TestReproduce:
+    def test_all_pass_with_correct_shapes(self):
+        report = reproduce(builders=_builders(_all("increasing-win", "decreasing-win")))
+        assert report.all_hold
+        assert len(report.verdicts) == len(SYNTHETIC_FIGURES)
+        assert "ALL FIGURES REPRODUCED" in report.summary()
+
+    def test_losing_dygroups_fails(self):
+        shapes = _all("increasing-win", "decreasing-win")
+        shapes["fig05a"] = "losing"
+        report = reproduce(builders=_builders(shapes))
+        assert not report.all_hold
+        failing = [v for v in report.verdicts if not v.holds]
+        assert [v.figure for v in failing] == ["fig05a"]
+        assert "FAIL" in report.summary()
+
+    def test_wrong_trend_fails(self):
+        shapes = _all("decreasing-win", "decreasing-win")  # fig05 etc expect increasing
+        report = reproduce(builders=_builders(shapes))
+        assert not report.all_hold
+
+    def test_verdict_structure(self):
+        report = reproduce(builders=_builders(_all("increasing-win", "decreasing-win")))
+        verdict = report.verdicts[0]
+        assert isinstance(verdict, FigureVerdict)
+        assert len(verdict.checks) == 2
+        assert verdict.series.get("dygroups")
+
+
+@pytest.mark.slow
+class TestReproduceLive:
+    def test_one_real_figure_via_registry(self):
+        # Restrict to one real figure with tiny runs to keep this
+        # runnable in the slow suite.
+        from repro.experiments import figures
+
+        builders = {name: getattr(figures, name) for name, _ in SYNTHETIC_FIGURES.values()}
+        single = {"fig07b": SYNTHETIC_FIGURES["fig07b"]}
+        import repro.experiments.reproduction as module
+
+        original = module.SYNTHETIC_FIGURES
+        module.SYNTHETIC_FIGURES = single  # type: ignore[assignment]
+        try:
+            report = reproduce(runs=1, builders=builders)
+        finally:
+            module.SYNTHETIC_FIGURES = original  # type: ignore[assignment]
+        assert len(report.verdicts) == 1
+        assert report.verdicts[0].figure == "fig07b"

@@ -1,0 +1,80 @@
+"""Unit tests for repro.experiments.runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import draw_skills, run_spec
+from repro.experiments.spec import ExperimentSpec
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return ExperimentSpec(
+        n=60,
+        k=3,
+        alpha=3,
+        runs=3,
+        algorithms=("dygroups", "random", "kmeans"),
+        lpa_max_evals=50,
+    )
+
+
+@pytest.fixture(scope="module")
+def outcome(small_spec):
+    return run_spec(small_spec)
+
+
+class TestDrawSkills:
+    def test_deterministic_per_run_index(self, small_spec):
+        np.testing.assert_array_equal(draw_skills(small_spec, 0), draw_skills(small_spec, 0))
+
+    def test_different_runs_differ(self, small_spec):
+        assert not np.array_equal(draw_skills(small_spec, 0), draw_skills(small_spec, 1))
+
+    def test_size(self, small_spec):
+        assert draw_skills(small_spec, 0).shape == (60,)
+
+
+class TestRunSpec:
+    def test_all_algorithms_present(self, outcome, small_spec):
+        assert set(outcome.outcomes) == set(small_spec.algorithms)
+
+    def test_round_gains_length(self, outcome, small_spec):
+        for algo in outcome.outcomes.values():
+            assert len(algo.mean_round_gains) == small_spec.alpha
+
+    def test_total_is_sum_of_rounds(self, outcome):
+        for algo in outcome.outcomes.values():
+            assert algo.mean_total_gain == pytest.approx(sum(algo.mean_round_gains), rel=1e-9)
+
+    def test_dygroups_at_least_random(self, outcome):
+        assert outcome.gain_of("dygroups") >= outcome.gain_of("random") - 1e-9
+
+    def test_ranking_sorted(self, outcome):
+        ranking = outcome.ranking()
+        gains = [outcome.gain_of(name) for name in ranking]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_std_zero_for_single_run(self):
+        spec = ExperimentSpec(n=30, k=3, alpha=2, runs=1, algorithms=("dygroups",))
+        outcome = run_spec(spec)
+        assert outcome.outcomes["dygroups"].std_total_gain == 0.0
+
+    def test_reproducible(self, small_spec):
+        a = run_spec(small_spec)
+        b = run_spec(small_spec)
+        for name in small_spec.algorithms:
+            assert a.gain_of(name) == pytest.approx(b.gain_of(name))
+
+    def test_keep_results(self, small_spec):
+        outcome, raw = run_spec(small_spec, keep_results=True)
+        for name in small_spec.algorithms:
+            assert len(raw[name]) == small_spec.runs
+            mean_total = np.mean([r.total_gain for r in raw[name]])
+            assert outcome.gain_of(name) == pytest.approx(float(mean_total))
+
+    def test_runtimes_positive(self, outcome):
+        for algo in outcome.outcomes.values():
+            assert algo.mean_runtime_seconds > 0.0

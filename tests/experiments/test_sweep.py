@@ -1,0 +1,62 @@
+"""Unit tests for repro.experiments.sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.sweep import SWEEPABLE, sweep, sweep_outcomes
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return ExperimentSpec(
+        n=30, k=3, alpha=2, runs=2, algorithms=("dygroups", "random"), lpa_max_evals=20
+    )
+
+
+class TestSweepOutcomes:
+    def test_one_outcome_per_value(self, tiny_spec):
+        outcomes = sweep_outcomes(tiny_spec, "alpha", [1, 2, 3])
+        assert [o.spec.alpha for o in outcomes] == [1, 2, 3]
+
+    def test_rejects_unknown_parameter(self, tiny_spec):
+        with pytest.raises(ValueError, match="parameter"):
+            sweep_outcomes(tiny_spec, "mode", ["star"])
+
+    def test_rejects_empty_grid(self, tiny_spec):
+        with pytest.raises(ValueError, match="non-empty"):
+            sweep_outcomes(tiny_spec, "n", [])
+
+    def test_rate_values_stay_float(self, tiny_spec):
+        outcomes = sweep_outcomes(tiny_spec, "rate", [0.25, 0.75])
+        assert [o.spec.rate for o in outcomes] == [0.25, 0.75]
+
+    def test_invalid_value_propagates(self, tiny_spec):
+        with pytest.raises(ValueError):
+            sweep_outcomes(tiny_spec, "n", [31])  # not divisible by k=3
+
+
+class TestSweep:
+    def test_series_structure(self, tiny_spec):
+        series_set = sweep(tiny_spec, "alpha", [1, 2, 4], title="t")
+        assert series_set.x == (1.0, 2.0, 4.0)
+        assert series_set.labels() == ("dygroups", "random")
+
+    def test_gain_grows_with_alpha(self, tiny_spec):
+        series_set = sweep(tiny_spec, "alpha", [1, 2, 4], title="t")
+        gains = series_set.get("dygroups").y
+        assert gains[0] < gains[1] < gains[2]
+
+    def test_runtime_metric(self, tiny_spec):
+        series_set = sweep(
+            tiny_spec, "alpha", [1, 2], title="t", metric="runtime", y_label="seconds"
+        )
+        assert all(v > 0 for s in series_set.series for v in s.y)
+
+    def test_rejects_unknown_metric(self, tiny_spec):
+        with pytest.raises(ValueError, match="metric"):
+            sweep(tiny_spec, "alpha", [1], title="t", metric="memory")
+
+    def test_sweepable_constant(self):
+        assert set(SWEEPABLE) == {"n", "k", "alpha", "rate"}

@@ -1,0 +1,116 @@
+"""Unit tests for the affinity-aware bi-criteria extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import Grouping
+from repro.core.simulation import simulate
+from repro.extensions.affinity import (
+    AffinityAwarePolicy,
+    AffinityState,
+    mean_within_group_affinity,
+)
+
+
+class TestAffinityState:
+    def test_initial_matrix(self):
+        state = AffinityState(4, initial=0.2)
+        matrix = state.matrix
+        assert matrix.shape == (4, 4)
+        assert np.all(np.diag(matrix) == 0.0)
+        assert matrix[0, 1] == 0.2
+
+    def test_evolve_bonds_co_grouped_pairs(self):
+        state = AffinityState(4, initial=0.1, growth=0.5, decay=0.8)
+        state.evolve(Grouping([[0, 1], [2, 3]]))
+        assert state.affinity(0, 1) == pytest.approx(0.1 + 0.5 * 0.9)
+        assert state.affinity(0, 2) == pytest.approx(0.1 * 0.8)
+
+    def test_affinity_bounded(self):
+        state = AffinityState(4, initial=0.5, growth=0.9)
+        grouping = Grouping([[0, 1], [2, 3]])
+        for _ in range(50):
+            state.evolve(grouping)
+        assert state.affinity(0, 1) <= 1.0
+        assert state.affinity(0, 2) >= 0.0
+
+    def test_matrix_is_copy(self):
+        state = AffinityState(3)
+        matrix = state.matrix
+        matrix[0, 1] = 0.9
+        assert state.affinity(0, 1) != 0.9
+
+    def test_evolve_size_mismatch(self):
+        state = AffinityState(4)
+        with pytest.raises(ValueError):
+            state.evolve(Grouping([[0, 1]]))
+
+
+class TestMeanWithinGroupAffinity:
+    def test_uniform_matrix(self):
+        affinity = np.full((4, 4), 0.3)
+        np.fill_diagonal(affinity, 0.0)
+        grouping = Grouping([[0, 1], [2, 3]])
+        assert mean_within_group_affinity(grouping, affinity) == pytest.approx(0.3)
+
+    def test_prefers_bonded_grouping(self):
+        affinity = np.zeros((4, 4))
+        affinity[0, 1] = affinity[1, 0] = 1.0
+        affinity[2, 3] = affinity[3, 2] = 1.0
+        bonded = Grouping([[0, 1], [2, 3]])
+        split = Grouping([[0, 2], [1, 3]])
+        assert mean_within_group_affinity(bonded, affinity) > mean_within_group_affinity(
+            split, affinity
+        )
+
+
+class TestAffinityAwarePolicy:
+    def test_produces_valid_grouping(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=12)
+        state = AffinityState(12)
+        policy = AffinityAwarePolicy(state, mode="star", rate=0.5, weight=0.3)
+        grouping = policy.propose(skills, 3, rng)
+        assert grouping.n == 12
+        assert grouping.k == 3
+
+    def test_zero_weight_matches_dygroups_gain(self, rng):
+        from repro.core.gain_functions import LinearGain
+        from repro.core.interactions import Star
+        from repro.core.local import dygroups_star_local
+
+        skills = rng.uniform(0.1, 1.0, size=12)
+        state = AffinityState(12)
+        policy = AffinityAwarePolicy(state, mode="star", rate=0.5, weight=0.0)
+        grouping = policy.propose(skills, 3, rng)
+        gain = LinearGain(0.5)
+        assert Star().round_gain(skills, grouping, gain) == pytest.approx(
+            Star().round_gain(skills, dygroups_star_local(skills, 3), gain)
+        )
+
+    def test_full_weight_keeps_friends_together(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=8)
+        state = AffinityState(8, initial=0.0)
+        # Bond two specific pairs strongly.
+        state._matrix[0, 1] = state._matrix[1, 0] = 1.0
+        state._matrix[2, 3] = state._matrix[3, 2] = 1.0
+        policy = AffinityAwarePolicy(state, mode="star", rate=0.5, weight=1.0, sweeps=5)
+        grouping = policy.propose(skills, 2, rng)
+        assert grouping.group_of(0) == grouping.group_of(1)
+        assert grouping.group_of(2) == grouping.group_of(3)
+
+    def test_simulation_evolves_affinity(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=12)
+        state = AffinityState(12, initial=0.1)
+        policy = AffinityAwarePolicy(state, mode="star", rate=0.5, weight=0.5)
+        simulate(policy, skills, k=3, alpha=3, mode="star", rate=0.5, seed=0)
+        # Some pairs must have bonded above the initial level.
+        off_diagonal = state.matrix[~np.eye(12, dtype=bool)]
+        assert off_diagonal.max() > 0.1
+
+    def test_required_mode_enforced(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=12)
+        policy = AffinityAwarePolicy(AffinityState(12), mode="clique", rate=0.5)
+        with pytest.raises(ValueError, match="optimizes for mode"):
+            simulate(policy, skills, k=3, alpha=1, mode="star", rate=0.5)

@@ -1,0 +1,91 @@
+"""Unit tests for the fairness-aware extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dygroups import DyGroupsStar, dygroups
+from repro.core.gain_functions import LinearGain
+from repro.core.interactions import Star
+from repro.core.local import dygroups_star_local
+from repro.core.simulation import simulate
+from repro.extensions.fairness import FairnessAwarePolicy, fairness_report
+
+
+class TestFairnessAwarePolicy:
+    def test_valid_grouping(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=12)
+        grouping = FairnessAwarePolicy().propose(skills, 3, rng)
+        assert grouping.n == 12
+        assert grouping.k == 3
+
+    def test_round_gain_still_optimal(self, rng):
+        # Theorem 1(b): top-k teachers anywhere -> optimal round gain.
+        skills = rng.uniform(0.1, 1.0, size=12)
+        gain = LinearGain(0.5)
+        fair = FairnessAwarePolicy().propose(skills, 3, rng)
+        optimal = dygroups_star_local(skills, 3)
+        assert Star().round_gain(skills, fair, gain) == pytest.approx(
+            Star().round_gain(skills, optimal, gain)
+        )
+
+    def test_best_teacher_gets_weakest_learners(self, rng):
+        skills = np.array([9.0, 8.0, 7.0, 4.0, 3.0, 2.0])
+        grouping = FairnessAwarePolicy().propose(skills, 2, rng)
+        for group in grouping:
+            values = sorted(float(skills[m]) for m in group)
+            if 9.0 in values:
+                assert values[:2] == [2.0, 3.0]
+
+    def test_lower_final_inequality_than_dygroups_short_horizon(self, rng):
+        # The equity advantage is a short-horizon effect; at long horizons
+        # DyGroups' compounding better-teachers effect can dominate even
+        # on equity metrics (see benchmarks/bench_ablation_fairness.py).
+        skills = rng.uniform(0.1, 1.0, size=40)
+        fair = simulate(
+            FairnessAwarePolicy(), skills, k=4, alpha=2, mode="star", rate=0.5, seed=0
+        )
+        dy = dygroups(skills, k=4, alpha=2, rate=0.5, mode="star")
+        assert fairness_report(fair).gini <= fairness_report(dy).gini + 1e-12
+
+    def test_bottom_decile_does_better_short_horizon(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=40)
+        fair = simulate(
+            FairnessAwarePolicy(), skills, k=4, alpha=2, mode="star", rate=0.5, seed=0
+        )
+        dy = dygroups(skills, k=4, alpha=2, rate=0.5, mode="star")
+        assert (
+            fairness_report(fair).bottom_decile_gain
+            >= fairness_report(dy).bottom_decile_gain - 1e-12
+        )
+
+    def test_round_one_total_gain_matches_dygroups(self, rng):
+        # Both are round-optimal (Theorem 1b).
+        skills = rng.uniform(0.1, 1.0, size=40)
+        fair = simulate(
+            FairnessAwarePolicy(), skills, k=4, alpha=1, mode="star", rate=0.5, seed=0
+        )
+        dy = dygroups(skills, k=4, alpha=1, rate=0.5, mode="star")
+        assert fair.total_gain == pytest.approx(dy.total_gain)
+
+
+class TestFairnessReport:
+    def test_fields_populated(self, toy_skills):
+        report = fairness_report(dygroups(toy_skills, k=3, alpha=3, rate=0.5))
+        assert report.policy_name == "dygroups-star"
+        assert report.total_gain == pytest.approx(2.55)
+        assert 0.0 <= report.gini <= 1.0
+        assert report.cv > 0.0
+        assert report.theil >= 0.0
+        assert 0.0 <= report.atkinson <= 1.0
+        assert report.bottom_decile_gain > 0.0
+
+    def test_inequality_drops_over_rounds(self, rng):
+        # Section V-B5: inequality drops with learning (skills converge
+        # toward the fixed maximum).
+        from repro.metrics.inequality import gini
+
+        skills = rng.uniform(0.1, 1.0, size=40)
+        result = dygroups(skills, k=4, alpha=10, rate=0.5)
+        assert fairness_report(result).gini < gini(skills)

@@ -1,0 +1,121 @@
+"""Unit tests for the heterogeneous-learning-rates extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dygroups import dygroups
+from repro.core.grouping import Grouping
+from repro.extensions.heterogeneous import (
+    HeterogeneousDyGroups,
+    simulate_heterogeneous,
+    update_star_heterogeneous,
+    validate_rates,
+)
+
+from tests.conftest import random_positive_skills
+
+
+class TestValidateRates:
+    def test_valid(self):
+        rates = validate_rates(np.array([0.3, 0.7]), 2)
+        assert rates.tolist() == [0.3, 0.7]
+
+    def test_returns_copy(self):
+        source = np.array([0.3, 0.7])
+        rates = validate_rates(source, 2)
+        rates[0] = 0.9
+        assert source[0] == 0.3
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            validate_rates(np.array([0.5]), 2)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="open interval"):
+            validate_rates(np.array([0.5, bad]), 2)
+
+
+class TestUpdateStarHeterogeneous:
+    def test_per_member_rates_applied(self):
+        skills = np.array([1.0, 0.5, 0.2])
+        rates = np.array([0.5, 0.5, 0.9])
+        updated = update_star_heterogeneous(skills, rates, Grouping([[0, 1, 2]]))
+        np.testing.assert_allclose(updated, [1.0, 0.75, 0.2 + 0.9 * 0.8])
+
+    def test_uniform_rates_match_core(self, rng):
+        from repro.core.gain_functions import LinearGain
+        from repro.core.update import update_star
+
+        skills = random_positive_skills(12, rng)
+        grouping = Grouping([range(0, 6), range(6, 12)])
+        uniform = np.full(12, 0.4)
+        np.testing.assert_allclose(
+            update_star_heterogeneous(skills, uniform, grouping),
+            update_star(skills, grouping, LinearGain(0.4)),
+        )
+
+    def test_skills_never_decrease(self, rng):
+        skills = random_positive_skills(12, rng)
+        rates = rng.uniform(0.1, 0.9, size=12)
+        updated = update_star_heterogeneous(skills, rates, Grouping([range(0, 6), range(6, 12)]))
+        assert np.all(updated >= skills - 1e-12)
+
+    def test_no_overtaking(self, rng):
+        skills = random_positive_skills(12, rng)
+        rates = rng.uniform(0.1, 0.9, size=12)
+        grouping = Grouping([range(0, 6), range(6, 12)])
+        updated = update_star_heterogeneous(skills, rates, grouping)
+        for group in grouping:
+            idx = group.indices()
+            assert np.all(updated[idx] <= skills[idx].max() + 1e-12)
+
+
+class TestHeterogeneousDyGroups:
+    def test_valid_partition(self, rng):
+        skills = random_positive_skills(12, rng)
+        rates = rng.uniform(0.1, 0.9, size=12)
+        grouping = HeterogeneousDyGroups(rates).propose(skills, 3)
+        assert grouping.n == 12
+        assert grouping.k == 3
+
+    def test_teachers_are_top_k(self, rng):
+        skills = random_positive_skills(12, rng)
+        rates = rng.uniform(0.1, 0.9, size=12)
+        grouping = HeterogeneousDyGroups(rates).propose(skills, 3)
+        maxima = sorted((float(skills[list(g)].max()) for g in grouping), reverse=True)
+        np.testing.assert_allclose(maxima, np.sort(skills)[::-1][:3])
+
+    def test_fast_learners_get_best_gaps(self):
+        # A very fast low-skilled learner should be assigned to the best
+        # teacher when groups are otherwise interchangeable.
+        skills = np.array([1.0, 0.9, 0.1, 0.1])
+        rates = np.array([0.5, 0.5, 0.9, 0.1])
+        grouping = HeterogeneousDyGroups(rates).propose(skills, 2)
+        fast_group = grouping.group_of(2)
+        assert float(skills[list(grouping[fast_group])].max()) == 1.0
+
+
+class TestSimulateHeterogeneous:
+    def test_uniform_rates_match_core_driver(self, rng):
+        skills = random_positive_skills(12, rng)
+        uniform = np.full(12, 0.5)
+        hetero = simulate_heterogeneous(skills, uniform, k=3, alpha=3)
+        core = dygroups(skills, k=3, alpha=3, rate=0.5, mode="star")
+        # Same total: with uniform rates the rate-weighted greedy reduces
+        # to a round-optimal grouping (any top-k-teacher split ties).
+        assert hetero.total_gain == pytest.approx(core.total_gain)
+
+    def test_gain_accounting(self, rng):
+        skills = random_positive_skills(12, rng)
+        rates = rng.uniform(0.1, 0.9, size=12)
+        result = simulate_heterogeneous(skills, rates, k=3, alpha=4)
+        assert result.total_gain == pytest.approx(float(np.sum(result.final_skills - skills)))
+
+    def test_faster_cohort_learns_more(self, rng):
+        skills = random_positive_skills(12, rng)
+        slow = simulate_heterogeneous(skills, np.full(12, 0.2), k=3, alpha=3)
+        fast = simulate_heterogeneous(skills, np.full(12, 0.8), k=3, alpha=3)
+        assert fast.total_gain > slow.total_gain

@@ -1,0 +1,119 @@
+"""Unit tests for the variable-group-size extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dygroups import dygroups
+from repro.core.gain_functions import LinearGain
+from repro.extensions.variable_groups import (
+    VariableGrouping,
+    simulate_variable,
+    update_variable,
+    variable_clique_local,
+    variable_star_local,
+)
+
+GAIN = LinearGain(0.5)
+
+
+class TestVariableGrouping:
+    def test_valid(self):
+        grouping = VariableGrouping(groups=(np.array([0, 1]), np.array([2, 3, 4])))
+        assert grouping.n == 5
+        assert grouping.sizes == (2, 3)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            VariableGrouping(groups=(np.array([0, 1]), np.array([1, 2])))
+
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError):
+            VariableGrouping(groups=(np.array([0, 1]), np.array([3, 4])))
+
+
+class TestVariableLocals:
+    def test_star_teachers_are_top_k(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=10)
+        grouping = variable_star_local(skills, [2, 3, 5])
+        maxima = sorted((float(skills[g].max()) for g in grouping.groups), reverse=True)
+        np.testing.assert_allclose(maxima, np.sort(skills)[::-1][:3])
+
+    def test_star_sizes_respected(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=10)
+        grouping = variable_star_local(skills, [4, 4, 2])
+        assert grouping.sizes == (4, 4, 2)
+
+    def test_clique_sizes_respected(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=9)
+        grouping = variable_clique_local(skills, [2, 3, 4])
+        assert grouping.sizes == (2, 3, 4)
+
+    def test_sizes_must_sum_to_n(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=9)
+        with pytest.raises(ValueError, match="sum"):
+            variable_star_local(skills, [2, 3])
+
+    def test_equal_sizes_match_core_star(self, toy_skills):
+        variable = variable_star_local(toy_skills, [3, 3, 3])
+        from repro.core.local import dygroups_star_local
+
+        core = dygroups_star_local(toy_skills, 3)
+        assert [sorted(g.tolist()) for g in variable.groups] == [
+            sorted(g) for g in core.groups
+        ]
+
+    def test_equal_sizes_match_core_clique(self, toy_skills):
+        variable = variable_clique_local(toy_skills, [3, 3, 3])
+        from repro.core.local import dygroups_clique_local
+
+        core = dygroups_clique_local(toy_skills, 3)
+        assert [sorted(g.tolist()) for g in variable.groups] == [
+            sorted(g) for g in core.groups
+        ]
+
+
+class TestUpdateVariable:
+    def test_star_semantics(self):
+        skills = np.array([0.9, 0.5, 0.3, 0.8, 0.2])
+        grouping = VariableGrouping(groups=(np.array([0, 1, 2]), np.array([3, 4])))
+        updated = update_variable(skills, grouping, GAIN, "star")
+        np.testing.assert_allclose(updated, [0.9, 0.7, 0.6, 0.8, 0.5])
+
+    def test_clique_matches_core_for_equal_groups(self, toy_skills):
+        from repro.core.grouping import Grouping
+        from repro.core.update import update_clique
+
+        variable = VariableGrouping(
+            groups=(np.array([0, 1, 2]), np.array([3, 4, 5]), np.array([6, 7, 8]))
+        )
+        core = Grouping([[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        np.testing.assert_allclose(
+            update_variable(toy_skills, variable, GAIN, "clique"),
+            update_clique(toy_skills, core, GAIN),
+        )
+
+    def test_unknown_mode(self, toy_skills):
+        grouping = VariableGrouping(groups=(np.arange(9),))
+        with pytest.raises(ValueError, match="mode"):
+            update_variable(toy_skills, grouping, GAIN, "mesh")
+
+
+class TestSimulateVariable:
+    def test_equal_sizes_match_core_driver(self, toy_skills):
+        variable = simulate_variable(toy_skills, [3, 3, 3], alpha=3, rate=0.5, mode="star")
+        core = dygroups(toy_skills, k=3, alpha=3, rate=0.5, mode="star")
+        assert variable.total_gain == pytest.approx(core.total_gain)
+
+    def test_unequal_sizes_run(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=10)
+        result = simulate_variable(skills, [2, 3, 5], alpha=4, rate=0.5, mode="clique")
+        assert result.total_gain > 0
+        assert len(result.round_gains) == 4
+        assert result.sizes == (2, 3, 5)
+
+    def test_skills_never_decrease(self, rng):
+        skills = rng.uniform(0.1, 1.0, size=10)
+        result = simulate_variable(skills, [4, 6], alpha=3, rate=0.5, mode="star")
+        assert np.all(result.final_skills >= skills - 1e-12)

@@ -1,0 +1,51 @@
+"""Integration tests for the public package API (the README quickstart path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_quickstart_flow(self):
+        skills = repro.toy_example_skills()
+        result = repro.dygroups(skills, k=3, alpha=3, rate=0.5, mode="star")
+        assert round(result.total_gain, 2) == 2.55
+
+    def test_policy_vs_policy_flow(self):
+        skills = repro.lognormal_skills(100, seed=0)
+        dy = repro.simulate(
+            repro.DyGroupsStar(), skills, k=5, alpha=4, mode="star", rate=0.5, seed=0
+        )
+        rnd = repro.simulate(
+            repro.RandomAssignment(), skills, k=5, alpha=4, mode="star", rate=0.5, seed=0
+        )
+        assert dy.total_gain >= rnd.total_gain
+
+    def test_experiment_flow(self):
+        spec = repro.ExperimentSpec(
+            n=50, k=5, alpha=2, runs=2, algorithms=("dygroups", "random")
+        )
+        outcome = repro.run_spec(spec)
+        assert outcome.ranking()[0] == "dygroups"
+
+    def test_brute_force_flow(self):
+        skills = np.array([0.2, 0.4, 0.6, 0.8])
+        exact = repro.brute_force_tdg(skills, k=2, alpha=2, rate=0.5, mode="star")
+        greedy = repro.dygroups(skills, k=2, alpha=2, rate=0.5, mode="star")
+        assert greedy.total_gain == pytest.approx(exact.total_gain)
+
+    def test_doctest_of_package_docstring(self):
+        import doctest
+
+        failures, _ = doctest.testmod(repro, verbose=False)
+        assert failures == 0

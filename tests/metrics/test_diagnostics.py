@@ -1,0 +1,85 @@
+"""Unit tests for repro.metrics.diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dygroups import dygroups
+from repro.core.grouping import Grouping
+from repro.core.local import dygroups_star_local
+from repro.core.simulation import simulate
+from repro.baselines.random_assignment import RandomAssignment
+from repro.metrics.diagnostics import diagnose_grouping, teacher_utilization_series
+
+from tests.conftest import random_positive_skills
+
+
+class TestDiagnoseGrouping:
+    def test_star_local_has_full_utilization(self, rng):
+        skills = random_positive_skills(20, rng)
+        diagnostics = diagnose_grouping(skills, dygroups_star_local(skills, 4))
+        assert diagnostics.teacher_utilization == pytest.approx(1.0)
+        assert diagnostics.k == 4
+        assert diagnostics.group_size == 5
+
+    def test_teachers_sorted_descending(self, rng):
+        skills = random_positive_skills(20, rng)
+        diagnostics = diagnose_grouping(skills, dygroups_star_local(skills, 4))
+        teachers = diagnostics.teacher_skills
+        assert list(teachers) == sorted(teachers, reverse=True)
+
+    def test_utilization_below_one_when_top_skills_share_group(self):
+        skills = np.array([9.0, 8.0, 1.0, 2.0])
+        grouping = Grouping([[0, 1], [2, 3]])  # top two together
+        diagnostics = diagnose_grouping(skills, grouping)
+        assert diagnostics.teacher_utilization == pytest.approx((9.0 + 2.0) / (9.0 + 8.0))
+
+    def test_gaps(self):
+        skills = np.array([1.0, 5.0, 2.0, 4.0])
+        grouping = Grouping([[0, 1], [2, 3]])
+        diagnostics = diagnose_grouping(skills, grouping)
+        assert diagnostics.max_gap_to_teacher == pytest.approx(4.0)
+        assert diagnostics.mean_gap_to_teacher == pytest.approx((4.0 + 0.0 + 2.0 + 0.0) / 4)
+
+    def test_within_group_ranges(self):
+        skills = np.array([1.0, 5.0, 2.0, 4.0])
+        diagnostics = diagnose_grouping(skills, Grouping([[0, 1], [2, 3]]))
+        assert diagnostics.within_group_ranges == (4.0, 2.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose_grouping(np.ones(3), Grouping([[0, 1], [2, 3]]))
+
+
+class TestTeacherUtilizationSeries:
+    def test_dygroups_is_always_one(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=4, rate=0.5, record_history=True)
+        series = teacher_utilization_series(result)
+        assert len(series) == 4
+        assert all(v == pytest.approx(1.0) for v in series)
+
+    def test_random_is_at_most_one(self, rng):
+        skills = random_positive_skills(30, rng)
+        result = simulate(
+            RandomAssignment(),
+            skills,
+            k=3,
+            alpha=4,
+            mode="star",
+            rate=0.5,
+            seed=0,
+            record_history=True,
+        )
+        series = teacher_utilization_series(result)
+        assert all(0.0 < v <= 1.0 + 1e-12 for v in series)
+
+    def test_requires_recorded_groupings(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=2, rate=0.5, record_groupings=False)
+        with pytest.raises(ValueError, match="groupings"):
+            teacher_utilization_series(result)
+
+    def test_requires_history(self, toy_skills):
+        result = dygroups(toy_skills, k=3, alpha=2, rate=0.5)
+        with pytest.raises(ValueError, match="history"):
+            teacher_utilization_series(result)

@@ -1,0 +1,51 @@
+"""Unit tests for repro.metrics.fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.fit import fit_line
+
+
+class TestFitLine:
+    def test_exact_line_recovered(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = fit_line(x, 2.5 * x - 1.0)
+        assert fit.slope == pytest.approx(2.5)
+        assert fit.intercept == pytest.approx(-1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line(self, rng):
+        x = np.linspace(0, 10, 100)
+        y = 3.0 * x + 2.0 + rng.normal(0, 0.1, size=100)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(3.0, abs=0.05)
+        assert fit.intercept == pytest.approx(2.0, abs=0.2)
+        assert fit.r_squared > 0.99
+
+    def test_flat_data(self):
+        x = np.array([1.0, 2.0, 3.0])
+        fit = fit_line(x, np.full(3, 5.0))
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0  # degenerate zero-variance y
+
+    def test_predict(self):
+        fit = fit_line(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(fit.predict(np.array([2.0])), [5.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_line(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_line(np.array([1.0]), np.array([1.0]))
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError, match="variance"):
+            fit_line(np.full(3, 2.0), np.array([1.0, 2.0, 3.0]))
+
+    def test_str_shows_equation(self):
+        text = str(fit_line(np.array([0.0, 1.0]), np.array([0.0, 2.0])))
+        assert "R²" in text or "R2" in text

@@ -1,0 +1,91 @@
+"""Unit tests for repro.metrics.gain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_assignment import RandomAssignment
+from repro.core.dygroups import dygroups
+from repro.core.simulation import simulate
+from repro.metrics.gain import (
+    gain_ratio,
+    normalized_gain,
+    per_round_gain_series,
+    remaining_learnable_skill,
+)
+
+
+@pytest.fixture
+def dy_result(toy_skills):
+    return dygroups(toy_skills, k=3, alpha=3, rate=0.5, mode="star")
+
+
+@pytest.fixture
+def random_result(toy_skills):
+    return simulate(
+        RandomAssignment(), toy_skills, k=3, alpha=3, mode="star", rate=0.5, seed=11
+    )
+
+
+class TestGainRatio:
+    def test_dygroups_at_least_random(self, dy_result, random_result):
+        assert gain_ratio(dy_result, random_result) >= 1.0
+
+    def test_self_ratio_is_one(self, dy_result):
+        assert gain_ratio(dy_result, dy_result) == pytest.approx(1.0)
+
+    def test_zero_reference_rejected(self, toy_skills, dy_result):
+        flat = simulate(
+            RandomAssignment(),
+            np.full(9, 2.0),
+            k=3,
+            alpha=1,
+            mode="star",
+            rate=0.5,
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="zero total gain"):
+            gain_ratio(dy_result, flat)
+
+
+class TestRemainingLearnableSkill:
+    def test_toy_value(self, toy_skills):
+        # sum of (0.9 - s_i) = 0.8+0.7+...+0.1+0 = 3.6.
+        assert remaining_learnable_skill(toy_skills) == pytest.approx(3.6)
+
+    def test_upper_bounds_any_gain(self, dy_result, toy_skills):
+        assert dy_result.total_gain <= remaining_learnable_skill(toy_skills)
+
+
+class TestNormalizedGain:
+    def test_in_unit_interval(self, dy_result):
+        assert 0.0 < normalized_gain(dy_result) < 1.0
+
+    def test_one_for_flat_population(self):
+        flat = simulate(
+            RandomAssignment(),
+            np.full(6, 3.0),
+            k=3,
+            alpha=1,
+            mode="star",
+            rate=0.5,
+            seed=0,
+        )
+        assert normalized_gain(flat) == 1.0
+
+    def test_grows_with_alpha(self, toy_skills):
+        short = dygroups(toy_skills, k=3, alpha=1, rate=0.5)
+        long = dygroups(toy_skills, k=3, alpha=8, rate=0.5)
+        assert normalized_gain(long) > normalized_gain(short)
+
+
+class TestPerRoundSeries:
+    def test_one_indexed_rounds(self, dy_result):
+        series = per_round_gain_series(dy_result)
+        assert [t for t, _ in series] == [1, 2, 3]
+        assert series[0][1] == pytest.approx(1.35)
+
+    def test_values_match_round_gains(self, dy_result):
+        for (t, g), expected in zip(per_round_gain_series(dy_result), dy_result.round_gains):
+            assert g == pytest.approx(float(expected))

@@ -1,0 +1,95 @@
+"""Unit tests for repro.metrics.inequality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.inequality import atkinson, coefficient_of_variation, gini, theil
+
+
+class TestCoefficientOfVariation:
+    def test_matches_definition(self, rng):
+        skills = rng.uniform(1, 5, size=100)
+        assert coefficient_of_variation(skills) == pytest.approx(skills.std() / skills.mean())
+
+    def test_zero_for_equal_skills(self):
+        assert coefficient_of_variation(np.full(10, 3.0)) == 0.0
+
+    def test_scale_invariant(self, rng):
+        skills = rng.uniform(1, 5, size=100)
+        assert coefficient_of_variation(skills * 7.0) == pytest.approx(
+            coefficient_of_variation(skills)
+        )
+
+
+class TestGini:
+    def test_zero_for_equal_skills(self):
+        assert gini(np.full(10, 2.0)) == pytest.approx(0.0)
+
+    def test_matches_pairwise_definition(self, rng):
+        # Footnote 9: G = sum_{i>j} |s_i - s_j| / (n * sum_i s_i).
+        skills = rng.uniform(1, 5, size=30)
+        pairwise = sum(
+            abs(skills[i] - skills[j]) for i in range(len(skills)) for j in range(i)
+        )
+        expected = pairwise / (len(skills) * skills.sum())
+        assert gini(skills) == pytest.approx(expected)
+
+    def test_extreme_inequality_approaches_one(self):
+        # One person holds nearly everything: G -> (n-1)/n.
+        skills = np.array([1e-9] * 9 + [1.0])
+        assert gini(skills) == pytest.approx(0.9, abs=1e-6)
+
+    def test_scale_invariant(self, rng):
+        skills = rng.uniform(1, 5, size=50)
+        assert gini(skills * 3.0) == pytest.approx(gini(skills))
+
+    def test_permutation_invariant(self, rng):
+        skills = rng.uniform(1, 5, size=50)
+        shuffled = rng.permutation(skills)
+        assert gini(shuffled) == pytest.approx(gini(skills))
+
+
+class TestTheil:
+    def test_zero_for_equal_skills(self):
+        assert theil(np.full(8, 4.0)) == pytest.approx(0.0)
+
+    def test_positive_for_unequal(self, rng):
+        assert theil(rng.uniform(1, 10, size=100)) > 0.0
+
+    def test_scale_invariant(self, rng):
+        skills = rng.uniform(1, 5, size=50)
+        assert theil(skills * 2.0) == pytest.approx(theil(skills))
+
+
+class TestAtkinson:
+    def test_zero_for_equal_skills(self):
+        assert atkinson(np.full(8, 4.0)) == pytest.approx(0.0)
+
+    def test_in_unit_interval(self, rng):
+        value = atkinson(rng.uniform(1, 10, size=100))
+        assert 0.0 <= value <= 1.0
+
+    def test_epsilon_one_geometric_mean_form(self, rng):
+        skills = rng.uniform(1, 5, size=50)
+        expected = 1.0 - np.exp(np.mean(np.log(skills))) / skills.mean()
+        assert atkinson(skills, epsilon=1.0) == pytest.approx(expected)
+
+    def test_more_aversion_higher_index(self, rng):
+        skills = rng.uniform(1, 10, size=100)
+        assert atkinson(skills, epsilon=0.9) > atkinson(skills, epsilon=0.1)
+
+    def test_rejects_non_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            atkinson(np.array([1.0, 2.0]), epsilon=0.0)
+
+
+class TestInequalityOrdering:
+    def test_all_metrics_agree_on_obvious_ordering(self, rng):
+        near_equal = rng.uniform(4.9, 5.1, size=200)
+        very_unequal = rng.uniform(0.1, 10.0, size=200)
+        assert coefficient_of_variation(near_equal) < coefficient_of_variation(very_unequal)
+        assert gini(near_equal) < gini(very_unequal)
+        assert theil(near_equal) < theil(very_unequal)
+        assert atkinson(near_equal) < atkinson(very_unequal)

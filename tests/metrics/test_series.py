@@ -1,0 +1,100 @@
+"""Unit tests for repro.metrics.series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.series import Series, SeriesSet
+
+
+class TestSeries:
+    def test_basic_construction(self):
+        series = Series(label="a", x=(1.0, 2.0), y=(3.0, 4.0))
+        assert len(series) == 2
+        assert list(series) == [(1.0, 3.0), (2.0, 4.0)]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="len"):
+            Series(label="a", x=(1.0,), y=(1.0, 2.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series(label="a", x=(), y=())
+
+    def test_from_pairs(self):
+        series = Series.from_pairs("a", [(1, 10), (2, 20)])
+        assert series.x == (1.0, 2.0)
+        assert series.y == (10.0, 20.0)
+
+    def test_ratio_to(self):
+        a = Series(label="a", x=(1.0, 2.0), y=(4.0, 9.0))
+        b = Series(label="b", x=(1.0, 2.0), y=(2.0, 3.0))
+        ratio = a.ratio_to(b)
+        assert ratio.y == (2.0, 3.0)
+        assert ratio.label == "a/b"
+
+    def test_ratio_custom_label(self):
+        a = Series(label="a", x=(1.0,), y=(4.0,))
+        b = Series(label="b", x=(1.0,), y=(2.0,))
+        assert a.ratio_to(b, label="r").label == "r"
+
+    def test_ratio_rejects_mismatched_grid(self):
+        a = Series(label="a", x=(1.0,), y=(1.0,))
+        b = Series(label="b", x=(2.0,), y=(1.0,))
+        with pytest.raises(ValueError, match="x-grids"):
+            a.ratio_to(b)
+
+    def test_ratio_rejects_zero_denominator(self):
+        a = Series(label="a", x=(1.0,), y=(1.0,))
+        b = Series(label="b", x=(1.0,), y=(0.0,))
+        with pytest.raises(ValueError, match="zero"):
+            a.ratio_to(b)
+
+    def test_as_arrays(self):
+        series = Series(label="a", x=(1.0, 2.0), y=(3.0, 4.0))
+        x, y = series.as_arrays()
+        np.testing.assert_array_equal(x, [1.0, 2.0])
+        np.testing.assert_array_equal(y, [3.0, 4.0])
+
+
+class TestSeriesSet:
+    def _make(self):
+        return SeriesSet(
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series(label="a", x=(1.0, 2.0), y=(1.0, 2.0)),
+                Series(label="b", x=(1.0, 2.0), y=(3.0, 4.0)),
+            ),
+        )
+
+    def test_shared_grid(self):
+        assert self._make().x == (1.0, 2.0)
+
+    def test_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError, match="x-grid"):
+            SeriesSet(
+                title="t",
+                x_label="x",
+                y_label="y",
+                series=(
+                    Series(label="a", x=(1.0,), y=(1.0,)),
+                    Series(label="b", x=(2.0,), y=(1.0,)),
+                ),
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeriesSet(title="t", x_label="x", y_label="y", series=())
+
+    def test_get_by_label(self):
+        assert self._make().get("b").y == (3.0, 4.0)
+
+    def test_get_unknown_label(self):
+        with pytest.raises(KeyError):
+            self._make().get("zzz")
+
+    def test_labels(self):
+        assert self._make().labels() == ("a", "b")

@@ -1,0 +1,125 @@
+"""Unit tests for the graph-constrained TDG variant."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.local import dygroups_star_local
+from repro.core.simulation import simulate
+from repro.network.constrained import ConnectedDyGroups, ConnectedRandom, grouping_violations
+from repro.network.topology import complete_topology, small_world
+
+from tests.conftest import random_positive_skills
+
+
+class TestConnectedDyGroups:
+    def test_valid_partition(self, rng):
+        skills = random_positive_skills(24, rng)
+        graph = small_world(24, k=4, seed=0)
+        grouping = ConnectedDyGroups(graph).propose(skills, 4, rng)
+        assert grouping.n == 24
+        assert grouping.k == 4
+
+    def test_reduces_to_star_local_on_complete_graph(self, rng):
+        skills = random_positive_skills(20, rng)
+        graph = complete_topology(20)
+        constrained = ConnectedDyGroups(graph).propose(skills, 4, rng)
+        assert constrained == dygroups_star_local(skills, 4)
+
+    def test_zero_violations_on_complete_graph(self, rng):
+        skills = random_positive_skills(20, rng)
+        graph = complete_topology(20)
+        grouping = ConnectedDyGroups(graph).propose(skills, 4, rng)
+        assert grouping_violations(grouping, graph) == 0
+
+    def test_teachers_are_top_k(self, rng):
+        skills = random_positive_skills(24, rng)
+        graph = small_world(24, k=4, seed=1)
+        grouping = ConnectedDyGroups(graph).propose(skills, 4, rng)
+        maxima = sorted((float(skills[list(g)].max()) for g in grouping), reverse=True)
+        np.testing.assert_allclose(maxima, np.sort(skills)[::-1][:4])
+
+    def test_few_violations_on_dense_small_world(self, rng):
+        skills = random_positive_skills(60, rng)
+        graph = small_world(60, k=10, seed=2)
+        grouping = ConnectedDyGroups(graph).propose(skills, 6, rng)
+        # Dense neighborhoods should make connected growth mostly succeed.
+        assert grouping_violations(grouping, graph) <= 12
+
+    def test_rejects_wrong_node_set(self, rng):
+        skills = random_positive_skills(10, rng)
+        graph = nx.path_graph(8)
+        with pytest.raises(ValueError, match="nodes"):
+            ConnectedDyGroups(graph).propose(skills, 2, rng)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ConnectedDyGroups(nx.Graph())
+
+    def test_runs_under_simulation_engine(self, rng):
+        skills = random_positive_skills(24, rng)
+        graph = small_world(24, k=6, seed=3)
+        result = simulate(
+            ConnectedDyGroups(graph), skills, k=4, alpha=3, mode="star", rate=0.5, seed=0
+        )
+        assert result.total_gain > 0
+
+
+class TestConnectedRandom:
+    def test_valid_partition(self, rng):
+        skills = random_positive_skills(24, rng)
+        graph = small_world(24, k=4, seed=0)
+        grouping = ConnectedRandom(graph).propose(skills, 4, rng)
+        assert grouping.n == 24
+
+    def test_seeded_determinism(self):
+        skills = np.linspace(0.1, 2.4, 24)
+        graph = small_world(24, k=4, seed=0)
+        policy = ConnectedRandom(graph)
+        a = policy.propose(skills, 4, np.random.default_rng(7))
+        b = policy.propose(skills, 4, np.random.default_rng(7))
+        assert a == b
+
+    def test_dygroups_beats_random_under_constraint(self, rng):
+        skills = random_positive_skills(60, rng)
+        graph = small_world(60, k=8, seed=4)
+        dy = simulate(
+            ConnectedDyGroups(graph), skills, k=6, alpha=4, mode="star", rate=0.5, seed=0
+        )
+        random_gains = [
+            simulate(
+                ConnectedRandom(graph), skills, k=6, alpha=4, mode="star", rate=0.5, seed=s
+            ).total_gain
+            for s in range(5)
+        ]
+        assert dy.total_gain > float(np.mean(random_gains))
+
+
+class TestGroupingViolations:
+    def test_zero_for_connected_groups(self):
+        graph = nx.path_graph(6)
+        from repro.core.grouping import Grouping
+
+        grouping = Grouping([[0, 1, 2], [3, 4, 5]])
+        assert grouping_violations(grouping, graph) == 0
+
+    def test_counts_disconnected_members(self):
+        graph = nx.path_graph(6)
+        from repro.core.grouping import Grouping
+
+        # Group {0, 1, 5}: 5 is disconnected from {0, 1} in the induced
+        # subgraph -> 1 violation.  Group {2, 3, 4} is a path -> 0.
+        grouping = Grouping([[0, 1, 5], [2, 3, 4]])
+        assert grouping_violations(grouping, graph) == 1
+
+    def test_topology_cost_decreases_with_density(self, rng):
+        skills = random_positive_skills(60, rng)
+        sparse = small_world(60, k=2, seed=5)
+        dense = small_world(60, k=20, seed=5)
+        sparse_grouping = ConnectedDyGroups(sparse).propose(skills, 6, rng)
+        dense_grouping = ConnectedDyGroups(dense).propose(skills, 6, rng)
+        assert grouping_violations(dense_grouping, dense) <= grouping_violations(
+            sparse_grouping, sparse
+        )

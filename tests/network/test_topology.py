@@ -1,0 +1,48 @@
+"""Unit tests for repro.network.topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import (
+    TOPOLOGIES,
+    complete_topology,
+    get_topology,
+    scale_free,
+    small_world,
+)
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_connected_with_full_node_set(self, name):
+        graph = get_topology(name)(50, seed=0)
+        assert set(graph.nodes) == set(range(50))
+        assert nx.is_connected(graph)
+
+    def test_complete_edge_count(self):
+        graph = complete_topology(10)
+        assert graph.number_of_edges() == 45
+
+    def test_small_world_seeded(self):
+        a = small_world(40, seed=1)
+        b = small_world(40, seed=1)
+        assert set(a.edges) == set(b.edges)
+
+    def test_small_world_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            small_world(10, k=10)
+
+    def test_scale_free_has_hubs(self):
+        graph = scale_free(300, m=2, seed=0)
+        degrees = sorted((d for _, d in graph.degree()), reverse=True)
+        assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+    def test_scale_free_rejects_large_m(self):
+        with pytest.raises(ValueError):
+            scale_free(3, m=5)
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            get_topology("hypercube")

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for the core model invariants.
+
+These encode the DESIGN.md §6 invariants over arbitrary valid inputs:
+skill monotonicity, max-skill invariance, fast ≡ naive updates, gain
+accounting, and the local groupers' optimality properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.core.interactions import Clique, Star
+from repro.core.local import dygroups_clique_local, dygroups_star_local
+from repro.core.update import (
+    update_clique,
+    update_clique_naive,
+    update_star,
+    update_star_naive,
+)
+
+
+@st.composite
+def tdg_instances(draw, max_group_size: int = 5, max_k: int = 4):
+    """A random (skills, grouping, rate) instance with a valid partition."""
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    size = draw(st.integers(min_value=2, max_value=max_group_size))
+    n = k * size
+    skills = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    rate = draw(st.floats(min_value=0.05, max_value=0.95))
+    permutation = draw(st.permutations(list(range(n))))
+    grouping = Grouping(
+        [permutation[i * size : (i + 1) * size] for i in range(k)]
+    )
+    return np.array(skills, dtype=np.float64), grouping, rate
+
+
+@given(tdg_instances())
+@settings(max_examples=120, deadline=None)
+def test_star_skills_never_decrease(instance):
+    skills, grouping, rate = instance
+    updated = update_star(skills, grouping, LinearGain(rate))
+    assert np.all(updated >= skills - 1e-12)
+
+
+@given(tdg_instances())
+@settings(max_examples=120, deadline=None)
+def test_clique_skills_never_decrease(instance):
+    skills, grouping, rate = instance
+    updated = update_clique(skills, grouping, LinearGain(rate))
+    assert np.all(updated >= skills - 1e-12)
+
+
+@given(tdg_instances())
+@settings(max_examples=120, deadline=None)
+def test_star_max_skill_invariant(instance):
+    skills, grouping, rate = instance
+    updated = update_star(skills, grouping, LinearGain(rate))
+    assert float(updated.max()) == pytest.approx(float(skills.max()), rel=1e-12)
+
+
+@given(tdg_instances())
+@settings(max_examples=120, deadline=None)
+def test_clique_max_skill_invariant(instance):
+    skills, grouping, rate = instance
+    updated = update_clique(skills, grouping, LinearGain(rate))
+    assert float(updated.max()) == pytest.approx(float(skills.max()), rel=1e-12)
+
+
+@given(tdg_instances())
+@settings(max_examples=150, deadline=None)
+def test_star_fast_equals_naive(instance):
+    skills, grouping, rate = instance
+    gain = LinearGain(rate)
+    np.testing.assert_allclose(
+        update_star(skills, grouping, gain),
+        update_star_naive(skills, grouping, gain),
+        rtol=1e-10,
+        atol=1e-12,
+    )
+
+
+@given(tdg_instances())
+@settings(max_examples=150, deadline=None)
+def test_clique_fast_equals_naive(instance):
+    """Theorem 3, property-based: the O(n) prefix-sum update is exact."""
+    skills, grouping, rate = instance
+    gain = LinearGain(rate)
+    np.testing.assert_allclose(
+        update_clique(skills, grouping, gain),
+        update_clique_naive(skills, grouping, gain),
+        rtol=1e-10,
+        atol=1e-12,
+    )
+
+
+@given(tdg_instances())
+@settings(max_examples=100, deadline=None)
+def test_round_gain_equals_total_skill_increase(instance):
+    skills, grouping, rate = instance
+    gain = LinearGain(rate)
+    for mode in (Star(), Clique()):
+        updated = mode.update(skills, grouping, gain)
+        by_groups = sum(mode.group_gain(skills, g, gain) for g in grouping)
+        assert float(np.sum(updated - skills)) == pytest.approx(by_groups, rel=1e-9, abs=1e-9)
+
+
+@given(tdg_instances())
+@settings(max_examples=100, deadline=None)
+def test_clique_order_preservation(instance):
+    """The averaging in Equation 2 preserves within-group skill order.
+
+    Only *strictly* ordered pairs are constrained: tied members diverge
+    under the rank divisor (the earlier-ranked tie has a smaller divisor
+    and therefore gains more) — that is the formula's defined behavior,
+    not a violation.
+    """
+    skills, grouping, rate = instance
+    updated = update_clique(skills, grouping, LinearGain(rate))
+    for group in grouping:
+        idx = group.indices()
+        before = skills[idx]
+        after = updated[idx]
+        for i in range(len(idx)):
+            for j in range(len(idx)):
+                if before[i] > before[j]:
+                    assert after[i] >= after[j] - 1e-9
+
+
+@given(tdg_instances())
+@settings(max_examples=100, deadline=None)
+def test_clique_tied_members_rank_order(instance):
+    """Tied members diverge deterministically: lower index gains more.
+
+    The rank divisor of Equation 2 (ties ranked stably by participant
+    index) gives the earlier-ranked of two tied members the smaller
+    divisor over the same positive-gain sum.
+    """
+    skills, grouping, rate = instance
+    updated = update_clique(skills, grouping, LinearGain(rate))
+    for group in grouping:
+        members = sorted(group)
+        for a in members:
+            for b in members:
+                if a < b and skills[a] == skills[b]:
+                    assert updated[a] >= updated[b] - 1e-12
+
+
+@given(tdg_instances())
+@settings(max_examples=100, deadline=None)
+def test_star_local_round_gain_dominates(instance):
+    """Algorithm 2's grouping achieves at least the sampled grouping's gain."""
+    skills, grouping, rate = instance
+    gain = LinearGain(rate)
+    mode = Star()
+    local = dygroups_star_local(skills, grouping.k)
+    assert mode.round_gain(skills, local, gain) >= mode.round_gain(skills, grouping, gain) - 1e-9
+
+
+@given(tdg_instances())
+@settings(max_examples=100, deadline=None)
+def test_clique_local_round_gain_dominates(instance):
+    """Theorem 4, property-based: the round-robin deal dominates any grouping."""
+    skills, grouping, rate = instance
+    gain = LinearGain(rate)
+    mode = Clique()
+    local = dygroups_clique_local(skills, grouping.k)
+    assert mode.round_gain(skills, local, gain) >= mode.round_gain(skills, grouping, gain) - 1e-9
+
+
+@given(tdg_instances())
+@settings(max_examples=100, deadline=None)
+def test_learner_never_overtakes_teacher_star(instance):
+    skills, grouping, rate = instance
+    updated = update_star(skills, grouping, LinearGain(rate))
+    for group in grouping:
+        idx = group.indices()
+        assert np.all(updated[idx] <= skills[idx].max() + 1e-12)

@@ -1,0 +1,129 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.extensions.concave import LogGain, PowerGain, SqrtGain
+from repro.extensions.variable_groups import (
+    simulate_variable,
+    update_variable,
+    variable_clique_local,
+    variable_star_local,
+)
+
+
+@st.composite
+def variable_instances(draw):
+    """Random (skills, sizes) pairs with valid variable group sizes."""
+    k = draw(st.integers(min_value=1, max_value=4))
+    sizes = draw(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=k, max_size=k)
+    )
+    if all(s == 1 for s in sizes):
+        sizes[0] = 2
+    n = sum(sizes)
+    skills = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=50.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.array(skills, dtype=np.float64), sizes
+
+
+@given(variable_instances())
+@settings(max_examples=80, deadline=None)
+def test_variable_star_local_is_valid_partition(instance):
+    skills, sizes = instance
+    grouping = variable_star_local(skills, sizes)
+    assert sorted(grouping.sizes) == sorted(sizes)
+    members = np.concatenate(grouping.groups)
+    assert sorted(members.tolist()) == list(range(len(skills)))
+
+
+@given(variable_instances())
+@settings(max_examples=80, deadline=None)
+def test_variable_clique_local_is_valid_partition(instance):
+    skills, sizes = instance
+    grouping = variable_clique_local(skills, sizes)
+    assert list(grouping.sizes) == list(sizes)
+    members = np.concatenate(grouping.groups)
+    assert sorted(members.tolist()) == list(range(len(skills)))
+
+
+@given(variable_instances(), st.sampled_from(["star", "clique"]))
+@settings(max_examples=80, deadline=None)
+def test_variable_update_never_decreases_skills(instance, mode):
+    skills, sizes = instance
+    grouper = variable_star_local if mode == "star" else variable_clique_local
+    grouping = grouper(skills, sizes)
+    updated = update_variable(skills, grouping, LinearGain(0.5), mode)
+    assert np.all(updated >= skills - 1e-12)
+    assert float(updated.max()) == pytest.approx(float(skills.max()), rel=1e-12)
+
+
+@given(variable_instances(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_variable_simulation_gain_accounting(instance, alpha):
+    skills, sizes = instance
+    result = simulate_variable(skills, sizes, alpha=alpha, rate=0.5, mode="star")
+    assert result.total_gain == pytest.approx(
+        float(np.sum(result.final_skills - skills)), rel=1e-9, abs=1e-9
+    )
+
+
+_CONCAVE = [LogGain(0.5), SqrtGain(0.5), PowerGain(0.5, gamma=0.3), PowerGain(0.7, gamma=0.9)]
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    st.sampled_from(_CONCAVE),
+)
+@settings(max_examples=150, deadline=None)
+def test_concave_gain_never_overtakes(delta, gain):
+    value = float(gain(delta))
+    assert 0.0 <= value <= delta + 1e-9
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.sampled_from(_CONCAVE),
+)
+@settings(max_examples=150, deadline=None)
+def test_concave_gain_monotone(delta_a, delta_b, gain):
+    low, high = sorted((delta_a, delta_b))
+    assert float(gain(low)) <= float(gain(high)) + 1e-12
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=4,
+        max_size=12,
+    ).filter(lambda xs: len(xs) % 2 == 0),
+    st.sampled_from(_CONCAVE),
+)
+@settings(max_examples=60, deadline=None)
+def test_concave_clique_update_preserves_order(skill_list, gain):
+    from repro.core.update import update_clique
+
+    skills = np.array(skill_list, dtype=np.float64)
+    n = len(skills)
+    grouping = Grouping([range(n // 2), range(n // 2, n)])
+    updated = update_clique(skills, grouping, gain)
+    for group in grouping:
+        idx = group.indices()
+        before = skills[idx]
+        after = updated[idx]
+        for i in range(len(idx)):
+            for j in range(len(idx)):
+                if before[i] > before[j]:
+                    assert after[i] >= after[j] - 1e-9

@@ -1,0 +1,86 @@
+"""Property-based tests for the graph-constrained grouping module."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.constrained import ConnectedDyGroups, ConnectedRandom, grouping_violations
+from repro.network.topology import complete_topology
+
+
+@st.composite
+def graph_instances(draw):
+    """Random connected graph + skills + k with a valid partition size."""
+    k = draw(st.integers(min_value=1, max_value=3))
+    size = draw(st.integers(min_value=2, max_value=4))
+    n = k * size
+    skills = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    # Random spanning-tree-plus-extras graph: connected by construction.
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    nodes = list(rng.permutation(n))
+    for a, b in zip(nodes, nodes[1:]):
+        graph.add_edge(int(a), int(b))
+    extra_edges = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra_edges):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            graph.add_edge(int(a), int(b))
+    return skills, graph, k
+
+
+@given(graph_instances())
+@settings(max_examples=60, deadline=None)
+def test_connected_dygroups_always_partitions(instance):
+    skills, graph, k = instance
+    grouping = ConnectedDyGroups(graph).propose(skills, k, np.random.default_rng(0))
+    assert grouping.k == k
+    assert sorted(m for g in grouping for m in g) == list(range(len(skills)))
+
+
+@given(graph_instances())
+@settings(max_examples=60, deadline=None)
+def test_connected_random_always_partitions(instance):
+    skills, graph, k = instance
+    grouping = ConnectedRandom(graph).propose(skills, k, np.random.default_rng(1))
+    assert grouping.n == len(skills)
+
+
+@given(graph_instances())
+@settings(max_examples=60, deadline=None)
+def test_teachers_are_top_k_regardless_of_topology(instance):
+    skills, graph, k = instance
+    grouping = ConnectedDyGroups(graph).propose(skills, k, np.random.default_rng(0))
+    maxima = sorted((float(skills[list(g)].max()) for g in grouping), reverse=True)
+    np.testing.assert_allclose(maxima, np.sort(skills)[::-1][:k], rtol=1e-12)
+
+
+@given(graph_instances())
+@settings(max_examples=40, deadline=None)
+def test_violations_bounded_by_non_anchor_count(instance):
+    skills, graph, k = instance
+    grouping = ConnectedDyGroups(graph).propose(skills, k, np.random.default_rng(0))
+    violations = grouping_violations(grouping, graph)
+    assert 0 <= violations <= len(skills) - k
+
+
+@given(graph_instances())
+@settings(max_examples=40, deadline=None)
+def test_complete_graph_has_zero_violations(instance):
+    skills, _, k = instance
+    graph = complete_topology(len(skills))
+    grouping = ConnectedDyGroups(graph).propose(skills, k, np.random.default_rng(0))
+    assert grouping_violations(grouping, graph) == 0

@@ -1,0 +1,79 @@
+"""Static checks over the benchmark harness (no benches are executed).
+
+Guards against a bench module breaking silently between full harness
+runs: every bench must import, expose at least one ``bench_`` function
+taking the ``benchmark`` fixture, and carry a docstring naming what it
+reproduces.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+BENCH_FILES = sorted(BENCHMARKS_DIR.glob("bench_*.py"))
+
+
+def test_every_paper_figure_has_a_bench():
+    names = {p.stem for p in BENCH_FILES}
+    for token in (
+        "bench_fig01_human_exp1_gain",
+        "bench_fig02_linear_fit",
+        "bench_fig03_human_exp1_retention",
+        "bench_fig04_human_exp2",
+        "bench_fig05_vary_n",
+        "bench_fig06_vary_k",
+        "bench_fig07_vary_alpha",
+        "bench_fig08_vary_r",
+        "bench_fig09_vary_r_lognormal",
+        "bench_fig10_ratio_random",
+        "bench_fig11_inequality",
+        "bench_fig12_runtime_star",
+        "bench_fig13_runtime_clique",
+        "bench_sec5a_calibration",
+        "bench_sec5b3_bruteforce",
+    ):
+        assert token in names, f"missing bench for {token}"
+
+
+def test_ablation_suite_present():
+    names = {p.stem for p in BENCH_FILES}
+    ablations = [n for n in names if n.startswith("bench_ablation_")]
+    assert len(ablations) >= 9
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_bench_module_imports(path):
+    module = importlib.import_module(f"benchmarks.{path.stem}")
+    bench_functions = [
+        name for name in dir(module) if name.startswith("bench_") and callable(getattr(module, name))
+    ]
+    assert bench_functions, f"{path.stem} exposes no bench_ functions"
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_bench_functions_use_benchmark_fixture(path):
+    tree = ast.parse(path.read_text())
+    functions = [
+        node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef) and node.name.startswith("bench_")
+    ]
+    assert functions
+    for function in functions:
+        arg_names = [a.arg for a in function.args.args]
+        assert "benchmark" in arg_names, (
+            f"{path.stem}.{function.name} must take the benchmark fixture so "
+            "`pytest --benchmark-only` collects it"
+        )
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_bench_module_docstring_names_its_artifact(path):
+    tree = ast.parse(path.read_text())
+    docstring = ast.get_docstring(tree)
+    assert docstring and len(docstring) > 60, f"{path.stem} needs a descriptive docstring"

@@ -1,0 +1,140 @@
+"""Unit tests for repro.claims (the paper's observations as predicates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.claims import (
+    ClaimCheck,
+    inequality_dominance,
+    monotone_trend,
+    observation_1_skills_improve,
+    observation_2_dygroups_wins,
+    observation_3_retention,
+    observation_4_linear_gain,
+)
+
+
+class TestClaimCheck:
+    def test_truthiness(self):
+        assert ClaimCheck(claim="c", holds=True, evidence="e")
+        assert not ClaimCheck(claim="c", holds=False, evidence="e")
+
+    def test_str(self):
+        assert "PASS" in str(ClaimCheck(claim="c", holds=True, evidence="e"))
+        assert "FAIL" in str(ClaimCheck(claim="c", holds=False, evidence="e"))
+
+
+class TestObservation1:
+    def test_improving_scores_pass(self):
+        assert observation_1_skills_improve([0.4, 0.5, 0.6])
+
+    def test_flat_scores_fail(self):
+        assert not observation_1_skills_improve([0.5, 0.5])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            observation_1_skills_improve([0.5])
+
+
+class TestObservation2:
+    def test_strict_win_passes(self):
+        assert observation_2_dygroups_wins({"dygroups": 10.0, "kmeans": 8.0})
+
+    def test_statistical_tie_passes(self):
+        assert observation_2_dygroups_wins({"dygroups": 9.6, "lpa": 10.0})
+
+    def test_clear_loss_fails(self):
+        assert not observation_2_dygroups_wins({"dygroups": 5.0, "lpa": 10.0})
+
+    def test_missing_dygroups(self):
+        with pytest.raises(ValueError):
+            observation_2_dygroups_wins({"random": 1.0})
+
+
+class TestObservation3:
+    def test_higher_retention_passes(self):
+        assert observation_3_retention({"dygroups": 0.7, "kmeans": 0.6})
+
+    def test_lower_retention_fails(self):
+        assert not observation_3_retention({"dygroups": 0.5, "kmeans": 0.6})
+
+    def test_needs_baseline(self):
+        with pytest.raises(ValueError):
+            observation_3_retention({"dygroups": 0.7})
+
+
+class TestObservation4:
+    def test_linear_series_passes(self):
+        assert observation_4_linear_gain([1.0, 2.0, 3.0, 4.0])
+
+    def test_strongly_concave_series_fails(self):
+        assert not observation_4_linear_gain([1.0, 1.5, 1.6, 1.62, 1.625])
+
+    def test_needs_three_rounds(self):
+        with pytest.raises(ValueError):
+            observation_4_linear_gain([1.0, 2.0])
+
+    def test_decreasing_fails(self):
+        assert not observation_4_linear_gain([4.0, 3.0, 2.0])
+
+
+class TestMonotoneTrend:
+    def test_increasing(self):
+        assert monotone_trend([1, 2, 3], [5, 6, 7], direction="increasing", claim="c")
+
+    def test_decreasing(self):
+        assert monotone_trend([1, 2, 3], [7, 6, 5], direction="decreasing", claim="c")
+
+    def test_violated(self):
+        assert not monotone_trend([1, 2, 3], [5, 7, 6], direction="increasing", claim="c")
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            monotone_trend([1, 2], [1, 2], direction="sideways", claim="c")
+
+    def test_on_real_sweep(self):
+        from repro.experiments.spec import ExperimentSpec
+        from repro.experiments.sweep import sweep
+
+        spec = ExperimentSpec(n=30, k=3, alpha=2, runs=2, algorithms=("dygroups",))
+        series_set = sweep(spec, "alpha", [1, 2, 4], title="t")
+        check = monotone_trend(
+            series_set.x,
+            series_set.get("dygroups").y,
+            direction="increasing",
+            claim="LG grows with alpha",
+        )
+        assert check
+
+
+class TestInequalityDominance:
+    def test_dominant_passes(self):
+        assert inequality_dominance([0.3, 0.2], [0.25, 0.15])
+
+    def test_crossing_fails(self):
+        assert not inequality_dominance([0.3, 0.1], [0.25, 0.15])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            inequality_dominance([0.3], [0.25, 0.15])
+
+    def test_on_real_histories(self):
+        from repro.baselines.random_assignment import RandomAssignment
+        from repro.core.dygroups import dygroups
+        from repro.core.simulation import simulate
+        from repro.data.distributions import lognormal_skills
+        from repro.metrics.inequality import gini
+
+        skills = lognormal_skills(1000, seed=0)
+        dy = dygroups(skills, k=4, alpha=8, rate=0.1, record_history=True)
+        rnd = simulate(
+            RandomAssignment(), skills, k=4, alpha=8, mode="star", rate=0.1,
+            seed=0, record_history=True,
+        )
+        checkpoints = (2, 4, 8)
+        assert inequality_dominance(
+            [gini(dy.skill_history[t]) for t in checkpoints],
+            [gini(rnd.skill_history[t]) for t in checkpoints],
+        )

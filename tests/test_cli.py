@@ -1,0 +1,182 @@
+"""Unit tests for the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_toy_command(self):
+        args = build_parser().parse_args(["toy"])
+        assert args.command == "toy"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 2_000
+        assert args.mode == "star"
+
+    def test_sweep_requires_parameter_and_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_figure_full_flag(self):
+        args = build_parser().parse_args(["figure", "fig05a", "--full"])
+        assert args.full is True
+        assert args.name == "fig05a"
+
+
+class TestCommands:
+    def test_toy(self, capsys):
+        assert main(["toy"]) == 0
+        out = capsys.readouterr().out
+        assert "2.55" in out
+        assert "DyGroups-Star" in out and "DyGroups-Clique" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05a" in out
+        assert "dygroups" in out
+        assert "lognormal" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--n",
+                "30",
+                "--k",
+                "3",
+                "--alpha",
+                "2",
+                "--runs",
+                "1",
+                "--algorithms",
+                "dygroups,random",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dygroups" in out and "random" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--n",
+                "30",
+                "--k",
+                "3",
+                "--runs",
+                "1",
+                "--algorithms",
+                "dygroups,random",
+                "--parameter",
+                "alpha",
+                "--values",
+                "1,2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep over alpha" in out
+
+    def test_theorems(self, capsys):
+        assert main(["theorems", "--trials", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 5
+
+    def test_amt_experiment_1(self, capsys):
+        assert main(["amt", "1", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "dygroups" in out and "kmeans" in out
+        assert "ranking" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_simulate_from_file(self, capsys, tmp_path):
+        skills_file = tmp_path / "skills.csv"
+        skills_file.write_text("0.1,0.2,0.3,0.4,0.5,0.6\n")
+        out_file = tmp_path / "run.json"
+        code = main(
+            [
+                "simulate",
+                "--skills-file",
+                str(skills_file),
+                "--k",
+                "2",
+                "--alpha",
+                "3",
+                "--save",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total gain" in out
+        assert out_file.exists()
+
+        from repro.io import load_json, simulation_result_from_dict
+
+        restored = simulation_result_from_dict(load_json(out_file))
+        assert restored.alpha == 3
+        assert restored.n == 6
+
+    def test_grid_command(self, capsys):
+        code = main(
+            [
+                "grid",
+                "--n",
+                "30",
+                "--k",
+                "3",
+                "--runs",
+                "1",
+                "--algorithms",
+                "dygroups,random",
+                "--vary",
+                "alpha=1,2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dygroups/random" in out
+
+    def test_grid_bad_vary_syntax(self, capsys):
+        code = main(["grid", "--vary", "alpha:1,2"])
+        assert code == 2
+        assert "bad --vary" in capsys.readouterr().err
+
+    def test_run_with_save(self, capsys, tmp_path):
+        out_file = tmp_path / "outcome.json"
+        code = main(
+            [
+                "run",
+                "--n",
+                "30",
+                "--k",
+                "3",
+                "--alpha",
+                "2",
+                "--runs",
+                "1",
+                "--algorithms",
+                "dygroups,random",
+                "--save",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        from repro.io import load_json
+
+        payload = load_json(out_file)
+        assert payload["spec"]["n"] == 30
+        assert "dygroups" in payload["outcomes"]

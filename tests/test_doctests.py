@@ -1,0 +1,31 @@
+"""Run the doctests embedded in the package's docstrings.
+
+Keeps every ``Example:`` block in the public documentation honest.
+Modules are resolved through :data:`sys.modules` because some submodule
+names (e.g. ``repro.core.dygroups``) are shadowed by same-named function
+re-exports on their parent package.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import sys
+
+import pytest
+
+MODULE_NAMES = [
+    "repro",
+    "repro.core.dygroups",
+    "repro.core.gain_functions",
+    "repro.core.local",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    importlib.import_module(name)
+    module = sys.modules[name]
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{name} has no doctests to run"

@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile and expose ``main``; the fast ones
+are executed end to end.
+"""
+
+from __future__ import annotations
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute inside the unit-test suite.
+FAST_EXAMPLES = ["quickstart.py", "classroom_scheduler.py"]
+
+
+def test_examples_exist():
+    names = [p.name for p in ALL_EXAMPLES]
+    assert len(names) >= 7
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles_and_has_main(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    assert "def main()" in source
+    assert '__name__ == "__main__"' in source
+    assert source.lstrip().startswith('"""'), f"{path.name} needs a docstring"
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100
+
+
+def test_quickstart_prints_paper_numbers(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "2.55" in out
+    assert "2.4" in out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name",
+    [p.name for p in ALL_EXAMPLES if p.name not in FAST_EXAMPLES],
+)
+def test_slow_example_runs(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]

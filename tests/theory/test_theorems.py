@@ -1,0 +1,114 @@
+"""Tests for the numeric theorem verifiers (Section IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.local import dygroups_clique_local, dygroups_star_local
+from repro.data.distributions import uniform_skills
+from repro.theory import (
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5_instance,
+    check_theorem5_trials,
+    random_round_optimal_grouping,
+    verify_all,
+)
+
+
+class TestTheorem1:
+    def test_holds_on_toy(self, toy_skills):
+        report = check_theorem1(toy_skills, k=3)
+        assert report.holds
+        assert report.groupings_checked == 280
+        assert report.claim_a_violations == 0
+        assert report.claim_b_violations == 0
+
+    def test_holds_on_random_instances(self, rng):
+        for _ in range(3):
+            skills = uniform_skills(8, rng=rng)
+            assert check_theorem1(skills, k=2).holds
+
+    def test_optimal_count_matches_lemma1_for_k2(self, rng):
+        # Lemma 1: 2 * C(n-2, n/2-1) local optima for k=2... counted over
+        # unlabeled groups this is C(n-2, n/2-1) distinct partitions.
+        skills = uniform_skills(6, rng=rng)
+        report = check_theorem1(skills, k=2)
+        from math import comb
+
+        assert report.optimal_count == comb(4, 2)
+
+    def test_holds_with_ties(self):
+        skills = np.array([0.5, 0.5, 0.5, 0.9, 0.9, 0.1])
+        assert check_theorem1(skills, k=2).holds
+
+
+class TestTheorem2:
+    def test_holds_on_random_instance(self, rng):
+        skills = uniform_skills(40, rng=rng)
+        report = check_theorem2(skills, k=4, samples=100, rng=rng)
+        assert report.holds
+        assert report.algorithm_variance >= report.best_sampled_variance - 1e-9
+
+    def test_random_round_optimal_grouping_is_round_optimal(self, rng):
+        from repro.core.gain_functions import LinearGain
+        from repro.core.interactions import Star
+
+        skills = uniform_skills(20, rng=rng)
+        grouping = random_round_optimal_grouping(skills, 4, rng)
+        reference = dygroups_star_local(skills, 4)
+        gain = LinearGain(0.5)
+        assert Star().round_gain(skills, grouping, gain) == pytest.approx(
+            Star().round_gain(skills, reference, gain)
+        )
+
+
+class TestTheorem3:
+    def test_holds_on_random_instance(self, rng):
+        skills = uniform_skills(30, rng=rng)
+        report = check_theorem3(skills, dygroups_clique_local(skills, 5))
+        assert report.holds
+        assert report.max_abs_difference < 1e-9
+        assert report.order_preserved
+
+
+class TestTheorem4:
+    def test_holds_on_toy(self, toy_skills):
+        report = check_theorem4(toy_skills, k=3)
+        assert report.holds
+        assert report.algorithm_gain == pytest.approx(report.optimal_gain)
+
+    def test_holds_on_random_instances(self, rng):
+        for _ in range(3):
+            skills = uniform_skills(8, rng=rng)
+            assert check_theorem4(skills, k=2).holds
+
+
+class TestTheorem5:
+    def test_single_instance(self, rng):
+        skills = uniform_skills(6, rng=rng)
+        agrees, greedy, optimal = check_theorem5_instance(skills, alpha=3)
+        assert agrees
+        assert greedy == pytest.approx(optimal, rel=1e-8)
+
+    def test_trial_batch(self):
+        report = check_theorem5_trials(20, seed=1)
+        assert report.holds
+        assert report.agreements == report.trials == 20
+        assert report.worst_gap < 1e-8
+
+    def test_rejects_non_positive_trials(self):
+        with pytest.raises(ValueError):
+            check_theorem5_trials(0)
+
+
+class TestVerifyAll:
+    def test_battery_passes(self):
+        battery = verify_all(seed=3, theorem5_trials=10)
+        assert battery.all_hold
+        summary = battery.summary()
+        assert summary.count("PASS") == 5
+        assert "FAIL" not in summary
