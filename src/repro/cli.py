@@ -9,7 +9,16 @@ Subcommands:
   paper-sized grids);
 * ``amt`` — the simulated human-subject experiments;
 * ``theorems`` — the numeric theorem-verification battery;
-* ``list`` — available figures, algorithms, and distributions.
+* ``trace`` — observability tooling (``trace summarize <journal.jsonl>``
+  prints a per-phase timing table from a journal);
+* ``list`` — available figures, algorithms, distributions, and journal
+  events.
+
+Every workload subcommand also accepts the observability flags
+``--log-level LEVEL`` (stdlib logging on the ``repro.*`` hierarchy),
+``--journal PATH`` (append an NDJSON event journal) and ``--trace``
+(record timing spans; printed as a per-phase table when no journal is
+given).  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -23,6 +32,31 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every workload subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable stdlib logging on the repro.* loggers",
+    )
+    group.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append an NDJSON event journal (.jsonl) of the run",
+    )
+    group.add_argument(
+        "--trace",
+        action="store_true",
+        help="record timing spans (per-phase table on exit when no --journal)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -30,16 +64,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="DyGroups: targeted dynamic groups formation for peer learning (ICDE 2021 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs = [_obs_parent()]
 
-    sub.add_parser("toy", help="run the paper's 9-student toy example")
+    sub.add_parser("toy", help="run the paper's 9-student toy example", parents=obs)
 
-    run = sub.add_parser("run", help="compare algorithms under one configuration")
+    run = sub.add_parser(
+        "run", help="compare algorithms under one configuration", parents=obs
+    )
     _add_spec_arguments(run)
     run.add_argument(
         "--save", metavar="PATH", default=None, help="also write the outcome as JSON"
     )
 
-    solo = sub.add_parser("simulate", help="run one policy on skills loaded from a file")
+    solo = sub.add_parser(
+        "simulate", help="run one policy on skills loaded from a file", parents=obs
+    )
     solo.add_argument("--skills-file", required=True, help=".json/.csv/.txt skill vector")
     solo.add_argument("--policy", default="dygroups")
     solo.add_argument("--k", type=int, required=True)
@@ -51,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", metavar="PATH", default=None, help="write the full trajectory as JSON"
     )
 
-    swp = sub.add_parser("sweep", help="vary one parameter over a grid")
+    swp = sub.add_parser("sweep", help="vary one parameter over a grid", parents=obs)
     _add_spec_arguments(swp)
     swp.add_argument("--parameter", required=True, choices=("n", "k", "alpha", "rate"))
     swp.add_argument(
@@ -59,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     grd = sub.add_parser(
-        "grid", help="cross two or more parameters (sensitivity analysis)"
+        "grid", help="cross two or more parameters (sensitivity analysis)", parents=obs
     )
     _add_spec_arguments(grd)
     grd.add_argument(
@@ -71,21 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     grd.add_argument("--reference", default="random", help="denominator algorithm for ratios")
 
-    fig = sub.add_parser("figure", help="regenerate a figure from the paper")
+    fig = sub.add_parser("figure", help="regenerate a figure from the paper", parents=obs)
     fig.add_argument("name", help="figure id, e.g. fig05a (see `dygroups list`)")
     fig.add_argument("--full", action="store_true", help="use the paper-sized grids")
     fig.add_argument("--runs", type=int, default=None, help="override the number of runs")
 
-    amt = sub.add_parser("amt", help="run a simulated human-subject experiment")
+    amt = sub.add_parser(
+        "amt", help="run a simulated human-subject experiment", parents=obs
+    )
     amt.add_argument("experiment", type=int, choices=(1, 2), help="experiment number")
     amt.add_argument("--seed", type=int, default=0)
 
-    theorems = sub.add_parser("theorems", help="run the theorem-verification battery")
+    theorems = sub.add_parser(
+        "theorems", help="run the theorem-verification battery", parents=obs
+    )
     theorems.add_argument("--seed", type=int, default=0)
     theorems.add_argument("--trials", type=int, default=50, help="Theorem 5 trial count")
 
     repr_cmd = sub.add_parser(
-        "reproduce", help="regenerate the synthetic figures and grade the paper's claims"
+        "reproduce",
+        help="regenerate the synthetic figures and grade the paper's claims",
+        parents=obs,
     )
     repr_cmd.add_argument("--full", action="store_true", help="paper-sized grids (hours)")
     repr_cmd.add_argument("--runs", type=int, default=None)
@@ -95,7 +140,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", default=None, help="override the benchmarks/results directory"
     )
 
-    sub.add_parser("list", help="list figures, algorithms, and distributions")
+    trace_cmd = sub.add_parser("trace", help="observability tooling over run journals")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_sum = trace_sub.add_parser(
+        "summarize", help="print a per-phase timing table from a journal"
+    )
+    trace_sum.add_argument("journal_file", help="an NDJSON journal written with --journal")
+
+    sub.add_parser(
+        "list", help="list figures, algorithms, distributions, and journal events"
+    )
     return parser
 
 
@@ -279,10 +333,28 @@ def _command_list() -> int:
     from repro.baselines.registry import POLICY_NAMES
     from repro.data.distributions import DISTRIBUTIONS
     from repro.experiments.figures import FIGURES
+    from repro.obs.journal import EVENTS
 
     print("figures:       ", ", ".join(sorted(FIGURES)))
     print("algorithms:    ", ", ".join(POLICY_NAMES))
     print("distributions: ", ", ".join(sorted(DISTRIBUTIONS)))
+    print("journal events:", ", ".join(EVENTS))
+    print("observability:  --log-level LEVEL, --journal PATH, --trace "
+          "(any subcommand); `dygroups trace summarize <journal.jsonl>`")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import summarize_journal
+
+    try:
+        print(summarize_journal(args.journal_file))
+    except FileNotFoundError:
+        print(f"journal not found: {args.journal_file}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"cannot summarize {args.journal_file}: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -290,6 +362,38 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=6, suppress=True)
+    if args.command == "trace":
+        return _command_trace(args)
+    observing = bool(
+        getattr(args, "journal", None)
+        or getattr(args, "trace", False)
+        or getattr(args, "log_level", None)
+    )
+    if not observing:
+        return _dispatch(args)
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.summarize import span_table
+
+    obs_runtime.configure(
+        journal=args.journal, trace=args.trace, log_level=args.log_level
+    )
+    try:
+        code = _dispatch(args)
+        state = obs_runtime.state()
+        if (
+            state is not None
+            and state.tracer is not None
+            and state.journal is None
+            and state.tracer.spans
+        ):
+            print("\ntrace summary (per phase):")
+            print(span_table(state.tracer.spans))
+        return code
+    finally:
+        obs_runtime.shutdown()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "toy":
         return _command_toy()
     if args.command == "run":

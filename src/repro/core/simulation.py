@@ -16,6 +16,8 @@ paper's evaluation share one thoroughly tested loop.
 from __future__ import annotations
 
 import abc
+import logging
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,8 +30,12 @@ from repro._validation import (
 from repro.core.gain_functions import GainFunction, LinearGain
 from repro.core.grouping import Grouping
 from repro.core.interactions import InteractionMode, get_mode
+from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 
 __all__ = ["GroupingPolicy", "SimulationResult", "simulate"]
+
+_log = logging.getLogger("repro.core.simulation")
 
 
 class GroupingPolicy(abc.ABC):
@@ -77,6 +83,8 @@ class SimulationResult:
             was asked not to record them).
         skill_history: ``(α+1, n)`` matrix of skills before each round and
             after the last (``None`` unless recording was requested).
+        round_seconds: length-α wall-clock seconds per round (``None``
+            unless timing was requested or observability is enabled).
     """
 
     policy_name: str
@@ -88,6 +96,7 @@ class SimulationResult:
     round_gains: np.ndarray
     groupings: tuple[Grouping, ...] = field(default=())
     skill_history: np.ndarray | None = None
+    round_seconds: np.ndarray | None = None
 
     @property
     def n(self) -> int:
@@ -124,6 +133,7 @@ def simulate(
     seed: int | None = None,
     record_groupings: bool = True,
     record_history: bool = False,
+    record_timings: bool = False,
 ) -> SimulationResult:
     """Run ``policy`` for ``alpha`` rounds and return the trajectory.
 
@@ -131,6 +141,12 @@ def simulate(
     shorthand for ``gain=LinearGain(r)``.  Provide either ``rng`` or
     ``seed`` (or neither, for OS entropy) to control the randomness handed
     to stochastic policies.
+
+    ``record_timings=True`` fills :attr:`SimulationResult.round_seconds`
+    with per-round wall-clock durations (also on whenever observability
+    is configured; see :mod:`repro.obs`).  Timing and instrumentation
+    never touch the random stream, so results are bit-identical either
+    way.
 
     Raises:
         ValueError: on inconsistent parameters (``k`` not dividing ``n``,
@@ -164,22 +180,82 @@ def simulate(
     round_gains = np.empty(alpha, dtype=np.float64)
     groupings: list[Grouping] = []
 
-    current = array
-    for t in range(alpha):
-        grouping = policy.propose(current, k, generator)
-        if grouping.n != len(current) or grouping.k != k:
-            raise ValueError(
-                f"policy {policy.name!r} returned a grouping with n={grouping.n}, "
-                f"k={grouping.k}; expected n={len(current)}, k={k}"
-            )
-        updated = resolved_mode.update(current, grouping, gain_fn)
-        round_gains[t] = float(np.sum(updated - current))
-        if record_groupings:
-            groupings.append(grouping)
-        if history is not None:
-            history[t + 1] = updated
-        current = updated
+    # Observability wiring — resolved once per call; every per-round hook
+    # below is behind an `is not None` guard so the disabled path stays a
+    # plain loop (plus the no-op span fast path, see repro.obs.trace).
+    obs = _obs.state()
+    journal = obs.journal if obs is not None else None
+    metrics = obs.metrics if obs is not None else None
+    timing = record_timings or obs is not None
+    round_seconds = np.empty(alpha, dtype=np.float64) if timing else None
+    if metrics is not None:
+        rounds_counter = metrics.counter("core.rounds")
+        interactions_counter = metrics.counter("core.interactions")
+        proposals_counter = metrics.counter(f"core.proposals.{policy.name or type(policy).__name__}")
+        round_timer = metrics.timer("core.round_seconds")
+    _log.debug(
+        "simulate: policy=%s mode=%s n=%d k=%d alpha=%d",
+        policy.name, resolved_mode.name, len(array), k, alpha,
+    )
+    if journal is not None:
+        journal.emit(
+            "run_start",
+            policy=policy.name,
+            mode=resolved_mode.name,
+            n=len(array),
+            k=int(k),
+            alpha=alpha,
+        )
 
+    current = array
+    with _trace.span("core.simulate", policy=policy.name, alpha=alpha):
+        for t in range(alpha):
+            round_started = time.perf_counter() if timing else 0.0
+            if journal is not None:
+                journal.emit("round_start", round=t)
+                propose_started = time.perf_counter()
+            with _trace.span(f"policy.propose:{policy.name}"):
+                grouping = policy.propose(current, k, generator)
+            if journal is not None:
+                journal.emit(
+                    "propose",
+                    round=t,
+                    policy=policy.name,
+                    dur=round(time.perf_counter() - propose_started, 9),
+                )
+            if grouping.n != len(current) or grouping.k != k:
+                raise ValueError(
+                    f"policy {policy.name!r} returned a grouping with n={grouping.n}, "
+                    f"k={grouping.k}; expected n={len(current)}, k={k}"
+                )
+            with _trace.span("core.skill_update"):
+                updated = resolved_mode.update(current, grouping, gain_fn)
+            gain_t = float(np.sum(updated - current))
+            round_gains[t] = gain_t
+            if journal is not None:
+                journal.emit("gain", round=t, value=gain_t)
+                journal.emit("skill_update", round=t, total_skill=float(updated.sum()))
+            if record_groupings:
+                groupings.append(grouping)
+            if history is not None:
+                history[t + 1] = updated
+            current = updated
+            if timing:
+                duration = time.perf_counter() - round_started
+                round_seconds[t] = duration  # type: ignore[index]
+                if metrics is not None:
+                    round_timer.observe(duration)
+            if metrics is not None:
+                rounds_counter.inc()
+                interactions_counter.inc(grouping.n)
+                proposals_counter.inc()
+            if journal is not None:
+                journal.emit("round_end", round=t, gain=gain_t)
+
+    total_gain = float(round_gains.sum())
+    _log.debug("simulate done: policy=%s total_gain=%.6g", policy.name, total_gain)
+    if journal is not None:
+        journal.emit("run_end", policy=policy.name, total_gain=total_gain)
     return SimulationResult(
         policy_name=policy.name,
         mode_name=resolved_mode.name,
@@ -190,4 +266,5 @@ def simulate(
         round_gains=round_gains,
         groupings=tuple(groupings),
         skill_history=history,
+        round_seconds=round_seconds,
     )

@@ -5,11 +5,18 @@ randomness (skill draw + policy randomness) from ``spec.seed + i``, and
 every algorithm sees the *same* initial skills in run ``i`` — a paired
 design that removes skill-draw variance from algorithm comparisons, as in
 the paper's matched-population protocol.
+
+Instrumentation: each algorithm run is timed with the
+:class:`repro.obs.metrics.Timer` API (whole-run wall-clock) and the
+engine's per-round timings (``record_timings=True``) feed
+:attr:`AlgorithmOutcome.mean_round_seconds`; when observability is
+configured (:mod:`repro.obs.runtime`), the runner additionally emits
+``spec_start``/``spec_end`` journal events and wraps the work in spans.
 """
 
 from __future__ import annotations
 
-import time
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,8 +25,13 @@ from repro.baselines.registry import make_policy
 from repro.core.simulation import SimulationResult, simulate
 from repro.data.distributions import get_distribution
 from repro.experiments.spec import ExperimentSpec
+from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
+from repro.obs.metrics import Timer
 
 __all__ = ["AlgorithmOutcome", "SpecOutcome", "run_spec", "draw_skills"]
+
+_log = logging.getLogger("repro.experiments.runner")
 
 
 @dataclass(frozen=True)
@@ -32,6 +44,8 @@ class AlgorithmOutcome:
         std_total_gain: sample standard deviation over runs (0 if 1 run).
         mean_round_gains: per-round gains averaged over runs (length α).
         mean_runtime_seconds: wall-clock seconds per run, averaged.
+        mean_round_seconds: per-round wall-clock seconds averaged over
+            runs (length α).
     """
 
     name: str
@@ -39,6 +53,7 @@ class AlgorithmOutcome:
     std_total_gain: float
     mean_round_gains: tuple[float, ...]
     mean_runtime_seconds: float
+    mean_round_seconds: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -81,32 +96,64 @@ def run_spec(
     """
     totals: dict[str, list[float]] = {name: [] for name in spec.algorithms}
     rounds: dict[str, list[np.ndarray]] = {name: [] for name in spec.algorithms}
-    runtimes: dict[str, list[float]] = {name: [] for name in spec.algorithms}
+    round_times: dict[str, list[np.ndarray]] = {name: [] for name in spec.algorithms}
+    timers: dict[str, Timer] = {name: Timer(f"run.{name}") for name in spec.algorithms}
     raw: dict[str, list[SimulationResult]] = {name: [] for name in spec.algorithms}
 
-    for run_index in range(spec.runs):
-        skills = draw_skills(spec, run_index)
-        for name in spec.algorithms:
-            policy = make_policy(
-                name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
-            )
-            started = time.perf_counter()
-            result = simulate(
-                policy,
-                skills,
-                k=spec.k,
-                alpha=spec.alpha,
-                mode=spec.mode,
-                rate=spec.rate,
-                seed=spec.seed + run_index,
-                record_groupings=False,
-            )
-            elapsed = time.perf_counter() - started
-            totals[name].append(result.total_gain)
-            rounds[name].append(result.round_gains)
-            runtimes[name].append(elapsed)
-            if keep_results:
-                raw[name].append(result)
+    _log.info(
+        "run_spec: n=%d k=%d alpha=%d rate=%g mode=%s dist=%s runs=%d algorithms=%s",
+        spec.n, spec.k, spec.alpha, spec.rate, spec.mode,
+        spec.distribution, spec.runs, ",".join(spec.algorithms),
+    )
+    obs = _obs.state()
+    journal = obs.journal if obs is not None else None
+    if journal is not None:
+        journal.emit(
+            "spec_start",
+            n=spec.n,
+            k=spec.k,
+            alpha=spec.alpha,
+            rate=spec.rate,
+            mode=spec.mode,
+            distribution=spec.distribution,
+            algorithms=list(spec.algorithms),
+            runs=spec.runs,
+            seed=spec.seed,
+        )
+
+    with _trace.span("experiments.run_spec", n=spec.n, runs=spec.runs):
+        for run_index in range(spec.runs):
+            skills = draw_skills(spec, run_index)
+            for name in spec.algorithms:
+                policy = make_policy(
+                    name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
+                )
+                with _trace.span(f"experiments.run:{name}", run_index=run_index):
+                    with timers[name].time():
+                        result = simulate(
+                            policy,
+                            skills,
+                            k=spec.k,
+                            alpha=spec.alpha,
+                            mode=spec.mode,
+                            rate=spec.rate,
+                            seed=spec.seed + run_index,
+                            record_groupings=False,
+                            record_timings=True,
+                        )
+                _log.debug(
+                    "run %d/%d %s: total_gain=%.6g in %.4fs",
+                    run_index + 1, spec.runs, name,
+                    result.total_gain, timers[name].values[-1],
+                )
+                totals[name].append(result.total_gain)
+                rounds[name].append(result.round_gains)
+                assert result.round_seconds is not None  # record_timings=True
+                round_times[name].append(result.round_seconds)
+                if obs is not None:
+                    obs.metrics.counter("experiments.simulations").inc()
+                if keep_results:
+                    raw[name].append(result)
 
     outcomes = {
         name: AlgorithmOutcome(
@@ -114,10 +161,16 @@ def run_spec(
             mean_total_gain=float(np.mean(totals[name])),
             std_total_gain=float(np.std(totals[name], ddof=1)) if spec.runs > 1 else 0.0,
             mean_round_gains=tuple(np.mean(np.vstack(rounds[name]), axis=0)),
-            mean_runtime_seconds=float(np.mean(runtimes[name])),
+            mean_runtime_seconds=timers[name].mean,
+            mean_round_seconds=tuple(np.mean(np.vstack(round_times[name]), axis=0)),
         )
         for name in spec.algorithms
     }
+    if journal is not None:
+        journal.emit(
+            "spec_end",
+            ranking=sorted(outcomes, key=lambda a: outcomes[a].mean_total_gain, reverse=True),
+        )
     outcome = SpecOutcome(spec=spec, outcomes=outcomes)
     if keep_results:
         return outcome, raw

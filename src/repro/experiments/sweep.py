@@ -7,13 +7,18 @@ record each algorithm's mean total gain per grid point.
 
 from __future__ import annotations
 
+import logging
 from typing import Sequence
 
 from repro.experiments.runner import SpecOutcome, run_spec
 from repro.experiments.spec import ExperimentSpec
 from repro.metrics.series import Series, SeriesSet
+from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 
 __all__ = ["sweep", "sweep_outcomes", "SWEEPABLE"]
+
+_log = logging.getLogger("repro.experiments.sweep")
 
 #: Spec fields a sweep may vary.
 SWEEPABLE: tuple[str, ...] = ("n", "k", "alpha", "rate")
@@ -31,10 +36,17 @@ def sweep_outcomes(
         raise ValueError(f"parameter must be one of {SWEEPABLE}, got {parameter!r}")
     if not values:
         raise ValueError("values must be non-empty")
+    obs = _obs.state()
+    journal = obs.journal if obs is not None else None
     outcomes = []
-    for value in values:
-        cast = float(value) if parameter == "rate" else int(value)
-        outcomes.append(run_spec(spec.with_(**{parameter: cast})))
+    with _trace.span("experiments.sweep", parameter=parameter, points=len(values)):
+        for value in values:
+            cast = float(value) if parameter == "rate" else int(value)
+            _log.info("sweep point: %s=%s", parameter, cast)
+            if journal is not None:
+                journal.emit("sweep_point", parameter=parameter, value=cast)
+            with _trace.span("experiments.sweep_point", parameter=parameter, value=cast):
+                outcomes.append(run_spec(spec.with_(**{parameter: cast})))
     return outcomes
 
 

@@ -12,19 +12,26 @@ def comparison_table(outcome: SpecOutcome, *, digits: int = 6) -> str:
     """Render one spec's algorithm comparison as an aligned text table.
 
     Columns: algorithm, mean total gain (± std when runs > 1), mean
-    per-run wall-clock seconds.  Rows are sorted best-first.
+    per-run wall-clock seconds, and mean wall-clock milliseconds per
+    round (from the engine's per-round timings).  Rows are sorted
+    best-first.
     """
     spec = outcome.spec
-    header = ["algorithm", "mean total gain", "std", "runtime (s)"]
+    header = ["algorithm", "mean total gain", "std", "runtime (s)", "ms/round"]
     rows = [header]
     for name in outcome.ranking():
         algo = outcome.outcomes[name]
+        per_round = algo.mean_round_seconds
+        ms_per_round = (
+            format_value(1000.0 * sum(per_round) / len(per_round), digits=3) if per_round else "-"
+        )
         rows.append(
             [
                 name,
                 format_value(algo.mean_total_gain, digits=digits),
                 format_value(algo.std_total_gain, digits=3),
                 format_value(algo.mean_runtime_seconds, digits=3),
+                ms_per_round,
             ]
         )
     widths = [max(len(row[c]) for row in rows) for c in range(len(header))]

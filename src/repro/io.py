@@ -55,6 +55,8 @@ def simulation_result_to_dict(result: SimulationResult) -> dict[str, Any]:
     }
     if result.skill_history is not None:
         payload["skill_history"] = result.skill_history.tolist()
+    if result.round_seconds is not None:
+        payload["round_seconds"] = result.round_seconds.tolist()
     return payload
 
 
@@ -66,6 +68,7 @@ def simulation_result_from_dict(payload: dict[str, Any]) -> SimulationResult:
         ValueError: if the stored groupings are not valid partitions.
     """
     history = payload.get("skill_history")
+    round_seconds = payload.get("round_seconds")
     return SimulationResult(
         policy_name=payload["policy_name"],
         mode_name=payload["mode_name"],
@@ -76,6 +79,9 @@ def simulation_result_from_dict(payload: dict[str, Any]) -> SimulationResult:
         round_gains=np.array(payload["round_gains"], dtype=np.float64),
         groupings=tuple(Grouping(groups) for groups in payload["groupings"]),
         skill_history=np.array(history, dtype=np.float64) if history is not None else None,
+        round_seconds=np.array(round_seconds, dtype=np.float64)
+        if round_seconds is not None
+        else None,
     )
 
 
@@ -131,6 +137,7 @@ def spec_outcome_to_dict(outcome: SpecOutcome) -> dict[str, Any]:
                 "std_total_gain": algo.std_total_gain,
                 "mean_round_gains": list(algo.mean_round_gains),
                 "mean_runtime_seconds": algo.mean_runtime_seconds,
+                "mean_round_seconds": list(algo.mean_round_seconds),
             }
             for name, algo in outcome.outcomes.items()
         },

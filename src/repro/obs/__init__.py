@@ -1,0 +1,74 @@
+"""repro.obs — structured observability for the simulation stack.
+
+Three independent layers behind one switchboard:
+
+* **journal** (:mod:`repro.obs.journal`) — newline-delimited JSON event
+  records (run/round lifecycle, proposals, gains, spans) with monotonic
+  timestamps and a run id;
+* **trace** (:mod:`repro.obs.trace`) — nestable context-manager spans
+  with a module-level no-op fast path when disabled;
+* **metrics** (:mod:`repro.obs.metrics`) — counters/timers/histograms
+  with a JSON-able ``snapshot()``.
+
+:mod:`repro.obs.runtime` wires them together (``configure`` /
+``shutdown`` / ``observed``), :mod:`repro.obs.logconfig` sets up the
+stdlib ``repro.*`` loggers, and :mod:`repro.obs.summarize` renders the
+per-phase timing tables behind ``dygroups trace summarize``.
+
+Everything is off by default: with no configuration, the instrumented
+hot paths cost one module-level read and ``simulate()`` output is
+bit-identical to the uninstrumented engine.  See docs/observability.md.
+"""
+
+from repro.obs.journal import (
+    EVENTS,
+    SCHEMA_VERSION,
+    Journal,
+    iter_journal,
+    new_run_id,
+    read_journal,
+)
+from repro.obs.logconfig import get_logger, setup_logging
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer
+from repro.obs.runtime import (
+    ObsState,
+    configure,
+    enable_metrics,
+    enabled,
+    metrics_registry,
+    observed,
+    shutdown,
+    state,
+)
+from repro.obs.summarize import phase_table, span_table, summarize_journal
+from repro.obs.trace import NOOP_SPAN, SpanRecord, Tracer, span
+
+__all__ = [
+    "EVENTS",
+    "SCHEMA_VERSION",
+    "Journal",
+    "iter_journal",
+    "new_run_id",
+    "read_journal",
+    "get_logger",
+    "setup_logging",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "ObsState",
+    "configure",
+    "enable_metrics",
+    "enabled",
+    "metrics_registry",
+    "observed",
+    "shutdown",
+    "state",
+    "phase_table",
+    "span_table",
+    "summarize_journal",
+    "NOOP_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "span",
+]

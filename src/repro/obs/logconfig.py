@@ -1,0 +1,63 @@
+"""Stdlib logging setup for the ``repro`` logger hierarchy.
+
+The package logs through child loggers of ``repro`` (``repro.core.*``,
+``repro.experiments.*``); :func:`setup_logging` attaches exactly one
+stream handler to the ``repro`` root so ``--log-level debug`` lights up
+the whole stack without touching the global root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["LOG_FORMAT", "get_logger", "setup_logging"]
+
+#: Format applied to the handler installed by :func:`setup_logging`.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``name`` may omit the prefix)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def setup_logging(level: "str | int" = "INFO", stream: "IO[str] | None" = None) -> logging.Logger:
+    """Set the ``repro`` logger level and install one stream handler.
+
+    Idempotent: calling again adjusts the level of the existing handler
+    instead of stacking a second one.
+
+    Args:
+        level: a ``logging`` level name (case-insensitive) or number.
+        stream: handler target; defaults to ``sys.stderr``.
+
+    Returns:
+        The configured ``repro`` root logger.
+
+    Raises:
+        ValueError: for an unknown level name.
+    """
+    if isinstance(level, int):
+        resolved = level
+    else:
+        resolved = logging.getLevelName(str(level).upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger("repro")
+    root.setLevel(resolved)
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            handler.setLevel(resolved)
+            return root
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setLevel(resolved)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,194 @@
+"""Process-local metrics: counters, timers, histograms, snapshot export.
+
+The registry is deliberately tiny — three instrument kinds, get-or-create
+by name, and a :meth:`MetricsRegistry.snapshot` that returns plain
+JSON-able dicts (the payload behind the ``BENCH_<name>.json`` artifacts).
+Timers retain their raw observations so per-round timing *series* survive
+into the snapshot, not just aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Iterator
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "Timer"]
+
+
+class Counter:
+    """A monotonically increasing (float-capable) counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: "int | float" = 1) -> "int | float":
+        """Add ``amount`` (default 1); returns the new value."""
+        self.value += amount
+        return self.value
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state of the counter."""
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A series of observations with retained raw values and summary stats."""
+
+    __slots__ = ("name", "values")
+
+    _kind = "histogram"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]; 0.0 when empty).
+
+        Raises:
+            ValueError: when ``p`` is outside [0, 100].
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able summary plus the raw observation series."""
+        return {
+            "type": self._kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "values": [round(v, 9) for v in self.values],
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, count={self.count}, mean={self.mean:.6g})"
+
+
+class Timer(Histogram):
+    """A histogram of durations (seconds) with a context-manager clock."""
+
+    __slots__ = ()
+
+    _kind = "timer"
+
+    def time(self) -> "_Timing":
+        """Context manager measuring its body on the monotonic clock."""
+        return _Timing(self)
+
+
+class _Timing:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timing":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._timer.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Named counters/timers/histograms with get-or-create access.
+
+    Asking for the same name twice returns the same instrument; asking
+    for a name already registered as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, "Counter | Histogram"] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise ValueError(
+                f"metric {name!r} is a {type(instrument).__name__}, not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        return self._get(name, Counter)
+
+    def timer(self, name: str) -> Timer:
+        """Get or create the named timer."""
+        return self._get(name, Timer)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Export every instrument, grouped by kind and sorted by name."""
+        groups: dict[str, dict[str, Any]] = {"counters": {}, "timers": {}, "histograms": {}}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                groups["counters"][name] = instrument.snapshot()
+            elif isinstance(instrument, Timer):
+                groups["timers"][name] = instrument.snapshot()
+            else:
+                groups["histograms"][name] = instrument.snapshot()
+        return groups
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(instruments={len(self._instruments)})"

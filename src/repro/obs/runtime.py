@@ -1,0 +1,151 @@
+"""Global observability runtime: the switchboard for journal/trace/metrics.
+
+Instrumented code (``simulate``, ``run_spec``, the sweep grid, the bench
+harness) asks this module for the current :class:`ObsState` once per call
+and takes its plain fast path when the answer is ``None`` — keeping the
+disabled overhead at a single module-level read.  The CLI's
+``--journal``/``--trace``/``--log-level`` flags map 1:1 onto
+:func:`configure`.
+
+The metrics registry is process-global and survives configure/shutdown
+cycles, so a pytest-benchmark session can accumulate per-round timings
+across many runs and drain them per bench (see ``benchmarks/_util.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.obs import trace as _trace
+from repro.obs.journal import Journal
+from repro.obs.logconfig import setup_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ObsState",
+    "configure",
+    "enable_metrics",
+    "enabled",
+    "metrics_registry",
+    "observed",
+    "shutdown",
+    "state",
+]
+
+
+@dataclass
+class ObsState:
+    """The live observability wiring of the process.
+
+    Attributes:
+        journal: active event journal, or ``None``.
+        tracer: active span tracer, or ``None``.
+        metrics: the process-global metrics registry.
+    """
+
+    journal: Journal | None
+    tracer: Tracer | None
+    metrics: MetricsRegistry
+
+
+_REGISTRY = MetricsRegistry()
+_state: ObsState | None = None
+
+
+def configure(
+    *,
+    journal: "str | Path | IO[str] | Journal | None" = None,
+    trace: bool = False,
+    log_level: "str | int | None" = None,
+    run_id: str | None = None,
+) -> ObsState:
+    """Enable observability; replaces any previous configuration.
+
+    Args:
+        journal: a ``.jsonl`` path, an open text stream, or an existing
+            :class:`Journal`; ``None`` disables the journal.
+        trace: activate span tracing (mirrored into the journal when one
+            is configured).
+        log_level: when given, also call :func:`setup_logging` with it.
+        run_id: run id for a journal opened here (ignored for a
+            pre-built :class:`Journal`).
+
+    Returns:
+        The new :class:`ObsState`.
+    """
+    global _state
+    shutdown()
+    if journal is None or isinstance(journal, Journal):
+        active_journal = journal
+    else:
+        active_journal = Journal(journal, run_id=run_id)
+    tracer = Tracer(journal=active_journal) if trace else None
+    if tracer is not None:
+        _trace.activate(tracer)
+    if log_level is not None:
+        setup_logging(log_level)
+    _state = ObsState(journal=active_journal, tracer=tracer, metrics=_REGISTRY)
+    return _state
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Metrics-only enable (no journal, no tracing); idempotent.
+
+    Used by the bench harness, where per-round timings should be
+    collected without paying for event emission.
+    """
+    global _state
+    if _state is None:
+        _state = ObsState(journal=None, tracer=None, metrics=_REGISTRY)
+    return _state.metrics
+
+
+def shutdown() -> None:
+    """Disable observability: deactivate tracing, close the journal."""
+    global _state
+    if _state is None:
+        return
+    if _state.tracer is not None:
+        _trace.deactivate()
+    if _state.journal is not None:
+        _state.journal.close()
+    _state = None
+
+
+def enabled() -> bool:
+    """Whether any observability is configured."""
+    return _state is not None
+
+
+def state() -> ObsState | None:
+    """The current :class:`ObsState`, or ``None`` when disabled.
+
+    This is the hot-path accessor: instrumented code calls it once and
+    branches on ``None``.
+    """
+    return _state
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-global metrics registry (exists even while disabled)."""
+    return _REGISTRY
+
+
+@contextmanager
+def observed(
+    *,
+    journal: "str | Path | IO[str] | Journal | None" = None,
+    trace: bool = False,
+    log_level: "str | int | None" = None,
+    run_id: str | None = None,
+) -> Iterator[ObsState]:
+    """Scoped :func:`configure` — shuts observability down on exit."""
+    active = configure(journal=journal, trace=trace, log_level=log_level, run_id=run_id)
+    try:
+        yield active
+    finally:
+        shutdown()

@@ -1,0 +1,130 @@
+"""Journal post-processing: the ``dygroups trace summarize`` table.
+
+Aggregates a journal's ``span`` records (or, for journals written
+without ``--trace``, the phases derivable from ``round_start``/
+``round_end`` pairs and ``propose`` durations) into a per-phase timing
+table: count, total seconds, mean/max milliseconds, and share of the
+journal's wall-clock span.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Any, Mapping, Sequence
+
+from repro.obs.journal import read_journal
+from repro.obs.trace import SpanRecord
+
+__all__ = ["phase_table", "span_table", "summarize_journal"]
+
+
+def _aggregate(durations: Mapping[str, list[float]], wall: float) -> str:
+    """Render ``phase -> durations`` as an aligned per-phase timing table."""
+    header = ["phase", "count", "total (s)", "mean (ms)", "max (ms)", "% wall"]
+    rows = [header]
+    for name in sorted(durations, key=lambda n: -sum(durations[n])):
+        values = durations[name]
+        total = sum(values)
+        share = 100.0 * total / wall if wall > 0 else 0.0
+        rows.append(
+            [
+                name,
+                str(len(values)),
+                f"{total:.6f}",
+                f"{1000.0 * total / len(values):.3f}",
+                f"{1000.0 * max(values):.3f}",
+                f"{share:.1f}",
+            ]
+        )
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    lines = []
+    for r, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])] + [
+            cell.rjust(widths[c]) for c, cell in enumerate(row) if c > 0
+        ]
+        lines.append("  ".join(cells))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def phase_table(events: Sequence[Mapping[str, Any]]) -> str:
+    """Per-phase timing table for a sequence of journal records.
+
+    Prefers ``span`` records; when the journal has none (run without
+    ``--trace``), falls back to round durations paired from
+    ``round_start``/``round_end`` and the ``dur`` field of ``propose``
+    events.
+
+    Raises:
+        ValueError: when the journal holds no timeable records at all.
+    """
+    durations: dict[str, list[float]] = {}
+    for record in events:
+        if record.get("event") == "span" and "dur" in record:
+            durations.setdefault(str(record.get("name", "?")), []).append(float(record["dur"]))
+    if not durations:
+        starts: dict[tuple[Any, Any], float] = {}
+        for record in events:
+            event = record.get("event")
+            key = (record.get("run"), record.get("round"))
+            if event == "round_start":
+                starts[key] = float(record["ts"])
+            elif event == "round_end" and key in starts:
+                durations.setdefault("core.round", []).append(
+                    float(record["ts"]) - starts.pop(key)
+                )
+            elif event == "propose" and "dur" in record:
+                name = f"policy.propose:{record.get('policy', '?')}"
+                durations.setdefault(name, []).append(float(record["dur"]))
+    if not durations:
+        raise ValueError(
+            "journal holds no span or round records — it covers no simulation "
+            "(re-run the workload with --journal, ideally plus --trace)"
+        )
+    timestamps = [float(r["ts"]) for r in events if "ts" in r]
+    wall = (max(timestamps) - min(timestamps)) if timestamps else 0.0
+    return _aggregate(durations, wall)
+
+
+def span_table(spans: Sequence[SpanRecord]) -> str:
+    """Per-phase table for in-memory spans (the ``--trace``-only path).
+
+    Raises:
+        ValueError: when ``spans`` is empty.
+    """
+    if not spans:
+        raise ValueError("no spans recorded")
+    durations: dict[str, list[float]] = {}
+    for record in spans:
+        durations.setdefault(record.name, []).append(record.duration)
+    wall = max(s.start + s.duration for s in spans) - min(s.start for s in spans)
+    return _aggregate(durations, wall)
+
+
+def summarize_journal(source: "str | Path | IO[str]") -> str:
+    """Full ``trace summarize`` report: header, event counts, phase table.
+
+    Raises:
+        FileNotFoundError: when ``source`` is a missing path.
+        ValueError: for malformed journals or journals with nothing to time.
+    """
+    events = read_journal(source)
+    if not events:
+        raise ValueError("journal is empty")
+    runs = sorted({str(r.get("run")) for r in events if r.get("run") is not None})
+    timestamps = [float(r["ts"]) for r in events if "ts" in r]
+    wall = (max(timestamps) - min(timestamps)) if timestamps else 0.0
+    counts: dict[str, int] = {}
+    for record in events:
+        event = str(record.get("event", "?"))
+        counts[event] = counts.get(event, 0) + 1
+    name = str(source) if not hasattr(source, "read") else "<stream>"
+    lines = [
+        f"journal: {name}",
+        f"records: {len(events)}   runs: {len(runs)}   wall: {wall:.6f}s",
+        "events:  " + ", ".join(f"{event}={counts[event]}" for event in sorted(counts)),
+        "",
+        phase_table(events),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Nestable tracing spans with a module-level no-op fast path.
+
+Instrumented code wraps its phases in ``with trace.span("name"):``.  When
+no tracer is active — the default — :func:`span` is a single module-level
+read returning the shared :data:`NOOP_SPAN` singleton: no allocation, no
+clock call, no record.  When a :class:`Tracer` is activated (via
+``repro.obs.runtime.configure(trace=True)``), each span is timed on the
+monotonic clock, tagged with its nesting depth, kept in
+:attr:`Tracer.spans`, and optionally mirrored to a journal as an
+``event="span"`` record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.journal import Journal
+
+__all__ = [
+    "NOOP_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "deactivate",
+    "span",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NOOP_SPAN"
+
+
+#: The singleton every :func:`span` call returns while tracing is off.
+NOOP_SPAN = _NoopSpan()
+
+_active: "Tracer | None" = None
+
+
+def span(name: str, **attrs: Any) -> "_Span | _NoopSpan":
+    """A context manager timing ``name`` under the active tracer.
+
+    The disabled path is the no-op fast path: one global read, then the
+    shared :data:`NOOP_SPAN` is returned unchanged.
+    """
+    tracer = _active
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def activate(tracer: "Tracer") -> "Tracer":
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _active
+    _active = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    """Restore the disabled (no-op) state."""
+    global _active
+    _active = None
+
+
+def active_tracer() -> "Tracer | None":
+    """The currently active tracer, or ``None`` when tracing is off."""
+    return _active
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: span name (the phase taxonomy, e.g. ``core.round``).
+        start: seconds on the tracer clock when the span opened.
+        duration: wall-clock seconds the span was open.
+        depth: nesting depth at open time (0 = outermost).
+        index: completion order within the tracer.
+        attrs: free-form attributes passed to :func:`span`.
+    """
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    index: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _Span:
+    """A live span; records itself on exit (even when the body raises)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "depth", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.depth = self._tracer._depth
+        self._tracer._depth += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        duration = time.perf_counter() - self._start
+        self._tracer._depth -= 1
+        self._tracer._finish(self, duration)
+        return False
+
+
+class Tracer:
+    """Collects :class:`SpanRecord`\\ s; optionally mirrors them to a journal."""
+
+    def __init__(self, journal: "Journal | None" = None) -> None:
+        self.spans: list[SpanRecord] = []
+        self._journal = journal
+        self._depth = 0
+        self._t0 = time.perf_counter()
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """Open a span named ``name`` (use as a context manager)."""
+        return _Span(self, name, attrs)
+
+    def clear(self) -> None:
+        """Drop all completed spans."""
+        self.spans.clear()
+
+    def _finish(self, live: _Span, duration: float) -> None:
+        record = SpanRecord(
+            name=live.name,
+            start=live._start - self._t0,
+            duration=duration,
+            depth=live.depth,
+            index=len(self.spans),
+            attrs=live.attrs,
+        )
+        self.spans.append(record)
+        if self._journal is not None and not self._journal.closed:
+            self._journal.emit(
+                "span",
+                name=record.name,
+                dur=round(duration, 9),
+                depth=record.depth,
+                **live.attrs,
+            )
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self.spans)}, journal={self._journal is not None})"

@@ -78,3 +78,14 @@ class TestRunSpec:
     def test_runtimes_positive(self, outcome):
         for algo in outcome.outcomes.values():
             assert algo.mean_runtime_seconds > 0.0
+
+    def test_round_seconds_per_round(self, outcome, small_spec):
+        for algo in outcome.outcomes.values():
+            assert len(algo.mean_round_seconds) == small_spec.alpha
+            assert all(value > 0.0 for value in algo.mean_round_seconds)
+
+    def test_round_seconds_sum_below_total_runtime(self, outcome):
+        # Per-round timings exclude per-run setup, so their sum is bounded
+        # by the whole-run timer (modulo clock jitter on tiny runs).
+        for algo in outcome.outcomes.values():
+            assert sum(algo.mean_round_seconds) <= algo.mean_runtime_seconds + 1e-3

@@ -1,0 +1,17 @@
+"""Fixtures for the observability tests: every test runs with a clean slate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Disable observability and empty the metrics registry around each test."""
+    runtime.shutdown()
+    runtime.metrics_registry().reset()
+    yield
+    runtime.shutdown()
+    runtime.metrics_registry().reset()

@@ -1,0 +1,107 @@
+"""Regression tests: observability must never change simulation results.
+
+Covers the acceptance criteria of the observability PR: with everything
+disabled the engine takes the plain path (no-op spans, no timings, no
+journal); with everything enabled the results are bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dygroups import dygroups_policy
+from repro.core.simulation import simulate
+from repro.obs import runtime
+from repro.obs.journal import read_journal
+from repro.obs.trace import NOOP_SPAN, span
+
+
+def _simulate(**overrides):
+    parameters = dict(k=3, alpha=5, mode="star", rate=0.5, seed=42)
+    parameters.update(overrides)
+    skills = np.linspace(0.05, 1.5, 30)
+    return simulate(dygroups_policy(mode="star"), skills, **parameters)
+
+
+class TestBitIdenticalResults:
+    def test_enabled_observability_does_not_change_results(self, tmp_path):
+        baseline = _simulate()
+        with runtime.observed(journal=tmp_path / "run.jsonl", trace=True):
+            observed = _simulate()
+        np.testing.assert_array_equal(baseline.final_skills, observed.final_skills)
+        np.testing.assert_array_equal(baseline.round_gains, observed.round_gains)
+        assert baseline.total_gain == observed.total_gain
+
+    def test_metrics_only_observability_does_not_change_results(self):
+        baseline = _simulate()
+        runtime.enable_metrics()
+        observed = _simulate()
+        runtime.shutdown()
+        np.testing.assert_array_equal(baseline.final_skills, observed.final_skills)
+        np.testing.assert_array_equal(baseline.round_gains, observed.round_gains)
+
+    def test_record_timings_does_not_change_results(self):
+        baseline = _simulate()
+        timed = _simulate(record_timings=True)
+        np.testing.assert_array_equal(baseline.final_skills, timed.final_skills)
+        assert timed.round_seconds is not None
+        assert timed.round_seconds.shape == (5,)
+        assert np.all(timed.round_seconds >= 0.0)
+
+
+class TestDisabledIsNoOp:
+    def test_span_is_the_shared_noop_singleton(self):
+        # The disabled fast path: one module-level read, zero allocation.
+        assert span("core.simulate") is NOOP_SPAN
+        assert span("core.round") is NOOP_SPAN
+
+    def test_simulate_records_nothing_when_disabled(self):
+        registry = runtime.metrics_registry()
+        result = _simulate()
+        assert result.round_seconds is None
+        assert len(registry) == 0
+
+    def test_simulate_leaves_state_disabled(self):
+        _simulate()
+        assert runtime.state() is None
+
+
+class TestInstrumentedSimulate:
+    def test_journal_covers_the_round_lifecycle(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with runtime.observed(journal=path):
+            _simulate(alpha=3)
+        events = [r["event"] for r in read_journal(path)]
+        assert events.count("run_start") == 1
+        assert events.count("run_end") == 1
+        for event in ("round_start", "round_end", "propose", "gain", "skill_update"):
+            assert events.count(event) == 3
+
+    def test_round_events_carry_round_index_and_gain(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with runtime.observed(journal=path):
+            result = _simulate(alpha=3)
+        ends = [r for r in read_journal(path) if r["event"] == "round_end"]
+        assert [r["round"] for r in ends] == [0, 1, 2]
+        assert [r["gain"] for r in ends] == [float(g) for g in result.round_gains]
+
+    def test_metrics_counters_and_round_timer(self):
+        runtime.enable_metrics()
+        _simulate(alpha=4)
+        snapshot = runtime.metrics_registry().snapshot()
+        assert snapshot["counters"]["core.rounds"]["value"] == 4
+        assert snapshot["counters"]["core.interactions"]["value"] == 4 * 30
+        assert snapshot["counters"]["core.proposals.dygroups-star"]["value"] == 4
+        assert snapshot["timers"]["core.round_seconds"]["count"] == 4
+
+    def test_run_spec_reports_per_round_seconds(self):
+        from repro.experiments.runner import run_spec
+        from repro.experiments.spec import ExperimentSpec
+
+        spec = ExperimentSpec(n=30, k=3, alpha=3, runs=2, algorithms=("dygroups", "random"))
+        outcome = run_spec(spec)
+        for algo in outcome.outcomes.values():
+            assert len(algo.mean_round_seconds) == 3
+            assert all(value > 0.0 for value in algo.mean_round_seconds)
+            total = sum(algo.mean_round_seconds)
+            assert total <= algo.mean_runtime_seconds * 1.5 + 1e-3

@@ -1,0 +1,144 @@
+"""Unit tests for repro.obs.journal (NDJSON schema round-trip)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.journal import (
+    EVENTS,
+    SCHEMA_VERSION,
+    Journal,
+    iter_journal,
+    new_run_id,
+    read_journal,
+)
+
+
+class TestRunId:
+    def test_unique_within_process(self):
+        assert new_run_id() != new_run_id()
+
+    def test_is_string(self):
+        assert isinstance(new_run_id(), str) and new_run_id()
+
+
+class TestSchema:
+    def test_every_record_has_core_fields(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.emit("round_start", round=0)
+            journal.emit("gain", round=0, value=1.5)
+        for record in read_journal(path):
+            assert set(record) >= {"ts", "seq", "run", "event"}
+            assert record["event"] in EVENTS
+
+    def test_open_and_close_bracket_the_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.emit("round_start", round=0)
+        records = read_journal(path)
+        assert records[0]["event"] == "journal_open"
+        assert records[0]["schema"] == SCHEMA_VERSION
+        assert records[-1]["event"] == "journal_close"
+
+    def test_seq_increments_and_ts_monotonic(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            for t in range(5):
+                journal.emit("round_start", round=t)
+        records = read_journal(path)
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        timestamps = [r["ts"] for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_single_run_id_per_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, run_id="abc") as journal:
+            journal.emit("round_start", round=0)
+        assert {r["run"] for r in read_journal(path)} == {"abc"}
+
+    def test_round_trip_preserves_fields(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            emitted = journal.emit("gain", round=3, value=2.25, policy="dygroups-star")
+        (restored,) = [r for r in read_journal(path) if r["event"] == "gain"]
+        assert restored == emitted
+        assert restored["value"] == 2.25
+        assert restored["policy"] == "dygroups-star"
+
+    def test_numpy_scalars_are_serialized(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as journal:
+            journal.emit("gain", value=np.float64(1.5), round=np.int64(2))
+        (record,) = [r for r in read_journal(path) if r["event"] == "gain"]
+        assert record["value"] == 1.5 and record["round"] == 2
+
+    def test_reserved_fields_rejected(self, tmp_path):
+        with Journal(tmp_path / "run.jsonl") as journal:
+            with pytest.raises(ValueError, match="reserved"):
+                journal.emit("gain", run=7)
+
+    def test_unserializable_field_raises(self, tmp_path):
+        with Journal(tmp_path / "run.jsonl") as journal:
+            with pytest.raises(TypeError):
+                journal.emit("gain", value=object())
+
+
+class TestLifecycle:
+    def test_emit_after_close_raises(self, tmp_path):
+        journal = Journal(tmp_path / "run.jsonl")
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.emit("round_start", round=0)
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = Journal(tmp_path / "run.jsonl")
+        journal.close()
+        journal.close()
+        assert journal.closed
+
+    def test_stream_sink_stays_open(self):
+        buffer = io.StringIO()
+        journal = Journal(buffer)
+        journal.emit("round_start", round=0)
+        journal.close()
+        assert read_journal(io.StringIO(buffer.getvalue()))
+
+    def test_path_sink_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path, run_id="a"):
+            pass
+        with Journal(path, run_id="b"):
+            pass
+        assert {r["run"] for r in read_journal(path)} == {"a", "b"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        with Journal(path):
+            pass
+        assert path.exists()
+
+
+class TestReading:
+    def test_blank_lines_skipped(self):
+        records = read_journal(io.StringIO('{"ts":0,"seq":0,"run":"x","event":"gain"}\n\n'))
+        assert len(records) == 1
+
+    def test_malformed_line_raises_with_line_number(self):
+        stream = io.StringIO('{"ts":0,"seq":0,"run":"x","event":"gain"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_journal(stream)
+
+    def test_non_object_record_raises(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            read_journal(io.StringIO("[1,2,3]\n"))
+
+    def test_iter_journal_is_lazy(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"ts": 0, "event": "gain"}) + "\n")
+        iterator = iter_journal(path)
+        assert next(iterator)["event"] == "gain"

@@ -1,0 +1,122 @@
+"""Unit tests for repro.obs.metrics (counters/timers/histograms/snapshot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_float_amounts(self):
+        counter = Counter("c")
+        counter.inc(0.5)
+        assert counter.value == pytest.approx(0.5)
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestHistogram:
+    def test_empty_stats_are_zero(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(95) == 0.0
+
+    def test_summary_stats(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(10.0)
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.min == 1.0 and histogram.max == 4.0
+
+    def test_percentile_nearest_rank(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError, match="percentile"):
+            Histogram("h").percentile(101)
+
+    def test_snapshot_retains_raw_values(self):
+        histogram = Histogram("h")
+        histogram.observe(1.25)
+        snapshot = histogram.snapshot()
+        assert snapshot["type"] == "histogram"
+        assert snapshot["values"] == [1.25]
+        assert snapshot["count"] == 1
+
+
+class TestTimer:
+    def test_time_context_manager_records_a_duration(self):
+        timer = Timer("t")
+        with timer.time():
+            sum(range(1000))
+        assert timer.count == 1
+        assert timer.values[0] > 0.0
+
+    def test_snapshot_type(self):
+        assert Timer("t").snapshot()["type"] == "timer"
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timer("b") is registry.timer("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="Counter"):
+            registry.timer("x")
+
+    def test_timer_is_not_a_histogram_name(self):
+        registry = MetricsRegistry()
+        registry.timer("t")
+        with pytest.raises(ValueError, match="Timer"):
+            registry.histogram("t")
+
+    def test_snapshot_grouped_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.timer("a.seconds").observe(0.5)
+        registry.histogram("m.sizes").observe(10.0)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "timers", "histograms"}
+        assert snapshot["counters"]["z.count"]["value"] == 2
+        assert snapshot["timers"]["a.seconds"]["values"] == [0.5]
+        assert snapshot["histograms"]["m.sizes"]["count"] == 1
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.timer("t").observe(0.25)
+        assert json.loads(json.dumps(registry.snapshot()))
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("c").value == 0

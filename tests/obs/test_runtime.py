@@ -1,0 +1,107 @@
+"""Unit tests for repro.obs.runtime (the configure/shutdown switchboard)."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs import runtime
+from repro.obs.journal import read_journal
+from repro.obs.trace import NOOP_SPAN, active_tracer, span
+
+
+class TestConfigure:
+    def test_disabled_by_default(self):
+        assert runtime.state() is None
+        assert not runtime.enabled()
+
+    def test_journal_path_opens_a_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        state = runtime.configure(journal=path)
+        assert state.journal is not None
+        state.journal.emit("round_start", round=0)
+        runtime.shutdown()
+        events = [r["event"] for r in read_journal(path)]
+        assert events == ["journal_open", "round_start", "journal_close"]
+
+    def test_trace_activates_a_tracer(self):
+        state = runtime.configure(trace=True)
+        assert active_tracer() is state.tracer
+        with span("phase"):
+            pass
+        assert state.tracer is not None and state.tracer.spans
+
+    def test_without_trace_span_stays_noop(self):
+        runtime.configure(journal=None, trace=False)
+        assert span("phase") is NOOP_SPAN
+
+    def test_run_id_passthrough(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        runtime.configure(journal=path, run_id="fixed-id")
+        runtime.shutdown()
+        assert {r["run"] for r in read_journal(path)} == {"fixed-id"}
+
+    def test_configure_replaces_previous_state(self, tmp_path):
+        first = runtime.configure(journal=tmp_path / "a.jsonl", trace=True)
+        second = runtime.configure(journal=tmp_path / "b.jsonl")
+        assert first.journal is not None and first.journal.closed
+        assert active_tracer() is None
+        assert runtime.state() is second
+
+    def test_log_level_configures_repro_logger(self):
+        runtime.configure(log_level="debug")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        runtime.configure(log_level="warning")
+        assert logging.getLogger("repro").level == logging.WARNING
+
+
+class TestShutdown:
+    def test_shutdown_closes_everything(self, tmp_path):
+        state = runtime.configure(journal=tmp_path / "run.jsonl", trace=True)
+        runtime.shutdown()
+        assert runtime.state() is None
+        assert state.journal is not None and state.journal.closed
+        assert active_tracer() is None
+
+    def test_shutdown_is_idempotent(self):
+        runtime.shutdown()
+        runtime.shutdown()
+        assert runtime.state() is None
+
+
+class TestObserved:
+    def test_scoped_enable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with runtime.observed(journal=path, trace=True) as state:
+            assert runtime.state() is state
+            with span("inside"):
+                pass
+        assert runtime.state() is None
+        assert any(r["event"] == "span" for r in read_journal(path))
+
+    def test_shuts_down_on_error(self, tmp_path):
+        try:
+            with runtime.observed(journal=tmp_path / "run.jsonl"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert runtime.state() is None
+
+
+class TestEnableMetrics:
+    def test_metrics_only_state(self):
+        registry = runtime.enable_metrics()
+        state = runtime.state()
+        assert state is not None
+        assert state.journal is None and state.tracer is None
+        assert state.metrics is registry
+
+    def test_idempotent(self):
+        assert runtime.enable_metrics() is runtime.enable_metrics()
+
+    def test_registry_survives_configure_cycles(self):
+        registry = runtime.metrics_registry()
+        registry.counter("persistent").inc()
+        runtime.configure(trace=True)
+        runtime.shutdown()
+        assert runtime.metrics_registry() is registry
+        assert registry.counter("persistent").value == 1

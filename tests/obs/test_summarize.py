@@ -1,0 +1,93 @@
+"""Unit tests for repro.obs.summarize (the trace-summarize tables)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_assignment import RandomAssignment
+from repro.core.simulation import simulate
+from repro.obs import runtime
+from repro.obs.summarize import phase_table, span_table, summarize_journal
+from repro.obs.trace import Tracer, activate, deactivate, span
+
+
+def _run_with_journal(path, *, trace):
+    with runtime.observed(journal=path, trace=trace):
+        simulate(
+            RandomAssignment(),
+            np.linspace(0.1, 1.2, 12),
+            k=3,
+            alpha=4,
+            mode="star",
+            rate=0.5,
+            seed=0,
+        )
+
+
+class TestSummarizeJournal:
+    def test_traced_journal_summarizes_spans(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _run_with_journal(path, trace=True)
+        text = summarize_journal(path)
+        assert "core.simulate" in text
+        assert "policy.propose:random" in text
+        assert "records:" in text and "% wall" in text
+
+    def test_untraced_journal_falls_back_to_round_phases(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _run_with_journal(path, trace=False)
+        text = summarize_journal(path)
+        assert "core.round" in text
+        assert "policy.propose:random" in text
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            summarize_journal(tmp_path / "absent.jsonl")
+
+    def test_empty_journal_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize_journal(io.StringIO(""))
+
+    def test_journal_without_timings_raises(self):
+        stream = io.StringIO('{"ts":0.0,"seq":0,"run":"x","event":"journal_open"}\n')
+        with pytest.raises(ValueError, match="no span or round"):
+            summarize_journal(stream)
+
+
+class TestPhaseTable:
+    def test_sorted_by_total_descending(self):
+        events = [
+            {"ts": 0.0, "event": "span", "name": "fast", "dur": 0.001},
+            {"ts": 1.0, "event": "span", "name": "slow", "dur": 0.9},
+            {"ts": 2.0, "event": "span", "name": "fast", "dur": 0.002},
+        ]
+        lines = phase_table(events).splitlines()
+        assert lines[2].startswith("slow")
+        assert lines[3].startswith("fast")
+
+    def test_counts_and_totals(self):
+        events = [
+            {"ts": 0.0, "event": "span", "name": "phase", "dur": 0.25},
+            {"ts": 1.0, "event": "span", "name": "phase", "dur": 0.75},
+        ]
+        row = phase_table(events).splitlines()[2]
+        assert row.startswith("phase")
+        assert "2" in row and "1.000000" in row
+
+
+class TestSpanTable:
+    def test_renders_in_memory_spans(self):
+        tracer = activate(Tracer())
+        with span("outer"):
+            with span("inner"):
+                pass
+        deactivate()
+        text = span_table(tracer.spans)
+        assert "outer" in text and "inner" in text
+
+    def test_empty_spans_raise(self):
+        with pytest.raises(ValueError, match="no spans"):
+            span_table([])

@@ -1,0 +1,106 @@
+"""Unit tests for repro.obs.trace (span nesting + no-op fast path)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.journal import Journal, read_journal
+from repro.obs.trace import NOOP_SPAN, Tracer, activate, active_tracer, deactivate, span
+
+
+class TestDisabledFastPath:
+    def test_span_returns_the_shared_noop_singleton(self):
+        # The no-op path allocates nothing: every call returns one object.
+        assert span("anything") is NOOP_SPAN
+        assert span("something-else", attr=1) is NOOP_SPAN
+
+    def test_noop_span_is_a_context_manager(self):
+        with span("disabled") as live:
+            assert live is NOOP_SPAN
+
+    def test_no_active_tracer_by_default(self):
+        assert active_tracer() is None
+
+
+class TestEnabledSpans:
+    def test_activate_and_deactivate(self):
+        tracer = Tracer()
+        assert activate(tracer) is tracer
+        assert active_tracer() is tracer
+        deactivate()
+        assert active_tracer() is None
+        assert span("after") is NOOP_SPAN
+
+    def test_span_records_name_duration_attrs(self):
+        tracer = activate(Tracer())
+        with span("phase", policy="dygroups"):
+            pass
+        deactivate()
+        (record,) = tracer.spans
+        assert record.name == "phase"
+        assert record.duration >= 0.0
+        assert record.attrs == {"policy": "dygroups"}
+
+    def test_nesting_depths(self):
+        tracer = activate(Tracer())
+        with span("outer"):
+            with span("middle"):
+                with span("inner"):
+                    pass
+        deactivate()
+        depths = {record.name: record.depth for record in tracer.spans}
+        assert depths == {"outer": 0, "middle": 1, "inner": 2}
+
+    def test_inner_spans_complete_first(self):
+        tracer = activate(Tracer())
+        with span("outer"):
+            with span("inner"):
+                pass
+        deactivate()
+        assert [record.name for record in tracer.spans] == ["inner", "outer"]
+        assert [record.index for record in tracer.spans] == [0, 1]
+
+    def test_exception_still_records_and_propagates(self):
+        tracer = activate(Tracer())
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        deactivate()
+        assert tracer.spans[0].name == "failing"
+        assert tracer._depth == 0
+
+    def test_clear(self):
+        tracer = activate(Tracer())
+        with span("one"):
+            pass
+        deactivate()
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestJournalMirroring:
+    def test_spans_emit_journal_records(self):
+        buffer = io.StringIO()
+        journal = Journal(buffer)
+        tracer = activate(Tracer(journal=journal))
+        with span("outer", k=3):
+            with span("inner"):
+                pass
+        deactivate()
+        journal.close()
+        records = [r for r in read_journal(io.StringIO(buffer.getvalue())) if r["event"] == "span"]
+        assert [(r["name"], r["depth"]) for r in records] == [("inner", 1), ("outer", 0)]
+        assert records[1]["k"] == 3
+        assert all(r["dur"] >= 0.0 for r in records)
+
+    def test_closed_journal_is_not_written(self):
+        buffer = io.StringIO()
+        journal = Journal(buffer)
+        journal.close()
+        tracer = activate(Tracer(journal=journal))
+        with span("after-close"):
+            pass
+        deactivate()
+        assert tracer.spans  # recorded in memory, silently skipped on the journal

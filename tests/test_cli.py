@@ -30,6 +30,27 @@ class TestParser:
         assert args.full is True
         assert args.name == "fig05a"
 
+    def test_observability_flags_on_subcommands(self):
+        args = build_parser().parse_args(
+            ["run", "--journal", "out.jsonl", "--trace", "--log-level", "debug"]
+        )
+        assert args.journal == "out.jsonl"
+        assert args.trace is True
+        assert args.log_level == "debug"
+
+    def test_observability_flags_default_off(self):
+        args = build_parser().parse_args(["toy"])
+        assert args.journal is None and args.trace is False and args.log_level is None
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_summarize_parses(self):
+        args = build_parser().parse_args(["trace", "summarize", "out.jsonl"])
+        assert args.trace_command == "summarize"
+        assert args.journal_file == "out.jsonl"
+
 
 class TestCommands:
     def test_toy(self, capsys):
@@ -44,6 +65,8 @@ class TestCommands:
         assert "fig05a" in out
         assert "dygroups" in out
         assert "lognormal" in out
+        assert "journal events" in out and "round_start" in out
+        assert "trace summarize" in out
 
     def test_run_small(self, capsys):
         code = main(
@@ -154,6 +177,75 @@ class TestCommands:
         code = main(["grid", "--vary", "alpha:1,2"])
         assert code == 2
         assert "bad --vary" in capsys.readouterr().err
+
+    def test_run_with_journal_and_trace(self, capsys, tmp_path):
+        journal_file = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "run",
+                "--n",
+                "30",
+                "--k",
+                "3",
+                "--alpha",
+                "2",
+                "--runs",
+                "1",
+                "--algorithms",
+                "dygroups,random",
+                "--journal",
+                str(journal_file),
+                "--trace",
+            ]
+        )
+        assert code == 0
+        assert journal_file.exists()
+
+        from repro.obs import runtime
+        from repro.obs.journal import read_journal
+
+        assert runtime.state() is None  # main() shut observability down
+        records = read_journal(journal_file)
+        events = {r["event"] for r in records}
+        assert {"journal_open", "spec_start", "round_start", "span", "journal_close"} <= events
+
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(journal_file)]) == 0
+        out = capsys.readouterr().out
+        assert "core.simulate" in out
+        assert "% wall" in out
+
+    def test_run_with_trace_only_prints_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--n",
+                "30",
+                "--k",
+                "3",
+                "--alpha",
+                "2",
+                "--runs",
+                "1",
+                "--algorithms",
+                "dygroups",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "experiments.run_spec" in out
+
+    def test_trace_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "absent.jsonl")]) == 2
+        assert "journal not found" in capsys.readouterr().err
+
+    def test_trace_summarize_rejects_empty_journal(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 2
+        assert "cannot summarize" in capsys.readouterr().err
 
     def test_run_with_save(self, capsys, tmp_path):
         out_file = tmp_path / "outcome.json"
