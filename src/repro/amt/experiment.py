@@ -223,7 +223,7 @@ def welch_t_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> tuple[float
     var_a = a.var(ddof=1) / a.size
     var_b = b.var(ddof=1) / b.size
     pooled = var_a + var_b
-    if pooled == 0.0:
+    if pooled == 0.0:  # noqa: DYG302 — exact zero guard
         raise ValueError("both samples are constant; t statistic undefined")
     t = float((a.mean() - b.mean()) / np.sqrt(pooled))
     df = pooled**2 / (var_a**2 / (a.size - 1) + var_b**2 / (b.size - 1))

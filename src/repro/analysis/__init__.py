@@ -1,0 +1,56 @@
+"""repro.analysis — correctness tooling: static lint + runtime contracts.
+
+Two complementary layers enforce the reproduction's invariants beyond
+what the test suite can sample:
+
+* the **AST lint engine** (:mod:`~repro.analysis.engine`) checks the
+  source *by construction* — seeded-RNG threading, validation routing,
+  API hygiene — via the ``DYG1xx``/``DYG2xx``/``DYG3xx`` rule families
+  (``dygroups lint``, and the self-lint test in CI);
+* the **runtime contracts** (:mod:`~repro.analysis.contracts`) assert the
+  paper's structural guarantees live inside the simulation loop when
+  ``REPRO_CONTRACTS=1`` or ``dygroups --contracts`` is set, at zero cost
+  when off.
+
+See docs/static-analysis.md for the rule catalog and contracts guide.
+"""
+
+from repro.analysis.base import Diagnostic, FileContext, Finding, Rule
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_clique_order_preserved,
+    check_gains_nonnegative,
+    check_partition,
+    check_star_teacher_unchanged,
+    check_top_k_teachers,
+    contracts_enabled,
+    contracts_scope,
+    disable_contracts,
+    enable_contracts,
+)
+from repro.analysis.engine import LintEngine, LintReport, lint_paths
+from repro.analysis.rules import ALL_RULES, rule_catalog
+
+__all__ = [
+    # lint engine
+    "ALL_RULES",
+    "Diagnostic",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "lint_paths",
+    "rule_catalog",
+    # runtime contracts
+    "ContractViolation",
+    "check_clique_order_preserved",
+    "check_gains_nonnegative",
+    "check_partition",
+    "check_star_teacher_unchanged",
+    "check_top_k_teachers",
+    "contracts_enabled",
+    "contracts_scope",
+    "disable_contracts",
+    "enable_contracts",
+]

@@ -1,0 +1,198 @@
+"""Shared vocabulary of the lint engine: diagnostics, rules, file context.
+
+A *rule* inspects one parsed module and yields raw findings; the engine
+(:mod:`repro.analysis.engine`) turns them into :class:`Diagnostic`
+records, applies ``# noqa`` suppressions and ``--select``/``--ignore``
+filtering, and aggregates them across files.
+
+Rule codes follow the ``DYG<family><nn>`` scheme:
+
+* ``DYG1xx`` — determinism (seeded-RNG threading, no wall-clock reads);
+* ``DYG2xx`` — contracts (eager validation routing, no parameter mutation);
+* ``DYG3xx`` — API hygiene (``__all__`` drift, float equality, bare except).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["Diagnostic", "FileContext", "Finding", "Rule"]
+
+#: ``# noqa`` / ``# noqa: DYG101, DYG302`` suppression comments.
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule code anchored to a source location.
+
+    Attributes:
+        code: the rule code (``DYG101`` ...; ``DYG000`` for parse errors).
+        message: human-readable description of the violation.
+        path: the file the finding is in (as given to the engine).
+        line: 1-based source line.
+        col: 1-based source column.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``dygroups lint --json``)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A raw rule finding, before the engine attaches code and path."""
+
+    line: int
+    col: int
+    message: str
+
+    @classmethod
+    def at(cls, node: ast.AST, message: str) -> "Finding":
+        """A finding anchored to an AST node (1-based column)."""
+        return cls(
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class FileContext:
+    """Everything a rule may need to know about the module under analysis.
+
+    Attributes:
+        path: the path the module was loaded from (display form).
+        source: full source text.
+        tree: the parsed :class:`ast.Module`.
+        wallclock_exempt: whether the module lives in the observability
+            subsystem (a path component named ``obs``), where wall-clock
+            reads are the point rather than a bug.
+    """
+
+    def __init__(self, path: "str | Path", source: str, tree: ast.Module) -> None:
+        self.path = str(path)
+        self.source = source
+        self.tree = tree
+        parts = Path(self.path).parts
+        self.wallclock_exempt = "obs" in parts
+        self._noqa: dict[int, frozenset[str] | None] = {}
+        for number, line in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                self._noqa[number] = None  # blanket suppression
+            else:
+                self._noqa[number] = frozenset(
+                    c.strip().upper() for c in codes.split(",") if c.strip()
+                )
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether ``line`` carries a ``# noqa`` covering ``code``."""
+        if line not in self._noqa:
+            return False
+        codes = self._noqa[line]
+        return codes is None or code in codes
+
+
+class Rule:
+    """Base class for lint rules; subclasses set the class attributes.
+
+    Attributes:
+        code: unique rule code (``DYG101`` ...).
+        name: short kebab-case rule name.
+        summary: one-line description for the rule catalog.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield raw findings for the module in ``ctx``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(code={self.code!r})"
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Document-order walk that does *not* descend into nested functions.
+
+    Used by per-function rules so a nested ``def`` shadowing a parameter
+    name is analyzed on its own, not as part of the enclosing scope.
+    """
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield from walk_shallow(child)
+
+
+@dataclass
+class ImportMap:
+    """Module-alias bookkeeping shared by the determinism rules.
+
+    Attributes:
+        modules: local name → dotted module it is bound to
+            (``import numpy as np`` ⇒ ``{"np": "numpy"}``).
+        members: local name → ``(module, member)`` for ``from``-imports
+            (``from time import time as now`` ⇒ ``{"now": ("time", "time")}``).
+    """
+
+    modules: dict[str, str] = field(default_factory=dict)
+    members: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    bound = alias.name if alias.asname else alias.name.partition(".")[0]
+                    imports.modules[local] = bound
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    imports.members[local] = (node.module, alias.name)
+        return imports
+
+    def module_aliases(self, dotted: str) -> frozenset[str]:
+        """Local names bound to the module ``dotted`` (either import form)."""
+        names = {local for local, mod in self.modules.items() if mod == dotted}
+        parent, _, child = dotted.rpartition(".")
+        if parent:
+            names.update(
+                local
+                for local, (mod, member) in self.members.items()
+                if mod == parent and member == child
+            )
+        return frozenset(names)
+
+    def member_aliases(self, module: str, member: str) -> frozenset[str]:
+        """Local names bound to ``from module import member``."""
+        return frozenset(
+            local
+            for local, (mod, name) in self.members.items()
+            if mod == module and name == member
+        )

@@ -1,0 +1,228 @@
+"""Runtime invariant contracts for the simulation stack.
+
+Debug-mode assertions for the paper's structural guarantees, checked live
+inside the simulation loop when enabled:
+
+* :func:`check_partition` — a proposed grouping is a proper equi-sized
+  partition of exactly the expected ``n`` participants into ``k`` groups;
+* :func:`check_top_k_teachers` — Theorem 1: the per-group maxima of a
+  DyGroups grouping are exactly the global top-``k`` skills;
+* :func:`check_star_teacher_unchanged` — a Star-mode round never alters a
+  teacher's skill (``f(0) = 0``);
+* :func:`check_clique_order_preserved` — a Clique-mode round preserves the
+  within-group skill ranking (the Equation 2 averaging property);
+* :func:`check_gains_nonnegative` — learning gains never go negative
+  (interactions only add skill).
+
+Contracts are **off by default** and follow the observability fast-path
+pattern: instrumented code reads :func:`contracts_enabled` once per call
+and skips every check when it returns ``False`` — a single module-global
+boolean read, no allocation, no numpy work.  Enable them with the
+``REPRO_CONTRACTS=1`` environment variable, the ``dygroups --contracts``
+CLI flag, or programmatically::
+
+    from repro.analysis import contracts
+
+    contracts.enable_contracts()
+    # ... or scoped:
+    with contracts.contracts_scope():
+        simulate(...)
+
+Every check is read-only and draws no randomness, so enabling contracts
+never changes results: a contracts-on run is bit-identical to a
+contracts-off run (the test suite pins this).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.grouping import Grouping
+
+__all__ = [
+    "ContractViolation",
+    "check_clique_order_preserved",
+    "check_gains_nonnegative",
+    "check_partition",
+    "check_star_teacher_unchanged",
+    "check_top_k_teachers",
+    "contracts_enabled",
+    "contracts_scope",
+    "disable_contracts",
+    "enable_contracts",
+]
+
+#: Environment variable that switches contracts on at import time.
+ENV_VAR = "REPRO_CONTRACTS"
+
+#: Absolute slack for floating-point comparisons in the checks.
+_ATOL = 1e-9
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant of the model was violated."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+_enabled: bool = _env_enabled()
+
+
+def contracts_enabled() -> bool:
+    """Whether runtime contracts are active (the hot-path accessor)."""
+    return _enabled
+
+
+def enable_contracts() -> None:
+    """Switch runtime contracts on for the process."""
+    global _enabled
+    _enabled = True
+
+
+def disable_contracts() -> None:
+    """Switch runtime contracts off."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def contracts_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force contracts on (or off); restores the prior state."""
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+# -- checks ----------------------------------------------------------------
+
+
+def check_partition(grouping: "Grouping", *, n: int, k: int) -> None:
+    """Assert ``grouping`` is a proper equi-sized partition of ``n`` into ``k``.
+
+    Recomputes membership from the raw groups rather than trusting any
+    cached attribute, so a buggy policy cannot satisfy the contract by
+    accident.
+
+    Raises:
+        ContractViolation: on a wrong group count, unequal sizes, or
+            members not covering exactly ``0 … n−1`` without duplicates.
+    """
+    groups = tuple(tuple(g) for g in grouping)
+    if len(groups) != k:
+        raise ContractViolation(f"grouping has {len(groups)} groups, expected k={k}")
+    sizes = {len(g) for g in groups}
+    if len(sizes) != 1:
+        raise ContractViolation(f"groups are not equi-sized: sizes {sorted(sizes)}")
+    members = [m for g in groups for m in g]
+    if len(members) != n or set(members) != set(range(n)):
+        raise ContractViolation(
+            f"grouping does not partition 0..{n - 1}: covers {len(set(members))} "
+            f"distinct of {len(members)} listed members"
+        )
+
+
+def check_top_k_teachers(skills: np.ndarray, grouping: "Grouping") -> None:
+    """Assert Theorem 1: per-group maxima are exactly the global top-``k``.
+
+    Any round-gain-optimal grouping places the ``k`` highest-skilled
+    participants as the ``k`` group teachers; both DyGroups groupers
+    guarantee this by construction.  Compared as value multisets so tied
+    skills are handled correctly.
+
+    Raises:
+        ContractViolation: if some group's best member is not among the
+            global top-``k`` skill values.
+    """
+    values = np.asarray(skills, dtype=np.float64)
+    k = len(tuple(grouping))
+    teacher_values = np.sort(
+        np.array([float(values[list(g)].max()) for g in grouping], dtype=np.float64)
+    )
+    top_k = np.sort(values)[-k:]
+    if not np.allclose(teacher_values, top_k, rtol=0.0, atol=_ATOL):
+        raise ContractViolation(
+            f"Theorem 1 violated: group maxima {teacher_values.tolist()} != "
+            f"global top-{k} skills {top_k.tolist()}"
+        )
+
+
+def check_star_teacher_unchanged(
+    before: np.ndarray, after: np.ndarray, grouping: "Grouping"
+) -> None:
+    """Assert a Star-mode round left every group's teacher untouched.
+
+    The teacher has zero skill gap to itself and every gain function maps
+    a zero gap to zero gain, so the highest-skilled member of each group
+    must come out of the round with its skill bit-unchanged (up to float
+    slack).
+
+    Raises:
+        ContractViolation: if some teacher's skill moved.
+    """
+    pre = np.asarray(before, dtype=np.float64)
+    post = np.asarray(after, dtype=np.float64)
+    for index, group in enumerate(grouping):
+        members = list(group)
+        local = pre[members]
+        teacher = members[int(np.argmax(local))]
+        if abs(post[teacher] - pre[teacher]) > _ATOL * (1.0 + abs(pre[teacher])):
+            raise ContractViolation(
+                f"star teacher invariant violated in group {index}: teacher "
+                f"{teacher} moved {pre[teacher]!r} -> {post[teacher]!r}"
+            )
+
+
+def check_clique_order_preserved(
+    before: np.ndarray, after: np.ndarray, grouping: "Grouping"
+) -> None:
+    """Assert a Clique-mode round preserved the within-group skill ranking.
+
+    Equation 2 averages each member's positive pairwise gains over its
+    rank, which keeps the within-group order: if ``s_i ≥ s_j`` before the
+    round (same group), then after it too.  Ties are ranked stably by
+    member index, matching the update engine's convention.
+
+    Raises:
+        ContractViolation: if two members of one group swapped order.
+    """
+    pre = np.asarray(before, dtype=np.float64)
+    post = np.asarray(after, dtype=np.float64)
+    for index, group in enumerate(grouping):
+        members = sorted(group, key=lambda m: (-float(pre[m]), m))
+        ranked_post = post[members]
+        slack = _ATOL * (1.0 + float(np.abs(ranked_post).max()))
+        drops = np.diff(ranked_post)
+        if np.any(drops > slack):
+            position = int(np.argmax(drops))
+            raise ContractViolation(
+                f"clique order invariant violated in group {index}: member "
+                f"{members[position + 1]} overtook member {members[position]} "
+                f"({ranked_post[position + 1]!r} > {ranked_post[position]!r})"
+            )
+
+
+def check_gains_nonnegative(gains: "float | np.ndarray") -> None:
+    """Assert learning gains are non-negative (interactions only add skill).
+
+    Accepts a scalar round gain or an array of per-round gains.
+
+    Raises:
+        ContractViolation: on any gain below ``-1e-9``.
+    """
+    values = np.atleast_1d(np.asarray(gains, dtype=np.float64))
+    if values.size and float(values.min()) < -_ATOL:
+        position = int(np.argmin(values))
+        raise ContractViolation(
+            f"negative learning gain {float(values[position])!r} at index {position}"
+        )

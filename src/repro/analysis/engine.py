@@ -1,0 +1,204 @@
+"""The AST lint engine behind ``dygroups lint``.
+
+The engine parses each python file once, runs every selected rule over
+the tree, filters ``# noqa`` suppressions, and returns the findings as
+sorted :class:`~repro.analysis.base.Diagnostic` records bundled in a
+:class:`LintReport`.  Selection mirrors ruff/flake8 conventions:
+``--select``/``--ignore`` accept full codes (``DYG302``) or family
+prefixes (``DYG3``, ``DYG``).
+
+Typical use::
+
+    from repro.analysis import LintEngine
+
+    report = LintEngine().lint_paths(["src/repro"])
+    for diagnostic in report.diagnostics:
+        print(diagnostic)
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.base import Diagnostic, FileContext, Rule
+from repro.analysis.rules import ALL_RULES
+
+__all__ = ["LintEngine", "LintReport", "lint_paths"]
+
+#: Pseudo-code attached to files the engine cannot parse.
+PARSE_ERROR_CODE = "DYG000"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes:
+        diagnostics: all findings, sorted by path, line, column, code.
+        files_checked: number of python files parsed.
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced no findings."""
+        return not self.diagnostics
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Finding counts per rule code (sorted by code)."""
+        counts = Counter(d.code for d in self.diagnostics)
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``dygroups lint --json``)."""
+        return {
+            "files_checked": self.files_checked,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": self.counts_by_code(),
+        }
+
+    def to_json(self) -> str:
+        """The report as an indented JSON document."""
+        return json.dumps(self.to_dict(), indent=2)
+
+
+@dataclass(frozen=True)
+class _Selection:
+    """Resolved ``--select``/``--ignore`` code filters."""
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+
+    def admits(self, code: str) -> bool:
+        if self.select and not any(code.startswith(p) for p in self.select):
+            return False
+        return not any(code.startswith(p) for p in self.ignore)
+
+
+def _parse_codes(spec: "str | Sequence[str] | None", *, flag: str) -> tuple[str, ...]:
+    if spec is None:
+        return ()
+    if isinstance(spec, str):
+        parts = [p.strip().upper() for p in spec.split(",")]
+    else:
+        parts = [p.strip().upper() for p in spec]
+    codes = tuple(p for p in parts if p)
+    known = [rule.code for rule in ALL_RULES]
+    for code in codes:
+        if not any(k.startswith(code) for k in known):
+            raise ValueError(
+                f"{flag}: unknown rule code or prefix {code!r} "
+                f"(known codes: {', '.join(known)})"
+            )
+    return codes
+
+
+class LintEngine:
+    """Runs the registered rules over source files.
+
+    Args:
+        select: comma-separated string or sequence of codes/prefixes to
+            enable (default: all rules).
+        ignore: codes/prefixes to disable (applied after ``select``).
+
+    Raises:
+        ValueError: on a code that matches no registered rule.
+    """
+
+    def __init__(
+        self,
+        *,
+        select: "str | Sequence[str] | None" = None,
+        ignore: "str | Sequence[str] | None" = None,
+    ) -> None:
+        self._selection = _Selection(
+            select=_parse_codes(select, flag="select"),
+            ignore=_parse_codes(ignore, flag="ignore"),
+        )
+        self.rules: tuple[Rule, ...] = tuple(
+            rule() for rule in ALL_RULES if self._selection.admits(rule.code)
+        )
+
+    # -- single-module entry points ---------------------------------------
+
+    def lint_source(self, source: str, *, path: "str | Path" = "<string>") -> list[Diagnostic]:
+        """Lint python source text as if it lived at ``path``.
+
+        The path matters: the wall-clock rule exempts modules under an
+        ``obs`` directory, and every diagnostic carries the path.
+        """
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            return [
+                Diagnostic(
+                    code=PARSE_ERROR_CODE,
+                    message=f"cannot parse file: {error.msg}",
+                    path=str(path),
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) or 1,
+                )
+            ]
+        ctx = FileContext(path, source, tree)
+        found: list[Diagnostic] = []
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                if ctx.suppressed(finding.line, rule.code):
+                    continue
+                found.append(
+                    Diagnostic(
+                        code=rule.code,
+                        message=finding.message,
+                        path=ctx.path,
+                        line=finding.line,
+                        col=finding.col,
+                    )
+                )
+        found.sort(key=lambda d: (d.line, d.col, d.code))
+        return found
+
+    def lint_file(self, path: "str | Path") -> list[Diagnostic]:
+        """Lint one python file."""
+        file_path = Path(path)
+        source = file_path.read_text(encoding="utf-8")
+        return self.lint_source(source, path=file_path)
+
+    # -- tree entry point --------------------------------------------------
+
+    def lint_paths(self, paths: Iterable["str | Path"]) -> LintReport:
+        """Lint files and directory trees; directories are walked for ``*.py``.
+
+        Raises:
+            FileNotFoundError: if a given path does not exist.
+        """
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+            elif path.is_file():
+                files.append(path)
+            else:
+                raise FileNotFoundError(f"no such file or directory: {path}")
+        diagnostics: list[Diagnostic] = []
+        for file_path in files:
+            diagnostics.extend(self.lint_file(file_path))
+        diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+        return LintReport(diagnostics=tuple(diagnostics), files_checked=len(files))
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    *,
+    select: "str | Sequence[str] | None" = None,
+    ignore: "str | Sequence[str] | None" = None,
+) -> LintReport:
+    """Convenience wrapper: build a :class:`LintEngine` and run it."""
+    return LintEngine(select=select, ignore=ignore).lint_paths(paths)

@@ -1,0 +1,36 @@
+"""Rule registry for the ``repro.analysis`` lint engine.
+
+Every rule class is registered in :data:`ALL_RULES`; the engine
+instantiates the selected subset per run.  Codes are grouped by family:
+``DYG1xx`` determinism, ``DYG2xx`` contracts, ``DYG3xx`` API hygiene.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Rule
+from repro.analysis.rules.contracts_rules import ParameterMutationRule, ValidationRoutingRule
+from repro.analysis.rules.determinism import (
+    NumpyGlobalRandomRule,
+    StdlibRandomRule,
+    WallClockRule,
+)
+from repro.analysis.rules.hygiene import AllDriftRule, BareExceptRule, FloatEqualityRule
+
+__all__ = ["ALL_RULES", "rule_catalog"]
+
+#: Every registered rule class, in code order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    StdlibRandomRule,
+    NumpyGlobalRandomRule,
+    WallClockRule,
+    ValidationRoutingRule,
+    ParameterMutationRule,
+    AllDriftRule,
+    FloatEqualityRule,
+    BareExceptRule,
+)
+
+
+def rule_catalog() -> tuple[tuple[str, str, str], ...]:
+    """``(code, name, summary)`` for every registered rule, in code order."""
+    return tuple((rule.code, rule.name, rule.summary) for rule in ALL_RULES)

@@ -1,0 +1,233 @@
+"""DYG2xx — contract rules.
+
+The reproduction validates eagerly: every public entry point coerces and
+checks its inputs through :mod:`repro._validation` before computing, and
+array arguments are treated as read-only unless explicitly copied.  These
+rules police both halves of that contract:
+
+* ``DYG201`` — a public module-level function taking the model's core
+  parameters (``skills``, or ``k`` together with ``rate``/``r``) must
+  route through a ``_validation`` helper, validate inline (raise
+  ``ValueError``/``TypeError``), or delegate the parameters to another
+  repro function that does;
+* ``DYG202`` — no in-place mutation of a parameter (subscript stores,
+  augmented assignment, ``.sort()``-style mutators) unless the name was
+  first rebound to an explicit copy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule, walk_shallow
+
+__all__ = ["ValidationRoutingRule", "ParameterMutationRule"]
+
+#: The helper vocabulary of ``repro._validation`` (its ``__all__``).
+VALIDATION_HELPERS = frozenset(
+    {
+        "as_skill_array",
+        "require_positive_int",
+        "require_int_in_range",
+        "require_learning_rate",
+        "require_probability",
+        "require_divisible_groups",
+    }
+)
+
+#: In-place mutator methods on numpy arrays (and the shared ``sort``).
+_MUTATOR_METHODS = frozenset({"sort", "fill", "resize", "partition", "put", "byteswap"})
+
+#: ``np.<fn>(target, ...)`` calls that write into their first argument.
+_NUMPY_MUTATOR_FUNCS = frozenset({"put", "place", "copyto", "putmask"})
+
+
+def _function_defs(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the module, including methods."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = func.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+class ValidationRoutingRule(Rule):
+    """DYG201: public entry points must route through ``_validation``."""
+
+    code = "DYG201"
+    name = "validation-routing"
+    summary = "public function takes skills/k/r but never routes through _validation"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            params = set(_param_names(node))
+            core = {"skills"} & params
+            if not core and not ({"k"} <= params and ({"rate", "r"} & params)):
+                continue
+            tracked = core | ({"k", "rate", "r"} & params)
+            if self._routes(node, tracked):
+                continue
+            yield Finding.at(
+                node,
+                f"public function {node.name}() accepts "
+                f"{'/'.join(sorted(tracked))} but neither calls a "
+                "repro._validation helper, validates inline, nor delegates "
+                "them to a validating function",
+            )
+
+    @staticmethod
+    def _routes(func: ast.FunctionDef | ast.AsyncFunctionDef, tracked: set[str]) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Raise):
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                if isinstance(target, ast.Name) and target.id in (
+                    "ValueError",
+                    "TypeError",
+                    "ContractViolation",
+                ):
+                    return True  # inline eager validation
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in VALIDATION_HELPERS:
+                return True
+            if isinstance(callee, ast.Attribute) and callee.attr in VALIDATION_HELPERS:
+                return True
+            # Delegation: a tracked parameter forwarded by name to another
+            # function.  numpy calls do not count — np.asarray(skills)
+            # coerces but validates nothing.
+            forwards = any(
+                isinstance(a, ast.Name) and a.id in tracked for a in node.args
+            ) or any(
+                isinstance(kw.value, ast.Name) and kw.value.id in tracked
+                for kw in node.keywords
+            )
+            if forwards and not _is_numpy_callee(callee):
+                return True
+        return False
+
+
+def _is_numpy_callee(callee: ast.expr) -> bool:
+    """Whether a call target is (an attribute chain rooted at) numpy."""
+    node = callee
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+class ParameterMutationRule(Rule):
+    """DYG202: no in-place mutation of parameters without an explicit copy."""
+
+    code = "DYG202"
+    name = "parameter-mutation"
+    summary = "in-place mutation of a function parameter without an explicit copy"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in _function_defs(ctx.tree):
+            params = _param_names(func)
+            tracked = {p for p in params if p not in ("self", "cls")}
+            if not tracked:
+                continue
+            yield from self._scan(func, tracked)
+
+    @staticmethod
+    def _scan(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, tracked: set[str]
+    ) -> Iterator[Finding]:
+        live = set(tracked)
+        for node in walk_shallow(func):
+            if isinstance(node, ast.Assign):
+                # A plain rebind makes the name a local (typically a copy):
+                # stop tracking it.  The subscript-store check below runs
+                # first so `p[i] = v` is still caught.
+                for target in node.targets:
+                    yield from _flag_subscript_store(target, live)
+                for target in node.targets:
+                    for name in _bound_names(target):
+                        live.discard(name)
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Name) and target.id in live:
+                    yield Finding.at(
+                        node,
+                        f"augmented assignment mutates parameter {target.id!r} "
+                        "in place (for arrays `x += v` writes through); copy "
+                        "first or use `x = x + v`",
+                    )
+                else:
+                    yield from _flag_subscript_store(target, live)
+            elif isinstance(node, (ast.AnnAssign, ast.For, ast.AsyncFor)):
+                target = node.target
+                if isinstance(node, ast.AnnAssign):
+                    yield from _flag_subscript_store(target, live)
+                for name in _bound_names(target):
+                    live.discard(name)
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                for name in _bound_names(node.optional_vars):
+                    live.discard(name)
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in _MUTATOR_METHODS
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id in live
+                ):
+                    yield Finding.at(
+                        node,
+                        f"{callee.value.id}.{callee.attr}() mutates parameter "
+                        f"{callee.value.id!r} in place; copy it first",
+                    )
+                elif (
+                    _is_numpy_callee(callee)
+                    and isinstance(callee, ast.Attribute)
+                    and callee.attr in _NUMPY_MUTATOR_FUNCS
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in live
+                ):
+                    yield Finding.at(
+                        node,
+                        f"np.{callee.attr}() writes into parameter "
+                        f"{node.args[0].id!r} in place; copy it first",
+                    )
+
+
+def _bound_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _bound_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _flag_subscript_store(target: ast.expr, live: set[str]) -> Iterator[Finding]:
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Name)
+        and target.value.id in live
+    ):
+        yield Finding.at(
+            target,
+            f"subscript store writes into parameter {target.value.id!r} in "
+            "place; copy it first",
+        )
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flag_subscript_store(element, live)

@@ -1,0 +1,210 @@
+"""DYG1xx — determinism rules.
+
+The reproduction's central promise is that a ``seed`` fully determines a
+run.  That only holds while every source of randomness is threaded
+through the explicit :class:`numpy.random.Generator` passed down the call
+stack, and no result-bearing code reads the wall clock.  These rules ban
+the process-global escape hatches by construction:
+
+* ``DYG101`` — calls into the stdlib :mod:`random` module (one hidden
+  global Mersenne-Twister shared by the whole process);
+* ``DYG102`` — the legacy ``numpy.random.*`` global API (``np.random.seed``
+  / ``np.random.rand`` / ``RandomState`` ...), superseded by
+  ``np.random.default_rng``;
+* ``DYG103`` — wall-clock reads (``time.time()``, ``datetime.now()``, ...)
+  outside the observability subsystem, where timestamps are the point.
+  Monotonic clocks (``perf_counter``/``monotonic``/``process_time``) are
+  allowed everywhere: durations never feed back into results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import FileContext, Finding, ImportMap, Rule
+
+__all__ = ["StdlibRandomRule", "NumpyGlobalRandomRule", "WallClockRule"]
+
+#: Instance-based (seedable) constructors on ``numpy.random`` that remain
+#: legitimate under the explicit-Generator discipline.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Wall-clock callables per module: calling any of these reads the clock.
+_WALLCLOCK_MEMBERS = {
+    "time": frozenset({"time", "time_ns", "localtime", "gmtime", "ctime"}),
+    "datetime": frozenset({"now", "utcnow", "today", "fromtimestamp"}),
+}
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+class StdlibRandomRule(Rule):
+    """DYG101: ban the stdlib ``random`` module's process-global RNG."""
+
+    code = "DYG101"
+    name = "stdlib-global-random"
+    summary = "call into the stdlib `random` module (process-global RNG)"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        imports = ImportMap.of(ctx.tree)
+        module_names = imports.module_aliases("random")
+        member_names = frozenset(
+            local for local, (mod, _) in imports.members.items() if mod == "random"
+        )
+        if not module_names and not member_names:
+            return
+        for call in _calls(ctx.tree):
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_names
+            ):
+                yield Finding.at(
+                    call,
+                    f"random.{func.attr}() draws from the process-global RNG; "
+                    "thread a seeded np.random.Generator instead",
+                )
+            elif isinstance(func, ast.Name) and func.id in member_names:
+                origin = imports.members[func.id][1]
+                yield Finding.at(
+                    call,
+                    f"{func.id}() (random.{origin}) draws from the process-global "
+                    "RNG; thread a seeded np.random.Generator instead",
+                )
+
+
+class NumpyGlobalRandomRule(Rule):
+    """DYG102: ban the legacy ``numpy.random`` global-state API."""
+
+    code = "DYG102"
+    name = "numpy-legacy-random"
+    summary = "legacy `np.random.*` global-state API (use np.random.default_rng)"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        imports = ImportMap.of(ctx.tree)
+        numpy_names = imports.module_aliases("numpy")
+        # `from numpy import random [as npr]` / `import numpy.random as npr`
+        # alias the numpy.random module itself.
+        random_names = imports.module_aliases("numpy.random")
+        # `from numpy.random import shuffle` binds a legacy function directly.
+        legacy_members = frozenset(
+            local
+            for local, (mod, member) in imports.members.items()
+            if mod == "numpy.random" and member not in _NP_RANDOM_ALLOWED
+        )
+        for call in _calls(ctx.tree):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                if isinstance(func, ast.Name) and func.id in legacy_members:
+                    origin = imports.members[func.id][1]
+                    yield Finding.at(
+                        call,
+                        f"{func.id}() (numpy.random.{origin}) uses numpy's legacy "
+                        "global RNG; use a np.random.default_rng(seed) generator",
+                    )
+                continue
+            if func.attr in _NP_RANDOM_ALLOWED:
+                continue
+            target = func.value
+            is_np_random = (
+                isinstance(target, ast.Attribute)
+                and target.attr == "random"
+                and isinstance(target.value, ast.Name)
+                and target.value.id in numpy_names
+            ) or (isinstance(target, ast.Name) and target.id in random_names)
+            if is_np_random:
+                yield Finding.at(
+                    call,
+                    f"np.random.{func.attr}() uses numpy's legacy global RNG; "
+                    "use a np.random.default_rng(seed) generator",
+                )
+
+
+class WallClockRule(Rule):
+    """DYG103: ban wall-clock reads outside ``repro.obs``."""
+
+    code = "DYG103"
+    name = "wall-clock-read"
+    summary = "wall-clock read (time.time/datetime.now) outside the obs subsystem"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.wallclock_exempt:
+            return
+        imports = ImportMap.of(ctx.tree)
+        time_names = imports.module_aliases("time")
+        datetime_module_names = imports.module_aliases("datetime")
+        # Classes `datetime` / `date` imported from the datetime module:
+        # `datetime.now()` / `date.today()` are wall-clock constructors.
+        class_names = imports.member_aliases("datetime", "datetime") | imports.member_aliases(
+            "datetime", "date"
+        )
+        time_members = frozenset(
+            local
+            for local, (mod, member) in imports.members.items()
+            if mod == "time" and member in _WALLCLOCK_MEMBERS["time"]
+        )
+        for call in _calls(ctx.tree):
+            func = call.func
+            if isinstance(func, ast.Name):
+                if func.id in time_members:
+                    origin = imports.members[func.id][1]
+                    yield Finding.at(
+                        call,
+                        f"{func.id}() (time.{origin}) reads the wall clock; keep "
+                        "timestamps inside repro.obs (or use time.perf_counter "
+                        "for durations)",
+                    )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            target = func.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id in time_names
+                and func.attr in _WALLCLOCK_MEMBERS["time"]
+            ):
+                yield Finding.at(
+                    call,
+                    f"time.{func.attr}() reads the wall clock; keep timestamps "
+                    "inside repro.obs (or use time.perf_counter for durations)",
+                )
+            elif (
+                isinstance(target, ast.Name)
+                and target.id in class_names
+                and func.attr in _WALLCLOCK_MEMBERS["datetime"]
+            ):
+                yield Finding.at(
+                    call,
+                    f"{target.id}.{func.attr}() reads the wall clock; keep "
+                    "timestamps inside repro.obs",
+                )
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in datetime_module_names
+                and target.attr in ("datetime", "date")
+                and func.attr in _WALLCLOCK_MEMBERS["datetime"]
+            ):
+                yield Finding.at(
+                    call,
+                    f"datetime.{target.attr}.{func.attr}() reads the wall clock; "
+                    "keep timestamps inside repro.obs",
+                )

@@ -1,0 +1,155 @@
+"""DYG3xx — API-hygiene rules.
+
+* ``DYG301`` — ``__all__`` drift: an ``__all__`` entry that names nothing
+  defined or imported at module top level (stale exports survive renames
+  silently, because ``from m import *`` is rarely exercised by tests);
+* ``DYG302`` — float-literal ``==``/``!=`` comparisons (round-trip through
+  arithmetic makes exact equality a latent bug; compare with a tolerance,
+  or ``# noqa: DYG302`` an intentional exact-sentinel guard);
+* ``DYG303`` — bare ``except:`` (swallows ``KeyboardInterrupt``/
+  ``SystemExit`` and hides real failures).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule
+
+__all__ = ["AllDriftRule", "FloatEqualityRule", "BareExceptRule"]
+
+
+def _module_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (defs, classes, assigns, imports)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    return bound | {"*"}
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional definitions (TYPE_CHECKING blocks, fallbacks)
+            # still bind the name on some path; count them.
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(sub.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        bound.update(_target_names(target))
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name.partition(".")[0])
+    return bound
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+class AllDriftRule(Rule):
+    """DYG301: every ``__all__`` entry must name a top-level binding."""
+
+    code = "DYG301"
+    name = "all-drift"
+    summary = "__all__ entry names nothing defined at module top level"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        declaration = None
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+                )
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                declaration = node
+        if declaration is None:
+            return
+        entries: list[tuple[ast.expr, str]] = []
+        for element in declaration.value.elts:  # type: ignore[union-attr]
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                entries.append((element, element.value))
+            else:
+                return  # dynamically built __all__ — out of scope
+        bound = _module_bindings(ctx.tree)
+        if "*" in bound:
+            return  # star import — resolution is not statically decidable
+        seen: set[str] = set()
+        for element, name in entries:
+            if name in seen:
+                yield Finding.at(element, f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+            if name not in bound:
+                yield Finding.at(
+                    element,
+                    f"__all__ lists {name!r} but the module defines no such name",
+                )
+
+
+class FloatEqualityRule(Rule):
+    """DYG302: no ``==``/``!=`` against float literals."""
+
+    code = "DYG302"
+    name = "float-equality"
+    summary = "exact ==/!= comparison against a float literal"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for position, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(operands[position]) or _is_float_literal(
+                    operands[position + 1]
+                ):
+                    yield Finding.at(
+                        node,
+                        "exact float comparison; use math.isclose/np.isclose "
+                        "(or # noqa: DYG302 for an intentional exact guard)",
+                    )
+                    break
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+class BareExceptRule(Rule):
+    """DYG303: no bare ``except:`` handlers."""
+
+    code = "DYG303"
+    name = "bare-except"
+    summary = "bare `except:` (catches SystemExit/KeyboardInterrupt)"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding.at(
+                    node,
+                    "bare `except:` catches SystemExit and KeyboardInterrupt; "
+                    "name the exceptions (at minimum `except Exception:`)",
+                )

@@ -9,16 +9,21 @@ Subcommands:
   paper-sized grids);
 * ``amt`` — the simulated human-subject experiments;
 * ``theorems`` — the numeric theorem-verification battery;
+* ``lint`` — the domain-aware static-analysis rules (``DYG1xx``
+  determinism, ``DYG2xx`` contracts, ``DYG3xx`` hygiene) over python
+  sources; exits non-zero on findings (see docs/static-analysis.md);
 * ``trace`` — observability tooling (``trace summarize <journal.jsonl>``
   prints a per-phase timing table from a journal);
-* ``list`` — available figures, algorithms, distributions, and journal
-  events.
+* ``list`` — available figures, algorithms, distributions, journal
+  events, and lint rules.
 
 Every workload subcommand also accepts the observability flags
 ``--log-level LEVEL`` (stdlib logging on the ``repro.*`` hierarchy),
 ``--journal PATH`` (append an NDJSON event journal) and ``--trace``
 (record timing spans; printed as a per-phase table when no journal is
-given).  See docs/observability.md.
+given), plus ``--contracts`` to enable the runtime invariant checks of
+:mod:`repro.analysis.contracts`.  See docs/observability.md and
+docs/static-analysis.md.
 """
 
 from __future__ import annotations
@@ -53,6 +58,13 @@ def _obs_parent() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="record timing spans (per-phase table on exit when no --journal)",
+    )
+    correctness = parent.add_argument_group("correctness")
+    correctness.add_argument(
+        "--contracts",
+        action="store_true",
+        help="enable runtime invariant contracts (also via REPRO_CONTRACTS=1); "
+        "results are bit-identical either way",
     )
     return parent
 
@@ -138,6 +150,36 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="print all archived benchmark results")
     report.add_argument(
         "--results-dir", default=None, help="override the benchmarks/results directory"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the DYG static-analysis rules over python sources",
+        parents=obs,
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: ./src if present, else .)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes/prefixes to enable, e.g. DYG1,DYG302",
+    )
+    lint.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes/prefixes to disable",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the report as a JSON document"
+    )
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
     )
 
     trace_cmd = sub.add_parser("trace", help="observability tooling over run journals")
@@ -335,13 +377,69 @@ def _command_list() -> int:
     from repro.experiments.figures import FIGURES
     from repro.obs.journal import EVENTS
 
+    from repro.analysis import rule_catalog
+
     print("figures:       ", ", ".join(sorted(FIGURES)))
     print("algorithms:    ", ", ".join(POLICY_NAMES))
     print("distributions: ", ", ".join(sorted(DISTRIBUTIONS)))
     print("journal events:", ", ".join(EVENTS))
+    print("lint rules:    ", ", ".join(code for code, _, _ in rule_catalog()),
+          "(`dygroups lint --rules` for the catalog)")
     print("observability:  --log-level LEVEL, --journal PATH, --trace "
           "(any subcommand); `dygroups trace summarize <journal.jsonl>`")
+    print("correctness:    --contracts or REPRO_CONTRACTS=1 enables runtime "
+          "invariant checks; `dygroups lint [paths]` runs the static rules")
     return 0
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import LintEngine, rule_catalog
+    from repro.obs import runtime as obs_runtime
+    from repro.obs import trace as _trace
+
+    if args.rules:
+        for code, name, summary in rule_catalog():
+            print(f"{code}  {name:24} {summary}")
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src"] if Path("src").is_dir() else ["."]
+    try:
+        engine = LintEngine(select=args.select, ignore=args.ignore)
+    except ValueError as error:
+        print(f"dygroups lint: {error}", file=sys.stderr)
+        return 2
+    try:
+        with _trace.span("analysis.lint", paths=",".join(map(str, paths))):
+            report = engine.lint_paths(paths)
+    except FileNotFoundError as error:
+        print(f"dygroups lint: {error}", file=sys.stderr)
+        return 2
+    state = obs_runtime.state()
+    if state is not None and state.journal is not None:
+        state.journal.emit(
+            "lint",
+            paths=[str(p) for p in paths],
+            files=report.files_checked,
+            findings=len(report.diagnostics),
+            counts=report.counts_by_code(),
+        )
+    if args.json:
+        print(report.to_json())
+        return 0 if report.clean else 1
+    for diagnostic in report.diagnostics:
+        print(diagnostic)
+    if report.clean:
+        print(f"{report.files_checked} file(s) checked — clean")
+        return 0
+    by_code = ", ".join(f"{code}×{n}" for code, n in report.counts_by_code().items())
+    print(
+        f"\n{len(report.diagnostics)} finding(s) in {report.files_checked} "
+        f"file(s) checked ({by_code})"
+    )
+    return 1
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -364,6 +462,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     np.set_printoptions(precision=6, suppress=True)
     if args.command == "trace":
         return _command_trace(args)
+    if getattr(args, "contracts", False):
+        from repro.analysis import contracts
+
+        contracts.enable_contracts()
     observing = bool(
         getattr(args, "journal", None)
         or getattr(args, "trace", False)
@@ -421,6 +523,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         print(render_report(args.results_dir))
         return 0
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "list":
         return _command_list()
     raise AssertionError(f"unhandled command {args.command!r}")

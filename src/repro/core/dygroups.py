@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import contracts as _contracts
 from repro.core.grouping import Grouping
 from repro.core.interactions import InteractionMode, get_mode
 from repro.core.local import dygroups_clique_local, dygroups_star_local
@@ -39,7 +40,10 @@ class DyGroupsStar(GroupingPolicy):
     name = "dygroups-star"
 
     def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
-        return dygroups_star_local(skills, k)
+        grouping = dygroups_star_local(skills, k)
+        if _contracts.contracts_enabled():
+            _contracts.check_top_k_teachers(skills, grouping)
+        return grouping
 
 
 class DyGroupsClique(GroupingPolicy):
@@ -51,7 +55,12 @@ class DyGroupsClique(GroupingPolicy):
     name = "dygroups-clique"
 
     def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
-        return dygroups_clique_local(skills, k)
+        grouping = dygroups_clique_local(skills, k)
+        if _contracts.contracts_enabled():
+            # The round-robin deal places rank j in group j mod k, so the
+            # per-group maxima are exactly the global top-k here as well.
+            _contracts.check_top_k_teachers(skills, grouping)
+        return grouping
 
 
 def dygroups_policy(mode: "str | InteractionMode") -> GroupingPolicy:

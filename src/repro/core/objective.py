@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro._validation import as_skill_array
 from repro.core.gain_functions import GainFunction
 from repro.core.grouping import Grouping
 from repro.core.interactions import InteractionMode, get_mode
@@ -42,7 +43,7 @@ def learning_gain(
     gain: GainFunction,
 ) -> float:
     """Aggregated learning gain ``LG(G)`` of one round (Equation 3)."""
-    return get_mode(mode).round_gain(np.asarray(skills, dtype=np.float64), grouping, gain)
+    return get_mode(mode).round_gain(as_skill_array(skills), grouping, gain)
 
 
 def total_learning_gain(
@@ -57,7 +58,7 @@ def total_learning_gain(
     mutated.
     """
     resolved = get_mode(mode)
-    current = np.asarray(skills, dtype=np.float64)
+    current = as_skill_array(skills)
     total = 0.0
     for grouping in groupings:
         updated = resolved.update(current, grouping, gain)

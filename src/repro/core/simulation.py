@@ -27,6 +27,7 @@ from repro._validation import (
     require_divisible_groups,
     require_positive_int,
 )
+from repro.analysis import contracts as _contracts
 from repro.core.gain_functions import GainFunction, LinearGain
 from repro.core.grouping import Grouping
 from repro.core.interactions import InteractionMode, get_mode
@@ -180,9 +181,12 @@ def simulate(
     round_gains = np.empty(alpha, dtype=np.float64)
     groupings: list[Grouping] = []
 
-    # Observability wiring — resolved once per call; every per-round hook
-    # below is behind an `is not None` guard so the disabled path stays a
-    # plain loop (plus the no-op span fast path, see repro.obs.trace).
+    # Contracts and observability wiring — both resolved once per call;
+    # every per-round hook below is behind a boolean / `is not None` guard
+    # so the disabled path stays a plain loop (plus the no-op span fast
+    # path, see repro.obs.trace).  Contract checks are read-only and draw
+    # no randomness: enabling them never changes results.
+    checking = _contracts.contracts_enabled()
     obs = _obs.state()
     journal = obs.journal if obs is not None else None
     metrics = obs.metrics if obs is not None else None
@@ -228,9 +232,17 @@ def simulate(
                     f"policy {policy.name!r} returned a grouping with n={grouping.n}, "
                     f"k={grouping.k}; expected n={len(current)}, k={k}"
                 )
+            if checking:
+                _contracts.check_partition(grouping, n=len(current), k=k)
             with _trace.span("core.skill_update"):
                 updated = resolved_mode.update(current, grouping, gain_fn)
             gain_t = float(np.sum(updated - current))
+            if checking:
+                if resolved_mode.name == "star":
+                    _contracts.check_star_teacher_unchanged(current, updated, grouping)
+                elif resolved_mode.name == "clique":
+                    _contracts.check_clique_order_preserved(current, updated, grouping)
+                _contracts.check_gains_nonnegative(gain_t)
             round_gains[t] = gain_t
             if journal is not None:
                 journal.emit("gain", round=t, value=gain_t)

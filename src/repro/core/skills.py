@@ -18,7 +18,7 @@ from repro._validation import as_skill_array
 __all__ = ["as_skill_array", "descending_order", "skill_variance", "SkillSummary", "summarize"]
 
 
-def descending_order(skills: np.ndarray) -> np.ndarray:
+def descending_order(skills: np.ndarray) -> np.ndarray:  # noqa: DYG201 — hot path; inputs validated at the public entry points
     """Indices that sort ``skills`` in descending order (stable).
 
     Stability matters for reproducibility: participants with equal skills
@@ -31,7 +31,7 @@ def descending_order(skills: np.ndarray) -> np.ndarray:
     return np.argsort(-np.asarray(skills, dtype=np.float64), kind="stable")
 
 
-def skill_variance(skills: np.ndarray) -> float:
+def skill_variance(skills: np.ndarray) -> float:  # noqa: DYG201 — hot path; inputs validated at the public entry points
     """Population variance of the skill values (Theorem 2's tie-break)."""
     return float(np.var(np.asarray(skills, dtype=np.float64)))
 

@@ -35,7 +35,7 @@ class GridCell:
     def advantage(self, algorithm: str, reference: str) -> float:
         """Gain ratio of ``algorithm`` over ``reference`` in this cell."""
         denominator = self.gains[reference]
-        if denominator == 0.0:
+        if denominator == 0.0:  # noqa: DYG302 — exact zero guard
             raise ValueError(f"reference {reference!r} has zero gain in cell {self.parameters}")
         return self.gains[algorithm] / denominator
 

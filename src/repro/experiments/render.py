@@ -17,7 +17,7 @@ _SPARK_LEVELS = " .:-=+*#%@"
 
 def format_value(value: float, *, digits: int = 6) -> str:
     """Compact numeric formatting: fixed for small, scientific for huge."""
-    if value == 0.0:
+    if value == 0.0:  # noqa: DYG302 — exact zero guard
         return "0"
     magnitude = abs(value)
     if 1e-4 <= magnitude < 1e7:
@@ -72,7 +72,7 @@ def render_history(result, *, metric: str = "mean") -> str:
     low = float(values.min())
     high = float(values.max())
     span = high - low
-    if span == 0.0:
+    if span == 0.0:  # noqa: DYG302 — exact zero guard
         bars = _SPARK_LEVELS[-1] * len(values)
     else:
         indices = ((values - low) / span * (len(_SPARK_LEVELS) - 1)).round().astype(int)

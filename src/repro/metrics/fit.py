@@ -55,11 +55,11 @@ def fit_line(x: np.ndarray, y: np.ndarray) -> LinearFit:
     x_mean = x.mean()
     y_mean = y.mean()
     x_var = float(np.sum((x - x_mean) ** 2))
-    if x_var == 0.0:
+    if x_var == 0.0:  # noqa: DYG302 — exact zero guard
         raise ValueError("x has zero variance; the slope is undefined")
     slope = float(np.sum((x - x_mean) * (y - y_mean)) / x_var)
     intercept = float(y_mean - slope * x_mean)
     residual = y - (slope * x + intercept)
     total = float(np.sum((y - y_mean) ** 2))
-    r_squared = 1.0 if total == 0.0 else 1.0 - float(np.sum(residual**2)) / total
+    r_squared = 1.0 if total == 0.0 else 1.0 - float(np.sum(residual**2)) / total  # noqa: DYG302 — exact zero guard
     return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)

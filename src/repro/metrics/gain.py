@@ -23,7 +23,7 @@ def gain_ratio(result: SimulationResult, reference: SimulationResult) -> float:
         ValueError: if the reference achieved zero gain (undefined ratio).
     """
     denominator = reference.total_gain
-    if denominator == 0.0:
+    if denominator == 0.0:  # noqa: DYG302 — exact zero guard
         raise ValueError("reference result has zero total gain; ratio undefined")
     return result.total_gain / denominator
 
@@ -41,7 +41,7 @@ def remaining_learnable_skill(skills: np.ndarray) -> float:
 def normalized_gain(result: SimulationResult) -> float:
     """Fraction of the initially learnable skill actually captured, in [0, 1]."""
     learnable = remaining_learnable_skill(result.initial_skills)
-    if learnable == 0.0:
+    if learnable == 0.0:  # noqa: DYG302 — exact zero guard
         return 1.0
     return result.total_gain / learnable
 

@@ -61,7 +61,7 @@ def atkinson(skills: np.ndarray, epsilon: float = 0.5) -> float:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
     array = as_skill_array(skills)
     mean = array.mean()
-    if epsilon == 1.0:
+    if epsilon == 1.0:  # noqa: DYG302 — exact parameter special case
         return float(1.0 - np.exp(np.mean(np.log(array))) / mean)
     power = 1.0 - epsilon
     return float(1.0 - np.mean(array**power) ** (1.0 / power) / mean)

@@ -51,7 +51,7 @@ class Series:
         """
         if self.x != other.x:
             raise ValueError(f"x-grids differ: {self.x} vs {other.x}")
-        if any(v == 0.0 for v in other.y):
+        if any(v == 0.0 for v in other.y):  # noqa: DYG302 — exact zero guard
             raise ValueError(f"series {other.label!r} contains zero values; ratio undefined")
         return Series(
             label=label if label is not None else f"{self.label}/{other.label}",

@@ -55,6 +55,7 @@ EVENTS: tuple[str, ...] = (
     "spec_end",
     "sweep_point",
     "span",
+    "lint",
 )
 
 _RUN_COUNTER = itertools.count(1)

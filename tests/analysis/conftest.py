@@ -1,0 +1,18 @@
+"""Shared fixtures for the analysis-suite tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import contracts
+
+
+@pytest.fixture(autouse=True)
+def _restore_contracts_state():
+    """Contracts are process-global state; leave every test as it found them."""
+    enabled = contracts.contracts_enabled()
+    yield
+    if enabled:
+        contracts.enable_contracts()
+    else:
+        contracts.disable_contracts()

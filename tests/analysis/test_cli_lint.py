@@ -1,0 +1,122 @@
+"""Tests for the ``dygroups lint`` subcommand and the ``--contracts`` flag."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import contracts
+from repro.cli import build_parser, main
+
+CLEAN = "x = 1\n"
+DIRTY = "import random\nx = random.random()\n"
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "good.py").write_text(CLEAN)
+    return tmp_path
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "good.py").write_text(CLEAN)
+    (tmp_path / "bad.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestParser:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == []
+        assert args.select is None and args.ignore is None
+        assert args.json is False and args.rules is False
+
+    def test_lint_options(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "tests", "--select", "DYG1", "--ignore", "DYG103", "--json"]
+        )
+        assert args.paths == ["src", "tests"]
+        assert args.select == "DYG1"
+        assert args.ignore == "DYG103"
+        assert args.json is True
+
+    def test_contracts_flag_available_on_subcommands(self):
+        assert build_parser().parse_args(["run", "--contracts"]).contracts is True
+        assert build_parser().parse_args(["toy"]).contracts is False
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main(["lint", str(clean_tree)]) == 0
+        out = capsys.readouterr().out
+        assert "1 file(s) checked" in out and "clean" in out
+
+    def test_findings_exit_one_with_location(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2:" in out and "DYG101" in out
+        assert "1 finding(s) in 2 file(s) checked" in out
+
+    def test_select_narrows_rules(self, dirty_tree):
+        assert main(["lint", str(dirty_tree), "--select", "DYG3"]) == 0
+
+    def test_ignore_suppresses(self, dirty_tree):
+        assert main(["lint", str(dirty_tree), "--ignore", "DYG101"]) == 0
+
+    def test_unknown_code_is_usage_error(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--select", "NOPE"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such" in capsys.readouterr().err.lower()
+
+    def test_json_output(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 2
+        assert payload["counts"] == {"DYG101": 1}
+        assert payload["diagnostics"][0]["code"] == "DYG101"
+
+    def test_rules_catalog(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DYG101", "DYG201", "DYG302"):
+            assert code in out
+
+    def test_journal_records_lint_event(self, dirty_tree, tmp_path, capsys):
+        journal_path = tmp_path / "run.jsonl"
+        assert main(["lint", str(dirty_tree), "--journal", str(journal_path)]) == 1
+        records = [
+            json.loads(line) for line in journal_path.read_text().splitlines() if line
+        ]
+        lint_events = [r for r in records if r.get("event") == "lint"]
+        assert len(lint_events) == 1
+        assert lint_events[0]["findings"] == 1
+        assert lint_events[0]["files"] == 2
+        assert lint_events[0]["counts"] == {"DYG101": 1}
+
+    def test_lint_respects_noqa_end_to_end(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import random\nx = random.random()  # noqa: DYG101 — test fixture\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 0
+
+
+class TestContractsFlag:
+    def test_flag_enables_contracts_for_the_run(self, capsys):
+        # `toy` runs real simulations; with --contracts the invariant checks
+        # run inline and the command must still succeed bit-identically.
+        assert main(["toy", "--contracts"]) == 0
+        with_contracts = capsys.readouterr().out
+        assert main(["toy"]) == 0
+        assert with_contracts == capsys.readouterr().out
+
+    def test_flag_leaves_contracts_enabled_global(self):
+        # main() flips the module-global switch; the conftest fixture
+        # restores it after each test.
+        main(["toy", "--contracts"])
+        assert contracts.contracts_enabled()

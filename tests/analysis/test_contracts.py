@@ -1,0 +1,226 @@
+"""Unit tests for the runtime invariant contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_clique_order_preserved,
+    check_gains_nonnegative,
+    check_partition,
+    check_star_teacher_unchanged,
+    check_top_k_teachers,
+)
+from repro.baselines.random_assignment import RandomAssignment
+from repro.core.dygroups import DyGroupsClique, DyGroupsStar
+from repro.core.grouping import Grouping
+from repro.core.simulation import simulate
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert contracts.contracts_enabled() is False
+
+    def test_enable_disable(self):
+        contracts.enable_contracts()
+        assert contracts.contracts_enabled() is True
+        contracts.disable_contracts()
+        assert contracts.contracts_enabled() is False
+
+    def test_scope_restores_state(self):
+        assert not contracts.contracts_enabled()
+        with contracts.contracts_scope():
+            assert contracts.contracts_enabled()
+        assert not contracts.contracts_enabled()
+
+    def test_scope_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with contracts.contracts_scope():
+                raise RuntimeError("boom")
+        assert not contracts.contracts_enabled()
+
+    def test_scope_can_force_off(self):
+        contracts.enable_contracts()
+        with contracts.contracts_scope(False):
+            assert not contracts.contracts_enabled()
+        assert contracts.contracts_enabled()
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("", False), ("off", False), ("nope", False),
+    ])
+    def test_env_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv(contracts.ENV_VAR, value)
+        assert contracts._env_enabled() is expected
+
+
+class TestCheckPartition:
+    def test_valid_partition_passes(self):
+        check_partition(Grouping([[0, 3], [1, 2]]), n=4, k=2)
+
+    def test_wrong_k(self):
+        with pytest.raises(ContractViolation, match="expected k=3"):
+            check_partition(Grouping([[0, 1], [2, 3]]), n=4, k=3)
+
+    def test_wrong_n(self):
+        with pytest.raises(ContractViolation, match="partition"):
+            check_partition(Grouping([[0, 1], [2, 3]]), n=6, k=2)
+
+    def test_duck_typed_duplicate_member(self):
+        # Raw nested lists (bypassing Grouping's own validation) are checked
+        # from scratch: duplicates and gaps are caught.
+        with pytest.raises(ContractViolation):
+            check_partition([[0, 1], [1, 2]], n=4, k=2)
+
+    def test_duck_typed_unequal_sizes(self):
+        with pytest.raises(ContractViolation, match="equi-sized"):
+            check_partition([[0, 1, 2], [3]], n=4, k=2)
+
+
+class TestCheckTopKTeachers:
+    def test_dygroups_star_grouping_passes(self):
+        skills = np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+        from repro.core.local import dygroups_star_local
+
+        check_top_k_teachers(skills, dygroups_star_local(skills, 3))
+
+    def test_suboptimal_grouping_fails(self):
+        skills = np.array([0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+        # Groups [0,5] and e.g. [4,3] put the two best (5 and 4) together:
+        # group [1,2]'s teacher 0.3 is not among the global top-2.
+        grouping = Grouping([[0, 5], [4, 3], [1, 2]])
+        with pytest.raises(ContractViolation, match="Theorem 1"):
+            check_top_k_teachers(skills, grouping)
+
+    def test_ties_handled_as_multiset(self):
+        skills = np.array([2.0, 2.0, 1.0, 1.0])
+        check_top_k_teachers(skills, Grouping([[0, 2], [1, 3]]))
+
+
+class TestCheckStarTeacherUnchanged:
+    def test_unchanged_teacher_passes(self):
+        before = np.array([1.0, 2.0, 3.0, 4.0])
+        after = np.array([1.5, 2.0, 3.5, 4.0])
+        check_star_teacher_unchanged(before, after, Grouping([[0, 1], [2, 3]]))
+
+    def test_moved_teacher_fails(self):
+        before = np.array([1.0, 2.0, 3.0, 4.0])
+        after = np.array([1.5, 2.1, 3.5, 4.0])
+        with pytest.raises(ContractViolation, match="teacher"):
+            check_star_teacher_unchanged(before, after, Grouping([[0, 1], [2, 3]]))
+
+
+class TestCheckCliqueOrderPreserved:
+    def test_preserved_order_passes(self):
+        before = np.array([1.0, 2.0, 3.0, 4.0])
+        after = np.array([2.5, 2.9, 3.4, 4.0])
+        check_clique_order_preserved(before, after, Grouping([[0, 1], [2, 3]]))
+
+    def test_swapped_order_fails(self):
+        before = np.array([1.0, 2.0, 3.0, 4.0])
+        after = np.array([2.5, 2.4, 3.4, 4.0])  # member 0 overtook member 1
+        with pytest.raises(ContractViolation, match="order"):
+            check_clique_order_preserved(before, after, Grouping([[0, 1], [2, 3]]))
+
+    def test_ties_rank_stably_by_index(self):
+        before = np.array([2.0, 2.0, 1.0, 0.5])
+        after = np.array([2.0, 2.0, 1.6, 1.4])
+        check_clique_order_preserved(before, after, Grouping([[0, 1, 2, 3]]))
+
+
+class TestCheckGainsNonnegative:
+    def test_scalar_and_array_pass(self):
+        check_gains_nonnegative(0.0)
+        check_gains_nonnegative(np.array([0.3, 0.0, 1.2]))
+
+    def test_tiny_negative_within_tolerance_passes(self):
+        check_gains_nonnegative(-1e-12)
+
+    def test_negative_gain_fails(self):
+        with pytest.raises(ContractViolation, match="negative learning gain"):
+            check_gains_nonnegative(np.array([0.5, -0.1]))
+
+
+class TestSimulationIntegration:
+    @pytest.mark.parametrize("policy_cls,mode", [
+        (DyGroupsStar, "star"),
+        (DyGroupsClique, "clique"),
+        (RandomAssignment, "star"),
+        (RandomAssignment, "clique"),
+    ])
+    def test_contracts_on_is_bit_identical(self, policy_cls, mode):
+        rng = np.random.default_rng(11)
+        skills = rng.lognormal(0.0, 1.0, 60) + 0.01
+        off = simulate(policy_cls(), skills, k=5, alpha=4, mode=mode, rate=0.5, seed=3)
+        with contracts.contracts_scope():
+            on = simulate(policy_cls(), skills, k=5, alpha=4, mode=mode, rate=0.5, seed=3)
+        np.testing.assert_array_equal(off.final_skills, on.final_skills)
+        np.testing.assert_array_equal(off.round_gains, on.round_gains)
+
+    def test_checks_not_called_when_disabled(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("contract check ran while disabled")
+
+        monkeypatch.setattr(contracts, "check_partition", explode)
+        monkeypatch.setattr(contracts, "check_star_teacher_unchanged", explode)
+        monkeypatch.setattr(contracts, "check_gains_nonnegative", explode)
+        skills = np.linspace(0.1, 0.9, 9)
+        simulate(DyGroupsStar(), skills, k=3, alpha=2, mode="star", rate=0.5, seed=0)
+
+    def test_checks_called_when_enabled(self, monkeypatch):
+        calls = []
+        original = contracts.check_partition
+        monkeypatch.setattr(
+            contracts,
+            "check_partition",
+            lambda *a, **kw: (calls.append(1), original(*a, **kw)),
+        )
+        skills = np.linspace(0.1, 0.9, 9)
+        with contracts.contracts_scope():
+            simulate(DyGroupsStar(), skills, k=3, alpha=2, mode="star", rate=0.5, seed=0)
+        assert len(calls) == 2  # one per round
+
+    def test_dygroups_policies_check_theorem1_when_enabled(self, monkeypatch):
+        calls = []
+        original = contracts.check_top_k_teachers
+        monkeypatch.setattr(
+            contracts,
+            "check_top_k_teachers",
+            lambda *a, **kw: (calls.append(1), original(*a, **kw)),
+        )
+        skills = np.linspace(0.1, 0.9, 9)
+        with contracts.contracts_scope():
+            simulate(DyGroupsClique(), skills, k=3, alpha=3, mode="clique", rate=0.5, seed=0)
+        assert len(calls) == 3
+
+    def test_broken_policy_caught(self):
+        from repro.core.grouping import Group
+
+        def corrupted_grouping(n, k):
+            # Bypass Grouping.__init__ to fabricate a non-partition that
+            # still *claims* the right n and k — exactly the kind of lie a
+            # buggy policy could tell and Grouping's constructor can't see.
+            size = n // k
+            groups = [list(range(i * size, (i + 1) * size)) for i in range(k)]
+            groups[-1][-1] = 0  # duplicate member 0, drop the last index
+            fake = Grouping.__new__(Grouping)
+            fake._groups = tuple(Group(g) for g in groups)
+            fake._n = n
+            fake._assignment = np.zeros(n, dtype=np.intp)
+            return fake
+
+        class OverlappingPolicy(DyGroupsStar):
+            name = "overlapping"
+
+            def propose(self, skills, k, rng):
+                return corrupted_grouping(len(skills), k)
+
+        skills = np.linspace(0.1, 0.9, 9)
+        with contracts.contracts_scope():
+            with pytest.raises(ContractViolation, match="partition"):
+                simulate(
+                    OverlappingPolicy(), skills, k=3, alpha=1, mode="star", rate=0.5, seed=0
+                )

@@ -1,0 +1,148 @@
+"""Unit tests for the lint engine: selection, suppression, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import ALL_RULES, Diagnostic, LintEngine, lint_paths, rule_catalog
+from repro.analysis.engine import PARSE_ERROR_CODE
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestDiagnostic:
+    def test_str_is_clickable_location(self):
+        d = Diagnostic(code="DYG101", message="boom", path="a/b.py", line=3, col=7)
+        assert str(d) == "a/b.py:3:7: DYG101 boom"
+
+    def test_to_dict_round_trips_through_json(self):
+        d = Diagnostic(code="DYG302", message="m", path="p.py", line=1, col=1)
+        assert json.loads(json.dumps(d.to_dict()))["code"] == "DYG302"
+
+
+class TestRegistry:
+    def test_codes_unique_and_families_covered(self):
+        all_codes = [rule.code for rule in ALL_RULES]
+        assert len(all_codes) == len(set(all_codes))
+        families = {code[:4] for code in all_codes}
+        assert families == {"DYG1", "DYG2", "DYG3"}
+
+    def test_catalog_matches_registry(self):
+        catalog = rule_catalog()
+        assert [entry[0] for entry in catalog] == [rule.code for rule in ALL_RULES]
+        assert all(entry[1] and entry[2] for entry in catalog)
+
+
+class TestSelection:
+    def test_select_by_prefix(self):
+        engine = LintEngine(select="DYG1")
+        assert all(rule.code.startswith("DYG1") for rule in engine.rules)
+        assert len(engine.rules) == 3
+
+    def test_ignore_single_code(self):
+        engine = LintEngine(ignore="DYG302")
+        assert "DYG302" not in [rule.code for rule in engine.rules]
+        assert len(engine.rules) == len(ALL_RULES) - 1
+
+    def test_select_then_ignore(self):
+        engine = LintEngine(select="DYG3", ignore="DYG301,DYG303")
+        assert [rule.code for rule in engine.rules] == ["DYG302"]
+
+    def test_sequence_form(self):
+        engine = LintEngine(select=["DYG101", "DYG303"])
+        assert [rule.code for rule in engine.rules] == ["DYG101", "DYG303"]
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            LintEngine(select="DYG999")
+        with pytest.raises(ValueError, match="unknown rule code"):
+            LintEngine(ignore="E501")
+
+
+class TestLintSource:
+    def test_clean_source(self):
+        assert LintEngine().lint_source("x = 1\n") == []
+
+    def test_parse_error_becomes_dyg000(self):
+        diagnostics = LintEngine().lint_source("def broken(:\n", path="bad.py")
+        assert codes(diagnostics) == [PARSE_ERROR_CODE]
+        assert diagnostics[0].path == "bad.py"
+
+    def test_findings_sorted_by_position(self):
+        source = "try:\n    pass\nexcept:\n    pass\nimport random\nrandom.random()\n"
+        diagnostics = LintEngine().lint_source(source)
+        assert codes(diagnostics) == ["DYG303", "DYG101"]
+        assert diagnostics[0].line < diagnostics[1].line
+
+
+class TestNoqa:
+    def test_blanket_noqa_suppresses(self):
+        source = "import random\nx = random.random()  # noqa\n"
+        assert LintEngine().lint_source(source) == []
+
+    def test_coded_noqa_suppresses_matching_code(self):
+        source = "import random\nx = random.random()  # noqa: DYG101\n"
+        assert LintEngine().lint_source(source) == []
+
+    def test_coded_noqa_with_reason_text(self):
+        source = "import random\nx = random.random()  # noqa: DYG101 — legacy shim\n"
+        assert LintEngine().lint_source(source) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "import random\nx = random.random()  # noqa: DYG302\n"
+        assert codes(LintEngine().lint_source(source)) == ["DYG101"]
+
+    def test_noqa_only_covers_its_line(self):
+        source = (
+            "import random\n"
+            "a = random.random()  # noqa: DYG101\n"
+            "b = random.random()\n"
+        )
+        diagnostics = LintEngine().lint_source(source)
+        assert codes(diagnostics) == ["DYG101"]
+        assert diagnostics[0].line == 3
+
+
+class TestLintPaths:
+    def test_walks_directories_and_reports_counts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        report = lint_paths([tmp_path / "pkg"])
+        assert report.files_checked == 2
+        assert report.counts_by_code() == {"DYG101": 1}
+        assert not report.clean
+
+    def test_single_file_path(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("try:\n    pass\nexcept:\n    pass\n")
+        report = lint_paths([target])
+        assert report.files_checked == 1
+        assert codes(report.diagnostics) == ["DYG303"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_diagnostics_sorted_across_files(self, tmp_path):
+        (tmp_path / "z.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "a.py").write_text("import random\nrandom.random()\n")
+        report = lint_paths([tmp_path])
+        assert [d.path for d in report.diagnostics] == sorted(
+            d.path for d in report.diagnostics
+        )
+
+    def test_to_json_structure(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        payload = json.loads(lint_paths([tmp_path]).to_json())
+        assert payload == {"files_checked": 1, "diagnostics": [], "counts": {}}
+
+    def test_select_threads_through(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\nrandom.random()\nx = 1.0 == y\n")
+        report = lint_paths([tmp_path], select="DYG3")
+        assert codes(report.diagnostics) == ["DYG302"]

@@ -1,0 +1,151 @@
+"""Unit tests for the DYG2xx contract rules."""
+
+from __future__ import annotations
+
+from repro.analysis import LintEngine
+
+
+def codes(source: str, select: str = "DYG2"):
+    return [d.code for d in LintEngine(select=select).lint_source(source)]
+
+
+class TestValidationRouting:
+    def test_raw_public_function_flagged(self):
+        assert codes("def solve(skills, k):\n    return skills[:k]\n") == ["DYG201"]
+
+    def test_k_and_rate_without_skills_flagged(self):
+        assert codes("def plan(k, rate):\n    return k * rate\n") == ["DYG201"]
+
+    def test_k_alone_not_flagged(self):
+        assert codes("def pick(k):\n    return k\n") == []
+
+    def test_private_function_skipped(self):
+        assert codes("def _solve(skills, k):\n    return skills[:k]\n") == []
+
+    def test_method_skipped(self):
+        source = (
+            "class Policy:\n"
+            "    def propose(self, skills, k):\n"
+            "        return skills[:k]\n"
+        )
+        assert codes(source) == []
+
+    def test_validation_helper_call_passes(self):
+        source = (
+            "from repro._validation import as_skill_array\n"
+            "def solve(skills, k):\n"
+            "    return as_skill_array(skills)[:k]\n"
+        )
+        assert codes(source) == []
+
+    def test_attribute_helper_call_passes(self):
+        source = (
+            "from repro import _validation\n"
+            "def solve(skills, k):\n"
+            "    _validation.require_divisible_groups(len(skills), k)\n"
+            "    return skills\n"
+        )
+        assert codes(source) == []
+
+    def test_inline_value_error_passes(self):
+        source = (
+            "def solve(skills, k):\n"
+            "    if k <= 0:\n"
+            "        raise ValueError('k must be positive')\n"
+            "    return skills[:k]\n"
+        )
+        assert codes(source) == []
+
+    def test_contract_violation_raise_passes(self):
+        source = (
+            "def check(skills, k):\n"
+            "    if len(skills) % k:\n"
+            "        raise ContractViolation('not a partition')\n"
+        )
+        assert codes(source) == []
+
+    def test_delegation_passes(self):
+        source = "def solve(skills, k):\n    return inner(skills, k)\n"
+        assert codes(source) == []
+
+    def test_keyword_delegation_passes(self):
+        source = "def solve(skills, k):\n    return inner(values=skills, k=k)\n"
+        assert codes(source) == []
+
+    def test_numpy_coercion_is_not_delegation(self):
+        source = (
+            "import numpy as np\n"
+            "def solve(skills, k):\n"
+            "    return np.asarray(skills)[:k]\n"
+        )
+        assert codes(source) == ["DYG201"]
+
+
+class TestParameterMutation:
+    def test_subscript_store_flagged(self):
+        assert codes("def f(skills):\n    skills[0] = 1.0\n") == ["DYG201", "DYG202"]
+
+    def test_augmented_assignment_flagged(self):
+        source = "def f(values):\n    values += 1\n"
+        assert codes(source) == ["DYG202"]
+
+    def test_subscript_augassign_flagged(self):
+        assert codes("def f(values):\n    values[0] += 1\n") == ["DYG202"]
+
+    def test_sort_method_flagged(self):
+        assert codes("def f(values):\n    values.sort()\n") == ["DYG202"]
+
+    def test_fill_method_flagged(self):
+        assert codes("def f(values):\n    values.fill(0)\n") == ["DYG202"]
+
+    def test_np_put_flagged(self):
+        source = "import numpy as np\ndef f(values):\n    np.put(values, 0, 1)\n"
+        assert codes(source) == ["DYG202"]
+
+    def test_np_copyto_flagged(self):
+        source = "import numpy as np\ndef f(out, data):\n    np.copyto(out, data)\n"
+        assert codes(source) == ["DYG202"]
+
+    def test_copy_first_passes(self):
+        source = (
+            "import numpy as np\n"
+            "def f(values):\n"
+            "    values = np.array(values, copy=True)\n"
+            "    values[0] = 1.0\n"
+            "    values.sort()\n"
+        )
+        assert codes(source) == []
+
+    def test_methods_are_checked_too(self):
+        source = (
+            "class Policy:\n"
+            "    def propose(self, skills, k):\n"
+            "        skills[0] = 9.9\n"
+        )
+        assert codes(source) == ["DYG202"]
+
+    def test_self_attribute_mutation_ok(self):
+        source = (
+            "class Policy:\n"
+            "    def remember(self, grouping):\n"
+            "        self.history = grouping\n"
+        )
+        assert codes(source) == []
+
+    def test_nested_function_params_tracked_separately(self):
+        source = (
+            "def outer(values):\n"
+            "    def inner(values):\n"
+            "        values = list(values)\n"
+            "        values[0] = 1\n"
+            "    return inner\n"
+        )
+        assert codes(source) == []
+
+    def test_loop_rebinding_stops_tracking(self):
+        source = "def f(row):\n    for row in table():\n        row[0] = 1\n"
+        assert codes(source) == []
+
+    def test_local_variable_mutation_ok(self):
+        source = "def f(n):\n    out = [0] * n\n    out[0] = 1\n    return out\n"
+        assert codes(source) == []

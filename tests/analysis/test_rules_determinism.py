@@ -1,0 +1,105 @@
+"""Unit tests for the DYG1xx determinism rules."""
+
+from __future__ import annotations
+
+from repro.analysis import LintEngine
+
+
+def lint(source: str, path: str = "src/repro/mod.py"):
+    return LintEngine(select="DYG1").lint_source(source, path=path)
+
+
+def codes(source: str, path: str = "src/repro/mod.py"):
+    return [d.code for d in lint(source, path=path)]
+
+
+class TestStdlibRandom:
+    def test_module_call_flagged(self):
+        assert codes("import random\nx = random.random()\n") == ["DYG101"]
+
+    def test_aliased_module_call_flagged(self):
+        assert codes("import random as rnd\nx = rnd.randint(0, 5)\n") == ["DYG101"]
+
+    def test_from_import_call_flagged(self):
+        assert codes("from random import shuffle\nshuffle([1, 2])\n") == ["DYG101"]
+
+    def test_from_import_alias_flagged(self):
+        assert codes("from random import choice as pick\npick([1])\n") == ["DYG101"]
+
+    def test_seed_flagged(self):
+        assert codes("import random\nrandom.seed(42)\n") == ["DYG101"]
+
+    def test_unrelated_random_attribute_ok(self):
+        # A local object that happens to be called `random` is not the module.
+        assert codes("class Rng:\n    pass\nr = Rng()\n") == []
+
+    def test_message_names_generator_fix(self):
+        (diagnostic,) = lint("import random\nrandom.random()\n")
+        assert "np.random.Generator" in diagnostic.message
+
+
+class TestNumpyLegacyRandom:
+    def test_np_random_seed_flagged(self):
+        assert codes("import numpy as np\nnp.random.seed(0)\n") == ["DYG102"]
+
+    def test_np_random_rand_flagged(self):
+        assert codes("import numpy\nnumpy.random.rand(3)\n") == ["DYG102"]
+
+    def test_from_numpy_import_random_flagged(self):
+        assert codes("from numpy import random\nrandom.shuffle(x)\n") == ["DYG102"]
+
+    def test_import_numpy_random_module_flagged(self):
+        assert codes("import numpy.random as npr\nnpr.uniform(0, 1)\n") == ["DYG102"]
+
+    def test_from_numpy_random_member_flagged(self):
+        assert codes("from numpy.random import shuffle\nshuffle(x)\n") == ["DYG102"]
+
+    def test_default_rng_allowed(self):
+        assert codes("import numpy as np\nr = np.random.default_rng(7)\n") == []
+
+    def test_generator_and_seedsequence_allowed(self):
+        source = (
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64(1))\n"
+            "s = np.random.SeedSequence(2)\n"
+        )
+        assert codes(source) == []
+
+    def test_generator_method_calls_allowed(self):
+        # rng.random() on a threaded Generator instance is the whole point.
+        source = "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.random()\n"
+        assert codes(source) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["DYG103"]
+
+    def test_time_ns_flagged(self):
+        assert codes("import time\nt = time.time_ns()\n") == ["DYG103"]
+
+    def test_from_time_import_flagged(self):
+        assert codes("from time import time as now\nt = now()\n") == ["DYG103"]
+
+    def test_perf_counter_allowed(self):
+        assert codes("import time\nt = time.perf_counter()\n") == []
+
+    def test_monotonic_allowed(self):
+        assert codes("import time\nt = time.monotonic()\n") == []
+
+    def test_datetime_class_now_flagged(self):
+        assert codes("from datetime import datetime\nd = datetime.now()\n") == ["DYG103"]
+
+    def test_datetime_module_now_flagged(self):
+        assert codes("import datetime\nd = datetime.datetime.now()\n") == ["DYG103"]
+
+    def test_date_today_flagged(self):
+        assert codes("from datetime import date\nd = date.today()\n") == ["DYG103"]
+
+    def test_obs_modules_exempt(self):
+        source = "import time\nt = time.time()\n"
+        assert codes(source, path="src/repro/obs/journal.py") == []
+
+    def test_exemption_requires_obs_path_component(self):
+        source = "import time\nt = time.time()\n"
+        assert codes(source, path="src/repro/observatory.py") == ["DYG103"]

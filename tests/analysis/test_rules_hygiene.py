@@ -1,0 +1,80 @@
+"""Unit tests for the DYG3xx API-hygiene rules."""
+
+from __future__ import annotations
+
+from repro.analysis import LintEngine
+
+
+def codes(source: str):
+    return [d.code for d in LintEngine(select="DYG3").lint_source(source)]
+
+
+class TestAllDrift:
+    def test_undefined_entry_flagged(self):
+        assert codes("__all__ = ['ghost']\n") == ["DYG301"]
+
+    def test_defined_entries_pass(self):
+        source = "__all__ = ['f', 'C', 'X']\ndef f(): pass\nclass C: pass\nX = 1\n"
+        assert codes(source) == []
+
+    def test_imported_names_count(self):
+        source = "from os.path import join as pj\nimport sys\n__all__ = ['pj', 'sys']\n"
+        assert codes(source) == []
+
+    def test_duplicate_entry_flagged(self):
+        assert codes("__all__ = ['f', 'f']\ndef f(): pass\n") == ["DYG301"]
+
+    def test_conditional_definition_counts(self):
+        source = (
+            "__all__ = ['fast']\n"
+            "try:\n"
+            "    def fast(): pass\n"
+            "except ImportError:\n"
+            "    fast = None\n"
+        )
+        assert codes(source) == []
+
+    def test_dynamic_all_skipped(self):
+        assert codes("names = ['a']\n__all__ = names\n") == []
+        assert codes("__all__ = ['a'] + extra\n") == []
+
+    def test_star_import_disables_rule(self):
+        assert codes("from os.path import *\n__all__ = ['join']\n") == []
+
+    def test_no_all_is_fine(self):
+        assert codes("def f(): pass\n") == []
+
+
+class TestFloatEquality:
+    def test_eq_against_float_literal_flagged(self):
+        assert codes("ok = x == 0.5\n") == ["DYG302"]
+
+    def test_noteq_flagged(self):
+        assert codes("ok = 0.1 != y\n") == ["DYG302"]
+
+    def test_negative_literal_flagged(self):
+        assert codes("ok = x == -1.5\n") == ["DYG302"]
+
+    def test_chained_comparison_flagged(self):
+        assert codes("ok = a < b == 0.5\n") == ["DYG302"]
+
+    def test_int_literal_not_flagged(self):
+        assert codes("ok = x == 3\n") == []
+
+    def test_ordering_comparisons_not_flagged(self):
+        assert codes("ok = x <= 0.5 or x > 1.5\n") == []
+
+    def test_variable_comparison_not_flagged(self):
+        # Only literal comparisons are statically decidable; x == y is fine.
+        assert codes("ok = x == y\n") == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        assert codes("try:\n    pass\nexcept:\n    pass\n") == ["DYG303"]
+
+    def test_typed_except_passes(self):
+        assert codes("try:\n    pass\nexcept ValueError:\n    pass\n") == []
+
+    def test_broad_exception_passes(self):
+        assert codes("try:\n    pass\nexcept Exception:\n    pass\n") == []

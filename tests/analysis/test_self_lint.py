@@ -1,0 +1,31 @@
+"""Self-lint: the repo's own source tree must pass ``dygroups lint``.
+
+This is the tier-1 guard for the DYG rule set — any new module-level RNG
+call, wall-clock read outside ``obs/``, unvalidated public entry point,
+in-place parameter mutation, ``__all__`` drift, float equality, or bare
+``except`` lands here as a test failure with a file:line diagnostic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _explain(report):
+    return "\n".join(str(d) for d in report.diagnostics)
+
+
+def test_src_tree_is_clean():
+    report = lint_paths([REPO_ROOT / "src"])
+    assert report.files_checked > 50  # the whole package, not a subset
+    assert report.clean, f"self-lint failed:\n{_explain(report)}"
+
+
+def test_benchmarks_tree_is_clean():
+    report = lint_paths([REPO_ROOT / "benchmarks"])
+    assert report.files_checked > 0
+    assert report.clean, f"self-lint failed:\n{_explain(report)}"
