@@ -1,0 +1,132 @@
+"""Serving-layer throughput — closed-loop load against the in-process server.
+
+Not a paper figure: this bench characterizes the :mod:`repro.serve`
+subsystem added for production-style deployment.  A closed-loop load
+generator (``CLIENTS`` threads, each running ``create → advance×R →
+inspect`` loops against one :class:`~repro.serve.service.GroupingService`
+through the in-process client) reports requests/second, p50/p95 request
+latency, and the grouping-memo hit rate, archived as
+``BENCH_serve_throughput.json``.  The in-process client is deliberate:
+the numbers measure the service (sessions + cache + scheduler), not
+socket syscalls.
+
+Two workloads:
+
+* ``replay`` — every client replays the same cohort configuration, the
+  memo's best case (exact-tier hits dominate after warmup);
+* ``unique`` — every cohort gets distinct skills, the worst case (all
+  misses; measures the scheduler + session overhead ceiling).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from math import fsum
+
+import numpy as np
+
+from repro.serve.client import InProcessClient
+from repro.serve.config import ServeConfig
+from repro.serve.service import GroupingService
+
+from benchmarks._util import FULL, emit
+
+#: Closed-loop client threads.
+CLIENTS = 8 if FULL else 4
+
+#: Cohort create→advance→inspect loops per client.
+LOOPS = 60 if FULL else 12
+
+#: Rounds advanced per cohort loop.
+ROUNDS = 6
+
+#: Cohort size / groups for the load shape.
+N, K = 120, 10
+
+
+def _run_workload(unique_skills: bool) -> dict[str, float]:
+    """Drive the closed loop and return throughput/latency/hit-rate stats."""
+    base = np.random.default_rng(42).uniform(1.0, 10.0, size=N)
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    with GroupingService(ServeConfig(workers=4, cache_size=512)) as service:
+        client = InProcessClient(service)
+
+        def loop(worker: int) -> None:
+            rng = np.random.default_rng(worker)
+            local: list[float] = []
+            for i in range(LOOPS):
+                skills = (
+                    rng.uniform(1.0, 10.0, size=N) if unique_skills else base
+                ).tolist()
+                begin = time.perf_counter()
+                cohort = client.create_cohort(skills, K, mode="star", seed=7)["cohort"]
+                client.advance_rounds(cohort, ROUNDS)
+                client.get_cohort(cohort)
+                client.delete_cohort(cohort)
+                local.append(time.perf_counter() - begin)
+            with lock:
+                latencies.extend(local)
+
+        threads = [threading.Thread(target=loop, args=(w,)) for w in range(CLIENTS)]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        cache_stats = service.cache.stats()
+
+    ordered = sorted(latencies)
+    requests = len(latencies) * 4  # create + advance + inspect + delete
+    probes = cache_stats["hits"] + cache_stats["misses"]
+    return {
+        "requests": requests,
+        "wall_seconds": wall,
+        "req_per_second": requests / wall,
+        "loop_p50_ms": 1e3 * ordered[len(ordered) // 2],
+        "loop_p95_ms": 1e3 * ordered[int(len(ordered) * 0.95)],
+        "loop_mean_ms": 1e3 * fsum(ordered) / len(ordered),
+        "cache_hit_rate": cache_stats["hits"] / probes if probes else 0.0,
+    }
+
+
+def bench_serve_throughput(benchmark):
+    replay = benchmark.pedantic(
+        _run_workload, args=(False,), iterations=1, rounds=1
+    )
+    unique = _run_workload(True)
+
+    lines = [
+        f"closed-loop load: {CLIENTS} clients x {LOOPS} loops "
+        f"(n={N}, k={K}, {ROUNDS} rounds/cohort)",
+        "",
+        f"{'workload':<10} {'req/s':>10} {'p50 ms':>10} {'p95 ms':>10} {'hit rate':>10}",
+    ]
+    for name, stats in (("replay", replay), ("unique", unique)):
+        lines.append(
+            f"{name:<10} {stats['req_per_second']:>10.1f} {stats['loop_p50_ms']:>10.2f} "
+            f"{stats['loop_p95_ms']:>10.2f} {stats['cache_hit_rate']:>10.2%}"
+        )
+    emit(
+        "serve_throughput",
+        "\n".join(lines),
+        config={
+            "clients": CLIENTS,
+            "loops": LOOPS,
+            "rounds": ROUNDS,
+            "n": N,
+            "k": K,
+            "replay": replay,
+            "unique": unique,
+        },
+    )
+
+    # The replay workload must actually exercise the memo: after the first
+    # trajectory is cached, every later cohort replays it bit for bit.
+    assert replay["cache_hit_rate"] > 0.5, "replay workload should be cache-dominated"
+    # The unique workload computes every proposal fresh.
+    assert unique["cache_hit_rate"] < 0.1
+    assert replay["requests"] == CLIENTS * LOOPS * 4

@@ -20,10 +20,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-__all__ = ["Diagnostic", "FileContext", "Finding", "Rule"]
+__all__ = ["Diagnostic", "FileContext", "Finding", "Rule", "WALLCLOCK_ALLOWLIST"]
 
 #: ``# noqa`` / ``# noqa: DYG101, DYG302`` suppression comments.
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+#: Path components whose modules may read wall clocks (DYG103 exemption).
+#:
+#: * ``obs`` — the observability subsystem timestamps journal records and
+#:   trace spans; clock reads are its purpose.
+#: * ``serve`` — the serving layer measures request latency, enforces
+#:   session TTLs, and stamps cohort creation times; none of those reads
+#:   feed simulation results, which stay seed-deterministic.
+#:
+#: Everything else under ``src/`` stays banned: simulation code that
+#: branches on the clock is non-reproducible by construction.
+WALLCLOCK_ALLOWLIST = frozenset({"obs", "serve"})
 
 
 @dataclass(frozen=True)
@@ -83,9 +95,9 @@ class FileContext:
         path: the path the module was loaded from (display form).
         source: full source text.
         tree: the parsed :class:`ast.Module`.
-        wallclock_exempt: whether the module lives in the observability
-            subsystem (a path component named ``obs``), where wall-clock
-            reads are the point rather than a bug.
+        wallclock_exempt: whether the module lives in a subsystem on the
+            documented wall-clock allowlist (:data:`WALLCLOCK_ALLOWLIST`),
+            where clock reads are the point rather than a bug.
     """
 
     def __init__(self, path: "str | Path", source: str, tree: ast.Module) -> None:
@@ -93,7 +105,7 @@ class FileContext:
         self.source = source
         self.tree = tree
         parts = Path(self.path).parts
-        self.wallclock_exempt = "obs" in parts
+        self.wallclock_exempt = not WALLCLOCK_ALLOWLIST.isdisjoint(parts)
         self._noqa: dict[int, frozenset[str] | None] = {}
         for number, line in enumerate(source.splitlines(), start=1):
             match = _NOQA_RE.search(line)

@@ -12,9 +12,13 @@ the process-global escape hatches by construction:
   / ``np.random.rand`` / ``RandomState`` ...), superseded by
   ``np.random.default_rng``;
 * ``DYG103`` — wall-clock reads (``time.time()``, ``datetime.now()``, ...)
-  outside the observability subsystem, where timestamps are the point.
-  Monotonic clocks (``perf_counter``/``monotonic``/``process_time``) are
-  allowed everywhere: durations never feed back into results.
+  outside the allowlisted subsystems
+  (:data:`repro.analysis.base.WALLCLOCK_ALLOWLIST`): ``obs``, where
+  timestamps are the point, and ``serve``, where request latency, session
+  TTLs, and creation stamps legitimately read clocks without feeding
+  results.  Monotonic clocks (``perf_counter``/``monotonic``/
+  ``process_time``) are allowed everywhere: durations never feed back
+  into results.
 """
 
 from __future__ import annotations
@@ -139,11 +143,11 @@ class NumpyGlobalRandomRule(Rule):
 
 
 class WallClockRule(Rule):
-    """DYG103: ban wall-clock reads outside ``repro.obs``."""
+    """DYG103: ban wall-clock reads outside the allowlisted subsystems."""
 
     code = "DYG103"
     name = "wall-clock-read"
-    summary = "wall-clock read (time.time/datetime.now) outside the obs subsystem"
+    summary = "wall-clock read (time.time/datetime.now) outside obs/serve"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if ctx.wallclock_exempt:

@@ -14,8 +14,16 @@ Subcommands:
   sources; exits non-zero on findings (see docs/static-analysis.md);
 * ``trace`` — observability tooling (``trace summarize <journal.jsonl>``
   prints a per-phase timing table from a journal);
+* ``serve`` — the grouping service: a long-running HTTP JSON API over
+  the session store, grouping memo, and micro-batching scheduler of
+  :mod:`repro.serve` (see docs/serving.md);
 * ``list`` — available figures, algorithms, distributions, journal
   events, and lint rules.
+
+Exit codes are consistent across subcommands: ``0`` success, ``1``
+operational failure (failed claims, lint findings, a port that cannot be
+bound), ``2`` usage error (invalid arguments or inputs) — never a bare
+traceback for a predictable failure.
 
 Every workload subcommand also accepts the observability flags
 ``--log-level LEVEL`` (stdlib logging on the ``repro.*`` hierarchy),
@@ -188,6 +196,30 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="print a per-phase timing table from a journal"
     )
     trace_sum.add_argument("journal_file", help="an NDJSON journal written with --journal")
+
+    serve = sub.add_parser(
+        "serve", help="run the grouping service (HTTP JSON API)", parents=obs
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="TCP port; 0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="scheduler worker threads; 0 computes proposals inline",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="grouping-memo entries; 0 disables the cache",
+    )
+    serve.add_argument(
+        "--session-ttl", type=float, default=1800.0,
+        help="seconds of inactivity before a cohort is evicted",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="bounded propose-queue depth (requests beyond it get 429)",
+    )
 
     sub.add_parser(
         "list", help="list figures, algorithms, distributions, and journal events"
@@ -442,6 +474,21 @@ def _command_lint(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.config import ServeConfig
+    from repro.serve.http import run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        session_ttl=args.session_ttl,
+        queue_depth=args.queue_depth,
+    )
+    return run_server(config)
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from repro.obs.summarize import summarize_journal
 
@@ -457,9 +504,26 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Predictable failures never escape as tracebacks: invalid arguments
+    or inputs (``ValueError``/``TypeError``/missing files) exit 2, the
+    argparse usage-error convention; environmental failures (``OSError``
+    — an unbindable port, an unwritable journal) exit 1.
+    """
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=6, suppress=True)
+    try:
+        return _run(args)
+    except (ValueError, TypeError, FileNotFoundError) as error:
+        print(f"dygroups {args.command}: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"dygroups {args.command}: {error}", file=sys.stderr)
+        return 1
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.command == "trace":
         return _command_trace(args)
     if getattr(args, "contracts", False):
@@ -525,6 +589,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "lint":
         return _command_lint(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "list":
         return _command_list()
     raise AssertionError(f"unhandled command {args.command!r}")

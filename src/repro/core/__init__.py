@@ -9,9 +9,11 @@ Contents:
 * :mod:`repro.core.local` — round-local groupers (Algorithms 2 and 3);
 * :mod:`repro.core.objective` — LG, the telescoped objective, b-distances;
 * :mod:`repro.core.simulation` — the α-round engine and policy protocol;
-* :mod:`repro.core.dygroups` — the DyGroups driver (Algorithm 1).
+* :mod:`repro.core.dygroups` — the DyGroups driver (Algorithm 1);
+* :mod:`repro.core.batch` — vectorized batch propose path (serving layer).
 """
 
+from repro.core.batch import BATCH_MODES, propose_batch, rank_structure
 from repro.core.dygroups import DyGroupsClique, DyGroupsStar, dygroups, dygroups_policy
 from repro.core.gain_functions import GainFunction, LinearGain, pairwise_gain
 from repro.core.grouping import Group, Grouping
@@ -52,6 +54,9 @@ __all__ = [
     "group_max",
     "dygroups_star_local",
     "dygroups_clique_local",
+    "BATCH_MODES",
+    "propose_batch",
+    "rank_structure",
     "learning_gain",
     "total_learning_gain",
     "gain_from_trajectory",

@@ -56,6 +56,13 @@ EVENTS: tuple[str, ...] = (
     "sweep_point",
     "span",
     "lint",
+    "serve_start",
+    "serve_stop",
+    "http_request",
+    "cohort_create",
+    "cohort_round",
+    "cohort_delete",
+    "cohort_evict",
 )
 
 _RUN_COUNTER = itertools.count(1)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from typing import Any, Iterator
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry", "Timer"]
@@ -39,40 +40,64 @@ class Counter:
 
 
 class Histogram:
-    """A series of observations with retained raw values and summary stats."""
+    """A series of observations with retained raw values and summary stats.
 
-    __slots__ = ("name", "values")
+    By default every raw observation is retained (so per-round timing
+    *series* survive into bench snapshots).  Long-running consumers — the
+    serving layer records one observation per request — pass ``keep=N``
+    to bound retention to the ``N`` most recent values; ``count``,
+    ``total``, ``min`` and ``max`` then keep tracking the full stream
+    while percentiles describe the retained window.
+    """
+
+    __slots__ = ("name", "values", "keep", "_count", "_total", "_min", "_max")
 
     _kind = "histogram"
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", *, keep: int | None = None) -> None:
+        if keep is not None and keep <= 0:
+            raise ValueError(f"keep must be a positive int or None, got {keep!r}")
         self.name = name
-        self.values: list[float] = []
+        self.keep = keep
+        self.values: "list[float] | deque[float]" = [] if keep is None else deque(maxlen=keep)
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.values.append(float(value))
+        value = float(value)
+        self.values.append(value)
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return math.fsum(self.values)
+        # The unbounded path recomputes with fsum so snapshots stay exact;
+        # the bounded path has dropped values and uses the running sum.
+        return math.fsum(self.values) if self.keep is None else self._total
 
     @property
     def mean(self) -> float:
-        """Mean observation (0.0 when empty)."""
-        return self.total / len(self.values) if self.values else 0.0
+        """Mean observation over the full stream (0.0 when empty)."""
+        return self.total / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._max if self._count else 0.0
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile (``p`` in [0, 100]; 0.0 when empty).
@@ -89,8 +114,8 @@ class Histogram:
         return ordered[rank - 1]
 
     def snapshot(self) -> dict[str, Any]:
-        """JSON-able summary plus the raw observation series."""
-        return {
+        """JSON-able summary plus the (retained) raw observation series."""
+        payload = {
             "type": self._kind,
             "count": self.count,
             "total": self.total,
@@ -101,6 +126,9 @@ class Histogram:
             "p95": self.percentile(95),
             "values": [round(v, 9) for v in self.values],
         }
+        if self.keep is not None:
+            payload["retained"] = len(self.values)
+        return payload
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r}, count={self.count}, mean={self.mean:.6g})"
@@ -144,10 +172,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, "Counter | Histogram"] = {}
 
-    def _get(self, name: str, kind: type) -> Any:
+    def _get(self, name: str, kind: type, **kwargs: Any) -> Any:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = kind(name)
+            instrument = kind(name, **kwargs)
             self._instruments[name] = instrument
         elif type(instrument) is not kind:
             raise ValueError(
@@ -159,13 +187,13 @@ class MetricsRegistry:
         """Get or create the named counter."""
         return self._get(name, Counter)
 
-    def timer(self, name: str) -> Timer:
-        """Get or create the named timer."""
-        return self._get(name, Timer)
+    def timer(self, name: str, *, keep: int | None = None) -> Timer:
+        """Get or create the named timer (``keep`` bounds raw retention)."""
+        return self._get(name, Timer, keep=keep)
 
-    def histogram(self, name: str) -> Histogram:
-        """Get or create the named histogram."""
-        return self._get(name, Histogram)
+    def histogram(self, name: str, *, keep: int | None = None) -> Histogram:
+        """Get or create the named histogram (``keep`` bounds raw retention)."""
+        return self._get(name, Histogram, keep=keep)
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Export every instrument, grouped by kind and sorted by name."""

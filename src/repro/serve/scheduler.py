@@ -1,0 +1,212 @@
+"""Micro-batching propose executor with bounded queues and backpressure.
+
+Concurrent ``propose`` requests for the deterministic DyGroups groupers
+are pure functions of ``(skills, k, mode)`` — no generator state — so
+they can be coalesced: a worker drains up to ``batch_max`` queued
+requests, groups them by ``(n, k, mode)``, and answers each group with
+one vectorized :func:`repro.core.batch.propose_batch` call (a single
+``(m, n)`` argsort instead of ``m`` Python round trips).  Requests whose
+array is already memoized are answered straight from the
+:class:`~repro.serve.cache.GroupingCache`.
+
+Backpressure is explicit: the request queue is bounded and
+:meth:`BatchScheduler.submit` *rejects* work with
+:class:`~repro.serve.errors.SchedulerSaturated` (the HTTP layer's 429)
+instead of queueing unboundedly.  Shutdown is graceful — workers drain
+the queue's sentinel and every in-flight future resolves.
+
+Metrics (``serve.scheduler.*`` in the :mod:`repro.obs.metrics`
+registry): batches executed, batch-size histogram, rejections, and a
+bounded wait-time timer.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any
+
+import numpy as np
+
+from repro.core.batch import BATCH_MODES, propose_batch
+from repro.core.grouping import Grouping
+from repro.obs import runtime as _obs
+from repro.serve.cache import GroupingCache
+from repro.serve.errors import RequestTimeout, SchedulerSaturated, ServiceClosed
+
+__all__ = ["BatchScheduler"]
+
+#: Queue sentinel that tells one worker to exit.
+_STOP = object()
+
+
+class _Request:
+    """One queued propose request and the future its caller waits on."""
+
+    __slots__ = ("skills", "k", "mode", "future", "enqueued")
+
+    def __init__(self, skills: np.ndarray, k: int, mode: str, enqueued: float) -> None:
+        self.skills = skills
+        self.k = k
+        self.mode = mode
+        self.future: "Future[Grouping]" = Future()
+        self.enqueued = enqueued
+
+
+class BatchScheduler:
+    """Coalesces concurrent propose requests into vectorized batches.
+
+    Args:
+        cache: grouping memo consulted before (and filled after) every
+            batch compute; ``None`` disables memoization.
+        workers: worker-thread count (must be positive — a service that
+            wants inline computation simply doesn't build a scheduler).
+        queue_depth: request-queue bound; submissions beyond it raise
+            :class:`~repro.serve.errors.SchedulerSaturated`.
+        batch_max: most requests coalesced into one drain.
+    """
+
+    def __init__(
+        self,
+        cache: "GroupingCache | None" = None,
+        *,
+        workers: int = 2,
+        queue_depth: int = 256,
+        batch_max: int = 32,
+    ) -> None:
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers <= 0:
+            raise ValueError(f"workers must be a positive int, got {workers!r}")
+        if not isinstance(queue_depth, int) or isinstance(queue_depth, bool) or queue_depth <= 0:
+            raise ValueError(f"queue_depth must be a positive int, got {queue_depth!r}")
+        if not isinstance(batch_max, int) or isinstance(batch_max, bool) or batch_max <= 0:
+            raise ValueError(f"batch_max must be a positive int, got {batch_max!r}")
+        self.cache = cache
+        self.batch_max = batch_max
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        self._closed = False
+        self._lock = threading.Lock()
+        registry = _obs.metrics_registry()
+        self._batches = registry.counter("serve.scheduler.batches")
+        self._batch_size = registry.histogram("serve.scheduler.batch_size", keep=1024)
+        self._rejections = registry.counter("serve.scheduler.rejections")
+        self._wait_seconds = registry.timer("serve.scheduler.wait_seconds", keep=1024)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"dygroups-serve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def submit(self, skills: np.ndarray, k: int, mode: str) -> "Future[Grouping]":
+        """Enqueue one propose request; returns the future resolving to it.
+
+        Raises:
+            ServiceClosed: after :meth:`close`.
+            SchedulerSaturated: when the bounded queue is full (the
+                caller should surface 429 and let the client retry).
+            ValueError: for a mode without a vectorized grouper.
+        """
+        if self._closed:
+            raise ServiceClosed("scheduler is shut down")
+        if mode not in BATCH_MODES:
+            raise ValueError(f"mode {mode!r} is not batchable; expected one of {BATCH_MODES}")
+        request = _Request(skills, k, mode, time.perf_counter())
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._rejections.inc()
+            raise SchedulerSaturated(
+                f"propose queue is full ({self.queue_depth} requests queued); retry later"
+            ) from None
+        return request.future
+
+    def propose(
+        self, skills: np.ndarray, k: int, mode: str, *, timeout: "float | None" = None
+    ) -> Grouping:
+        """Blocking submit-and-wait.
+
+        Raises:
+            RequestTimeout: the future did not resolve within ``timeout``.
+            (plus everything :meth:`submit` raises)
+        """
+        future = self.submit(skills, k, mode)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            raise RequestTimeout(
+                f"propose request did not complete within {timeout:g}s"
+            ) from None
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop accepting work, drain the queue, and join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch: list[_Request] = [item]
+            while len(batch) < self.batch_max:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    # Another worker's shutdown sentinel — hand it back.
+                    self._queue.put(extra)
+                    break
+                batch.append(extra)
+            now = time.perf_counter()
+            for request in batch:
+                self._wait_seconds.observe(now - request.enqueued)
+            self._batches.inc()
+            self._batch_size.observe(len(batch))
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Request]) -> None:
+        """Answer a drained batch, vectorizing compatible requests together."""
+        by_shape: dict[tuple[int, int, str], list[_Request]] = {}
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                key = (int(request.skills.size), request.k, request.mode)
+                by_shape.setdefault(key, []).append(request)
+        for (_, k, mode), requests in by_shape.items():
+            arrays = [request.skills for request in requests]
+            try:
+                if self.cache is not None:
+                    groupings = self.cache.propose_batch(arrays, k, mode)
+                else:
+                    groupings = propose_batch(np.stack(arrays), k, mode)
+            except Exception as error:
+                for request in requests:
+                    request.future.set_exception(error)
+                continue
+            for request, grouping in zip(requests, groupings):
+                request.future.set_result(grouping)

@@ -1,0 +1,314 @@
+"""The grouping service: sessions + cache + scheduler behind one facade.
+
+:class:`GroupingService` is the transport-agnostic application layer —
+the HTTP front-end (:mod:`repro.serve.http`) and the in-process client
+(:mod:`repro.serve.client`) both call the same five operations with the
+same JSON-shaped payloads, so validation, routing, metrics, and journal
+events live in exactly one place.
+
+Propose routing: the deterministic DyGroups groupers take the fast path
+(micro-batching scheduler when workers are configured, else the grouping
+memo inline, else the scalar grouper); every other registered policy —
+stochastic or stateful — runs inline on its per-cohort instance with the
+cohort's own seeded generator, preserving the offline engine's
+reproducibility guarantees.
+
+All request validation routes through :mod:`repro._validation`;
+violations surface as :class:`~repro.serve.errors.InvalidRequest`
+(HTTP 400) with the validator's message intact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro._validation import (
+    as_skill_array,
+    require_divisible_groups,
+    require_learning_rate,
+    require_positive_int,
+)
+from repro.analysis import contracts as _contracts
+from repro.baselines.registry import POLICY_NAMES, make_policy
+from repro.core.batch import BATCH_MODES
+from repro.core.gain_functions import LinearGain
+from repro.core.grouping import Grouping
+from repro.core.interactions import get_mode
+from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
+from repro.serve.cache import GroupingCache
+from repro.serve.config import ServeConfig
+from repro.serve.errors import InvalidRequest, ServiceClosed
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.sessions import CohortSession, SessionStore
+
+__all__ = ["GroupingService"]
+
+#: Policy names routed through the cache/scheduler fast path (their
+#: propose step is the deterministic DyGroups-Local grouper).
+_FAST_PATH_POLICIES = frozenset({"dygroups", "dygroups-star", "dygroups-clique"})
+
+
+def _field(payload: Mapping[str, Any], name: str, default: Any = None, *, required: bool = False) -> Any:
+    if name in payload:
+        return payload[name]
+    if required:
+        raise InvalidRequest(f"missing required field {name!r}")
+    return default
+
+
+class GroupingService:
+    """Long-running grouping service over the reproduction's core.
+
+    Args:
+        config: service tunables; defaults to :class:`ServeConfig()`.
+        clock: injectable monotonic clock for the session store (tests
+            fake it to drive TTL eviction).
+    """
+
+    def __init__(
+        self,
+        config: "ServeConfig | None" = None,
+        *,
+        clock: Any = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._started = time.monotonic()
+        registry = _obs.metrics_registry()
+        self._cohorts_created = registry.counter("serve.cohorts.created")
+        self._cohorts_deleted = registry.counter("serve.cohorts.deleted")
+        self._cohorts_evicted = registry.counter("serve.cohorts.evicted")
+        self._rounds_advanced = registry.counter("serve.rounds.advanced")
+        self.store = SessionStore(
+            ttl_seconds=self.config.session_ttl,
+            max_sessions=self.config.max_cohorts,
+            clock=clock,
+            on_evict=self._record_eviction,
+        )
+        self.cache = GroupingCache(self.config.cache_size) if self.config.cache_size > 0 else None
+        self.scheduler = (
+            BatchScheduler(
+                self.cache,
+                workers=self.config.workers,
+                queue_depth=self.config.queue_depth,
+                batch_max=self.config.batch_max,
+            )
+            if self.config.workers > 0
+            else None
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the scheduler down and drop every session (idempotent)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self.scheduler is not None:
+            self.scheduler.close()
+        self.store.clear()
+
+    def __enter__(self) -> "GroupingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("the grouping service is shut down")
+
+    def _record_eviction(self, session: CohortSession) -> None:
+        self._cohorts_evicted.inc()
+        state = _obs.state()
+        if state is not None and state.journal is not None:
+            state.journal.emit("cohort_evict", cohort=session.id, rounds=session.rounds)
+
+    # -- operations --------------------------------------------------------
+
+    def create_cohort(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Create a cohort session from a JSON-shaped payload.
+
+        Payload fields: ``skills`` (required list of positive numbers),
+        ``k`` (required int dividing ``n``), ``mode`` (``"star"``, the
+        default, or ``"clique"``), ``rate`` (learning rate in (0, 1),
+        default 0.5), ``policy`` (any name in the registry, default
+        ``"dygroups"``), ``seed`` (int, default 0), ``record_history``
+        (bool, default false).
+
+        Raises:
+            InvalidRequest: on any validation failure.
+            CapacityExhausted: when the store is full.
+        """
+        self._require_open()
+        if not isinstance(payload, Mapping):
+            raise InvalidRequest(f"request body must be a JSON object, got {type(payload).__name__}")
+        unknown = set(payload) - {"skills", "k", "mode", "rate", "policy", "seed", "record_history"}
+        if unknown:
+            raise InvalidRequest(f"unknown fields in request: {sorted(unknown)}")
+        try:
+            skills = as_skill_array(_field(payload, "skills", required=True))
+            k = require_positive_int(_field(payload, "k", required=True), name="k")
+            require_divisible_groups(len(skills), k)
+            mode = get_mode(_field(payload, "mode", "star"))
+            rate = require_learning_rate(_field(payload, "rate", 0.5))
+            seed_raw = _field(payload, "seed", 0)
+            if isinstance(seed_raw, bool) or not isinstance(seed_raw, int):
+                raise TypeError(f"seed must be an int, got {type(seed_raw).__name__}")
+            seed = int(seed_raw)
+            record_history = bool(_field(payload, "record_history", False))
+            policy_name = str(_field(payload, "policy", "dygroups"))
+            if policy_name not in POLICY_NAMES:
+                raise ValueError(
+                    f"unknown policy {policy_name!r}; expected one of {', '.join(POLICY_NAMES)}"
+                )
+            policy = make_policy(policy_name, mode=mode.name, rate=rate)
+        except (TypeError, ValueError) as error:
+            raise InvalidRequest(str(error)) from error
+
+        with _trace.span("serve.create_cohort", policy=policy_name, n=len(skills), k=k):
+            session = self.store.add(
+                lambda session_id: CohortSession(
+                    session_id,
+                    policy=policy,
+                    policy_name=policy_name,
+                    mode=mode,
+                    gain_fn=LinearGain(rate),
+                    k=k,
+                    rate=rate,
+                    seed=seed,
+                    skills=skills,
+                    record_history=record_history,
+                )
+            )
+        self._cohorts_created.inc()
+        state = _obs.state()
+        if state is not None and state.journal is not None:
+            state.journal.emit(
+                "cohort_create",
+                cohort=session.id,
+                policy=policy_name,
+                mode=mode.name,
+                n=session.n,
+                k=k,
+            )
+        return session.describe()
+
+    def advance_rounds(self, cohort_id: str, rounds: int = 1) -> dict[str, Any]:
+        """Advance a cohort by ``rounds`` rounds; returns the new records.
+
+        Raises:
+            InvalidRequest: for a non-positive round count.
+            CohortNotFound / SessionExpired: for unknown or aged-out ids.
+            SchedulerSaturated / RequestTimeout: from the propose path.
+        """
+        self._require_open()
+        try:
+            rounds = require_positive_int(rounds, name="rounds")
+        except (TypeError, ValueError) as error:
+            raise InvalidRequest(str(error)) from error
+        session = self.store.get(cohort_id)
+        propose = self._propose_fn(session)
+        played: list[dict[str, Any]] = []
+        with _trace.span("serve.advance", cohort=cohort_id, rounds=rounds):
+            for _ in range(rounds):
+                record = session.advance_round(propose)
+                self._rounds_advanced.inc()
+                played.append(record)
+        state = _obs.state()
+        if state is not None and state.journal is not None:
+            for record in played:
+                state.journal.emit(
+                    "cohort_round",
+                    cohort=cohort_id,
+                    round=record["round"],
+                    gain=record["gain"],
+                )
+        return {
+            "cohort": cohort_id,
+            "rounds": session.rounds,
+            "total_gain": session.total_gain,
+            "played": played,
+        }
+
+    def get_cohort(self, cohort_id: str, *, include_history: bool = False) -> dict[str, Any]:
+        """Inspect a cohort and its trajectory (refreshes its TTL)."""
+        self._require_open()
+        return self.store.get(cohort_id).describe(include_history=include_history)
+
+    def delete_cohort(self, cohort_id: str) -> dict[str, Any]:
+        """Remove a cohort; returns its final summary."""
+        self._require_open()
+        session = self.store.delete(cohort_id)
+        self._cohorts_deleted.inc()
+        state = _obs.state()
+        if state is not None and state.journal is not None:
+            state.journal.emit("cohort_delete", cohort=cohort_id, rounds=session.rounds)
+        return session.describe()
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness payload: status, uptime, live cohorts, cache stats."""
+        payload: dict[str, Any] = {
+            "status": "closed" if self._closed else "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "cohorts": len(self.store),
+            "workers": self.config.workers,
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        return payload
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The process-global metrics registry, snapshotted."""
+        return _obs.metrics_registry().snapshot()
+
+    # -- propose routing ---------------------------------------------------
+
+    def _propose_fn(self, session: CohortSession) -> Any:
+        """The propose callable for one advance call, or ``None`` for the
+        session policy's own (inline) propose."""
+        if session.policy_name not in _FAST_PATH_POLICIES:
+            return None
+        mode = session.mode.name
+        if mode not in BATCH_MODES:
+            return None
+        if self.scheduler is not None:
+            timeout = self.config.request_timeout
+
+            def propose(skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+                grouping = self.scheduler.propose(skills, k, mode, timeout=timeout)
+                if _contracts.contracts_enabled():
+                    # Parity with DyGroupsStar/Clique.propose, which check
+                    # Theorem 1 on every offline proposal.
+                    _contracts.check_top_k_teachers(skills, grouping)
+                return grouping
+
+            return propose
+        if self.cache is not None:
+
+            def propose(skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+                grouping = self.cache.propose(skills, k, mode)
+                if _contracts.contracts_enabled():
+                    _contracts.check_top_k_teachers(skills, grouping)
+                return grouping
+
+            return propose
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupingService(cohorts={len(self.store)}, workers={self.config.workers}, "
+            f"cache={'on' if self.cache is not None else 'off'}, closed={self._closed})"
+        )

@@ -103,3 +103,35 @@ class TestWallClock:
     def test_exemption_requires_obs_path_component(self):
         source = "import time\nt = time.time()\n"
         assert codes(source, path="src/repro/observatory.py") == ["DYG103"]
+
+
+class TestWallClockServeCarveOut:
+    """The documented DYG103 allowlist covers ``serve/`` — and nothing else."""
+
+    def test_serve_modules_exempt(self):
+        source = "import time\nt = time.time()\n"
+        assert codes(source, path="src/repro/serve/sessions.py") == []
+
+    def test_serve_datetime_now_exempt(self):
+        source = "from datetime import datetime, timezone\nd = datetime.now(timezone.utc)\n"
+        assert codes(source, path="src/repro/serve/sessions.py") == []
+
+    def test_allowlist_contents_are_documented_set(self):
+        from repro.analysis.base import WALLCLOCK_ALLOWLIST
+
+        assert WALLCLOCK_ALLOWLIST == frozenset({"obs", "serve"})
+
+    def test_exemption_requires_serve_path_component(self):
+        # A module merely *named* like the subsystem stays banned.
+        source = "import time\nt = time.time()\n"
+        assert codes(source, path="src/repro/server_utils.py") == ["DYG103"]
+
+    def test_core_stays_banned(self):
+        source = "import time\nt = time.time()\n"
+        assert codes(source, path="src/repro/core/simulation.py") == ["DYG103"]
+
+    def test_serve_tests_directory_also_exempt(self):
+        # The allowlist keys on path components, so tests/serve/ rides along;
+        # that is fine — the ban protects result-bearing src/ code.
+        source = "import time\nt = time.time()\n"
+        assert codes(source, path="tests/serve/test_http.py") == []

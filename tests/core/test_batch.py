@@ -1,0 +1,81 @@
+"""Unit tests for the vectorized batch propose path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BATCH_MODES, propose_batch, rank_structure
+from repro.core.local import dygroups_clique_local, dygroups_star_local
+
+REFERENCE = {"star": dygroups_star_local, "clique": dygroups_clique_local}
+
+
+def groups_of(grouping):
+    return [list(g) for g in grouping]
+
+
+class TestRankStructure:
+    def test_star_structure_small(self):
+        # n=6, k=2: teachers are ranks 0 and 1; blocks of 2 students follow.
+        assert rank_structure(6, 2, "star") == ((0, 2, 3), (1, 4, 5))
+
+    def test_clique_structure_small(self):
+        # Round-robin deal of ranks across k=2 groups.
+        assert rank_structure(6, 2, "clique") == ((0, 2, 4), (1, 3, 5))
+
+    def test_covers_all_ranks(self):
+        for mode in BATCH_MODES:
+            structure = rank_structure(12, 3, mode)
+            flat = sorted(r for group in structure for r in group)
+            assert flat == list(range(12))
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            rank_structure(7, 2, "star")
+        with pytest.raises(ValueError):
+            rank_structure(6, 0, "star")
+        with pytest.raises(ValueError):
+            rank_structure(6, 2, "ring")
+
+
+class TestProposeBatch:
+    @pytest.mark.parametrize("mode", BATCH_MODES)
+    def test_matches_scalar_groupers(self, mode):
+        rng = np.random.default_rng(10)
+        matrix = rng.uniform(1.0, 9.0, size=(7, 20))
+        batched = propose_batch(matrix, 4, mode)
+        for row, grouping in zip(matrix, batched):
+            assert groups_of(grouping) == groups_of(REFERENCE[mode](row, 4))
+
+    @pytest.mark.parametrize("mode", BATCH_MODES)
+    def test_ties_match_scalar_tie_breaking(self, mode):
+        # Stable argsort everywhere: ties must resolve identically.
+        matrix = np.array([
+            [3.0, 3.0, 1.0, 3.0, 2.0, 1.0],
+            [5.0, 5.0, 5.0, 5.0, 5.0, 5.0],
+        ])
+        batched = propose_batch(matrix, 2, mode)
+        for row, grouping in zip(matrix, batched):
+            assert groups_of(grouping) == groups_of(REFERENCE[mode](row, 2))
+
+    def test_single_row_batch(self):
+        row = np.array([[4.0, 1.0, 3.0, 2.0]])
+        (grouping,) = propose_batch(row, 2, "star")
+        assert groups_of(grouping) == groups_of(dygroups_star_local(row[0], 2))
+
+    def test_one_dimensional_input_is_a_batch_of_one(self):
+        row = np.array([4.0, 1.0, 3.0, 2.0])
+        (grouping,) = propose_batch(row, 2, "star")
+        assert groups_of(grouping) == groups_of(dygroups_star_local(row, 2))
+
+    def test_invalid_inputs_rejected(self):
+        good = np.ones((2, 6))
+        with pytest.raises(ValueError):
+            propose_batch(np.ones((2, 3, 2)), 2, "star")  # 3-D, not a batch
+        with pytest.raises(ValueError):
+            propose_batch(good, 4, "star")  # 6 % 4 != 0
+        with pytest.raises(ValueError):
+            propose_batch(good, 2, "ring")
+        with pytest.raises(ValueError):
+            propose_batch(np.array([[1.0, -1.0]]), 1, "star")  # non-positive skill

@@ -1,0 +1,29 @@
+"""Fixtures for the serving-layer tests.
+
+Serve components register counters in the process-global metrics
+registry; every test starts and leaves with a clean slate so counter
+assertions never see another test's traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Disable observability and empty the metrics registry around each test."""
+    runtime.shutdown()
+    runtime.metrics_registry().reset()
+    yield
+    runtime.shutdown()
+    runtime.metrics_registry().reset()
+
+
+@pytest.fixture
+def skills120() -> np.ndarray:
+    """A 120-member skill vector (divisible by k=10) used across the suite."""
+    return np.random.default_rng(42).uniform(1.0, 10.0, size=120)

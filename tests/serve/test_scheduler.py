@@ -1,0 +1,132 @@
+"""Unit tests for the micro-batching scheduler (batching, backpressure)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.local import dygroups_clique_local, dygroups_star_local
+from repro.obs import runtime
+from repro.serve.cache import GroupingCache
+from repro.serve.errors import RequestTimeout, SchedulerSaturated, ServiceClosed
+from repro.serve.scheduler import BatchScheduler
+
+
+def groups_of(grouping):
+    return [list(g) for g in grouping]
+
+
+@pytest.fixture
+def skills() -> np.ndarray:
+    return np.random.default_rng(5).uniform(1.0, 9.0, size=12)
+
+
+class TestPropose:
+    @pytest.mark.parametrize("mode,reference", [
+        ("star", dygroups_star_local), ("clique", dygroups_clique_local),
+    ])
+    def test_matches_scalar_grouper(self, skills, mode, reference):
+        with BatchScheduler(workers=2) as scheduler:
+            result = scheduler.propose(skills, 3, mode, timeout=10.0)
+        assert groups_of(result) == groups_of(reference(skills, 3))
+
+    def test_concurrent_mixed_shapes(self):
+        rng = np.random.default_rng(6)
+        jobs = [
+            (rng.uniform(1, 9, size=12), 3, "star"),
+            (rng.uniform(1, 9, size=12), 4, "clique"),
+            (rng.uniform(1, 9, size=20), 5, "star"),
+        ] * 8
+        with BatchScheduler(GroupingCache(), workers=3) as scheduler:
+            futures = [scheduler.submit(s, k, m) for s, k, m in jobs]
+            results = [f.result(timeout=10.0) for f in futures]
+        for (s, k, m), grouping in zip(jobs, results):
+            reference = dygroups_star_local if m == "star" else dygroups_clique_local
+            assert groups_of(grouping) == groups_of(reference(s, k))
+
+    def test_batches_are_recorded(self, skills):
+        with BatchScheduler(workers=1) as scheduler:
+            for _ in range(4):
+                scheduler.propose(skills, 3, "star", timeout=10.0)
+        snapshot = runtime.metrics_registry().snapshot()
+        assert snapshot["counters"]["serve.scheduler.batches"]["value"] >= 1
+        assert snapshot["histograms"]["serve.scheduler.batch_size"]["count"] >= 1
+
+    def test_unbatchable_mode_rejected_eagerly(self, skills):
+        with BatchScheduler(workers=1) as scheduler:
+            with pytest.raises(ValueError, match="not batchable"):
+                scheduler.submit(skills, 3, "ring")
+
+    def test_invalid_propose_resolves_future_with_error(self):
+        with BatchScheduler(workers=1) as scheduler:
+            future = scheduler.submit(np.array([1.0, 2.0, 3.0]), 2, "star")  # 3 % 2 != 0
+            with pytest.raises(ValueError):
+                future.result(timeout=10.0)
+
+
+class _StallingCache:
+    """Cache stand-in that parks the worker until released (backpressure tests)."""
+
+    def __init__(self) -> None:
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def propose_batch(self, arrays, k, mode):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0), "stalling cache never released"
+        return GroupingCache().propose_batch(arrays, k, mode)
+
+
+class TestBackpressure:
+    def test_saturation_rejects_not_queues(self, skills):
+        stall = _StallingCache()
+        scheduler = BatchScheduler(stall, workers=1, queue_depth=2, batch_max=1)
+        try:
+            blocker = scheduler.submit(skills, 3, "star")
+            assert stall.entered.wait(timeout=10.0)  # worker is now parked
+            queued = [scheduler.submit(skills, 3, "star") for _ in range(2)]
+            with pytest.raises(SchedulerSaturated):
+                scheduler.submit(skills, 3, "star")
+            with pytest.raises(SchedulerSaturated):
+                scheduler.submit(skills, 3, "star")
+            snapshot = runtime.metrics_registry().snapshot()
+            assert snapshot["counters"]["serve.scheduler.rejections"]["value"] == 2
+            stall.release.set()
+            # Everything accepted before saturation still completes.
+            assert blocker.result(timeout=10.0).k == 3
+            for future in queued:
+                assert future.result(timeout=10.0).k == 3
+        finally:
+            scheduler.close()
+
+    def test_timeout_surfaces_as_request_timeout(self, skills, monkeypatch):
+        scheduler = BatchScheduler(workers=1)
+        scheduler.close()  # workers gone: a hand-queued request never resolves
+        monkeypatch.setattr(scheduler, "_closed", False)
+        with pytest.raises(RequestTimeout):
+            scheduler.propose(skills, 3, "star", timeout=0.05)
+        scheduler._closed = True
+
+
+class TestLifecycle:
+    def test_submit_after_close_is_503(self, skills):
+        scheduler = BatchScheduler(workers=1)
+        scheduler.close()
+        with pytest.raises(ServiceClosed):
+            scheduler.submit(skills, 3, "star")
+
+    def test_close_is_idempotent(self):
+        scheduler = BatchScheduler(workers=2)
+        scheduler.close()
+        scheduler.close()
+        assert scheduler.closed
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(workers=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(workers=1, queue_depth=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(workers=1, batch_max=0)

@@ -1,0 +1,183 @@
+"""Unit tests for the GroupingService facade (validation, routing, metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import make_policy
+from repro.core.simulation import simulate
+from repro.obs import runtime
+from repro.serve.config import ServeConfig
+from repro.serve.errors import (
+    CapacityExhausted,
+    CohortNotFound,
+    InvalidRequest,
+    ServiceClosed,
+    SessionExpired,
+)
+from repro.serve.service import GroupingService
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def payload(skills, k=3, **extra):
+    body = {"skills": [float(s) for s in skills], "k": k}
+    body.update(extra)
+    return body
+
+
+@pytest.fixture
+def skills() -> list:
+    return list(np.random.default_rng(7).uniform(1.0, 9.0, size=12))
+
+
+@pytest.fixture
+def service():
+    with GroupingService(ServeConfig(workers=2, cache_size=64)) as svc:
+        yield svc
+
+
+class TestCreateCohort:
+    def test_create_and_describe(self, service, skills):
+        info = service.create_cohort(payload(skills, mode="clique", rate=0.3, seed=5))
+        assert info["cohort"].startswith("c")
+        assert info["mode"] == "clique" and info["rate"] == 0.3 and info["seed"] == 5
+        assert service.get_cohort(info["cohort"])["rounds"] == 0
+
+    @pytest.mark.parametrize("body,fragment", [
+        ({"k": 3}, "skills"),
+        ({"skills": [1.0, 2.0]}, "k"),
+        ({"skills": [1.0, 2.0, 3.0], "k": 2}, "divide"),
+        ({"skills": [1.0, -2.0], "k": 1}, "positive"),
+        ({"skills": [1.0, 2.0], "k": 1, "mode": "mesh"}, "mode"),
+        ({"skills": [1.0, 2.0], "k": 1, "rate": 1.5}, "rate"),
+        ({"skills": [1.0, 2.0], "k": 1, "seed": "abc"}, "seed"),
+        ({"skills": [1.0, 2.0], "k": 1, "policy": "nope"}, "policy"),
+        ({"skills": [1.0, 2.0], "k": 1, "bogus": 1}, "unknown"),
+    ])
+    def test_validation_failures_are_400(self, service, body, fragment):
+        with pytest.raises(InvalidRequest, match=fragment):
+            service.create_cohort(body)
+
+    def test_non_mapping_payload_rejected(self, service):
+        with pytest.raises(InvalidRequest, match="JSON object"):
+            service.create_cohort([1, 2, 3])
+
+    def test_capacity_exhausted(self, skills):
+        with GroupingService(ServeConfig(workers=0, cache_size=0, max_cohorts=1)) as svc:
+            svc.create_cohort(payload(skills))
+            with pytest.raises(CapacityExhausted):
+                svc.create_cohort(payload(skills))
+
+
+class TestAdvance:
+    @pytest.mark.parametrize("mode", ["star", "clique"])
+    @pytest.mark.parametrize("workers,cache_size", [(2, 64), (0, 64), (0, 0)])
+    def test_bit_identical_to_offline_simulate(self, skills, mode, workers, cache_size):
+        """Scheduler path, cache path, and inline path all reproduce simulate()."""
+        with GroupingService(ServeConfig(workers=workers, cache_size=cache_size)) as svc:
+            info = svc.create_cohort(payload(skills, mode=mode, seed=13))
+            result = svc.advance_rounds(info["cohort"], 6)
+            final = np.array(svc.get_cohort(info["cohort"])["skills"])
+        reference = simulate(
+            make_policy("dygroups", mode=mode, rate=0.5),
+            np.asarray(skills), k=3, alpha=6, mode=mode, rate=0.5, seed=13,
+        )
+        assert np.array_equal(final, reference.final_skills)
+        assert result["total_gain"] == float(np.sum(reference.round_gains))
+
+    def test_stochastic_policy_runs_inline_and_reproduces(self, skills):
+        with GroupingService(ServeConfig(workers=2)) as svc:
+            info = svc.create_cohort(payload(skills, policy="random", seed=3))
+            svc.advance_rounds(info["cohort"], 4)
+            final = np.array(svc.get_cohort(info["cohort"])["skills"])
+        reference = simulate(
+            make_policy("random", mode="star", rate=0.5),
+            np.asarray(skills), k=3, alpha=4, mode="star", rate=0.5, seed=3,
+        )
+        assert np.array_equal(final, reference.final_skills)
+
+    def test_round_indices_accumulate(self, service, skills):
+        cohort = service.create_cohort(payload(skills))["cohort"]
+        first = service.advance_rounds(cohort, 2)
+        second = service.advance_rounds(cohort, 3)
+        assert [r["round"] for r in first["played"]] == [0, 1]
+        assert [r["round"] for r in second["played"]] == [2, 3, 4]
+        assert second["rounds"] == 5
+
+    def test_invalid_rounds_rejected(self, service, skills):
+        cohort = service.create_cohort(payload(skills))["cohort"]
+        with pytest.raises(InvalidRequest):
+            service.advance_rounds(cohort, 0)
+        with pytest.raises(InvalidRequest):
+            service.advance_rounds(cohort, "three")
+
+    def test_unknown_cohort_404(self, service):
+        with pytest.raises(CohortNotFound):
+            service.advance_rounds("c999999", 1)
+
+    def test_expired_cohort_410(self, skills):
+        clock = FakeClock()
+        with GroupingService(ServeConfig(workers=0, session_ttl=5.0), clock=clock) as svc:
+            cohort = svc.create_cohort(payload(skills))["cohort"]
+            clock.now = 6.0
+            with pytest.raises(SessionExpired):
+                svc.advance_rounds(cohort, 1)
+
+
+class TestIntrospection:
+    def test_healthz_and_metrics(self, service, skills):
+        cohort = service.create_cohort(payload(skills))["cohort"]
+        service.advance_rounds(cohort, 2)
+        health = service.healthz()
+        assert health["status"] == "ok" and health["cohorts"] == 1
+        assert health["cache"]["max_entries"] == 64
+        snapshot = service.metrics_snapshot()
+        assert snapshot["counters"]["serve.cohorts.created"]["value"] == 1
+        assert snapshot["counters"]["serve.rounds.advanced"]["value"] == 2
+
+    def test_cache_hits_across_identical_cohorts(self, service, skills):
+        a = service.create_cohort(payload(skills, seed=1))["cohort"]
+        b = service.create_cohort(payload(skills, seed=1))["cohort"]
+        service.advance_rounds(a, 3)
+        service.advance_rounds(b, 3)
+        stats = service.cache.stats()
+        # Cohort b replays cohort a's trajectory bit for bit: all hits.
+        assert stats["hits"] >= 3
+        assert (
+            np.array(service.get_cohort(a)["skills"])
+            == np.array(service.get_cohort(b)["skills"])
+        ).all()
+
+    def test_delete_returns_summary_then_404(self, service, skills):
+        cohort = service.create_cohort(payload(skills))["cohort"]
+        summary = service.delete_cohort(cohort)
+        assert summary["cohort"] == cohort
+        with pytest.raises(CohortNotFound):
+            service.get_cohort(cohort)
+
+    def test_eviction_emits_counter(self, skills):
+        clock = FakeClock()
+        with GroupingService(ServeConfig(workers=0, session_ttl=5.0), clock=clock) as svc:
+            svc.create_cohort(payload(skills))
+            clock.now = 6.0
+            svc.store.evict_expired()
+        snapshot = runtime.metrics_registry().snapshot()
+        assert snapshot["counters"]["serve.cohorts.evicted"]["value"] == 1
+
+
+class TestLifecycle:
+    def test_closed_service_refuses_work(self, skills):
+        svc = GroupingService(ServeConfig(workers=1))
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.create_cohort(payload(skills))
+        assert svc.healthz()["status"] == "closed"
+        svc.close()  # idempotent

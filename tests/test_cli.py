@@ -51,6 +51,23 @@ class TestParser:
         assert args.trace_command == "summarize"
         assert args.journal_file == "out.jsonl"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8750
+        assert args.workers == 2
+        assert args.cache_size == 1024
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--cache-size", "0", "--contracts"]
+        )
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.cache_size == 0
+        assert args.contracts is True
+
 
 class TestCommands:
     def test_toy(self, capsys):
@@ -246,6 +263,65 @@ class TestCommands:
         empty.write_text("")
         assert main(["trace", "summarize", str(empty)]) == 2
         assert "cannot summarize" in capsys.readouterr().err
+
+    def test_exit_codes_are_consistent(self, capsys, tmp_path):
+        """Predictable failures exit 1/2 with a message — never a traceback."""
+        # Missing input file → usage error (2), message on stderr.
+        assert main(["simulate", "--skills-file", str(tmp_path / "no.csv"), "--k", "2"]) == 2
+        assert "dygroups simulate" in capsys.readouterr().err
+        # Invalid domain arguments → usage error (2).
+        skills_file = tmp_path / "skills.csv"
+        skills_file.write_text("0.1,0.2,0.3,0.4,0.5,0.6\n")
+        assert main(["simulate", "--skills-file", str(skills_file), "--k", "4"]) == 2
+        assert "dygroups simulate" in capsys.readouterr().err
+        # Invalid service configuration → usage error (2).
+        assert main(["serve", "--workers", "-3"]) == 2
+        assert "workers" in capsys.readouterr().err
+        assert main(["serve", "--session-ttl", "-1"]) == 2
+        assert "session_ttl" in capsys.readouterr().err
+
+    def test_serve_bind_failure_exits_1(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 1
+        finally:
+            blocker.close()
+        assert "cannot bind" in capsys.readouterr().out
+
+    def test_serve_sigterm_shuts_down_cleanly(self):
+        # Regression: a shell backgrounding `dygroups serve &` starts it
+        # with SIGINT ignored, so without explicit handlers the server
+        # could only be SIGKILLed.  SIGTERM must drain and exit 0.
+        import os
+        import pathlib
+        import signal
+        import subprocess
+        import sys
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on" in line
+            proc.send_signal(signal.SIGTERM)
+            output = proc.communicate(timeout=30)[0]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        assert "shutting down" in output
 
     def test_run_with_save(self, capsys, tmp_path):
         out_file = tmp_path / "outcome.json"
