@@ -1,0 +1,171 @@
+"""Engine speedup — scalar vs vectorized engine, plus the parallel executor.
+
+Not a paper figure: this bench characterizes the stacked-trial engine
+(:mod:`repro.core.vectorized`) and the process-parallel executor
+(:mod:`repro.experiments.parallel`) on one Figure-5b grid point
+(``DYGROUPS-STAR-LOCAL``, Zipf skills, ``n=512, k=4, α=5``, 32 runs).
+
+Three rows, archived as ``BENCH_core_speedup.json``:
+
+* ``scalar`` / ``vectorized`` — the same 32-trial simulation stack
+  through :func:`~repro.core.vectorized.simulate_many` with the engine
+  forced, on pre-drawn skills, so the rows time the engines and nothing
+  else.  The bench asserts the two engines' trajectories are
+  bit-identical before reporting any throughput.
+* ``parallel`` — the full spec execution (skill draws included) through
+  ``run_spec(workers=N)``, against a serial baseline it must match
+  exactly.  On a single-core host this row documents chunking overhead
+  rather than a speedup; on multi-core hosts it scales with the cores.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a seconds-scale preset (the CI
+perf-smoke job) that keeps every equality assertion but skips the
+vectorized-speedup floor, which only means something at full size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.dygroups import DyGroupsStar
+from repro.core.vectorized import simulate_many
+from repro.experiments.runner import draw_skills, run_spec
+from repro.experiments.spec import ExperimentSpec
+
+from benchmarks._util import emit
+
+#: Seconds-scale preset for the CI perf-smoke job (equality checks only).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+#: Figure-5b grid point; the smoke preset shrinks every axis.
+N, K, ALPHA, RUNS = (60, 3, 3, 8) if SMOKE else (512, 4, 5, 32)
+
+#: Worker processes for the parallel row.
+WORKERS = 2 if SMOKE else max(2, min(8, os.cpu_count() or 1))
+
+#: Vectorized-over-scalar trials/s floor asserted outside smoke mode.
+SPEEDUP_FLOOR = 5.0
+
+#: Engine timing repetitions (wall-clock minimum is reported).
+REPS = 2 if SMOKE else 5
+
+SPEC = ExperimentSpec(
+    n=N,
+    k=K,
+    alpha=ALPHA,
+    runs=RUNS,
+    seed=7,
+    mode="star",
+    distribution="zipf",
+    algorithms=("dygroups",),
+)
+
+
+def _simulate_stack(stack: np.ndarray, seeds: "list[int]", engine: str):
+    return simulate_many(
+        DyGroupsStar(), stack, k=K, alpha=ALPHA, mode=SPEC.mode, rate=SPEC.rate,
+        seeds=seeds, engine=engine,
+    )
+
+
+def _best_seconds(run, reps: int = REPS) -> float:
+    """Minimum wall-clock seconds over ``reps`` executions of ``run()``."""
+    seconds = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        run()
+        seconds.append(time.perf_counter() - started)
+    return min(seconds)
+
+
+def bench_core_speedup(benchmark):
+    stack = np.stack([draw_skills(SPEC, i) for i in range(RUNS)])
+    seeds = [SPEC.seed + i for i in range(RUNS)]
+
+    scalar_batch = _simulate_stack(stack, seeds, "scalar")
+    vectorized_batch = _simulate_stack(stack, seeds, "vectorized")
+    # Throughput is meaningless unless the engines are observationally
+    # identical: same seeds, same float ops, bit-equal trajectories.
+    assert np.array_equal(scalar_batch.final_skills, vectorized_batch.final_skills)
+    assert np.array_equal(scalar_batch.round_gains, vectorized_batch.round_gains)
+
+    scalar_s = benchmark.pedantic(
+        _best_seconds, args=(lambda: _simulate_stack(stack, seeds, "scalar"),),
+        iterations=1, rounds=1,
+    )
+    vectorized_s = _best_seconds(lambda: _simulate_stack(stack, seeds, "vectorized"))
+
+    serial_outcome, serial_s = None, None
+
+    def _serial_spec():
+        nonlocal serial_outcome
+        serial_outcome = run_spec(SPEC)
+
+    def _parallel_spec():
+        return run_spec(SPEC, workers=WORKERS)
+
+    serial_s = _best_seconds(_serial_spec, reps=1)
+    started = time.perf_counter()
+    parallel_outcome = _parallel_spec()
+    parallel_s = time.perf_counter() - started
+    for name in SPEC.algorithms:
+        base, algo = serial_outcome.outcomes[name], parallel_outcome.outcomes[name]
+        assert algo.mean_total_gain == base.mean_total_gain
+        assert algo.std_total_gain == base.std_total_gain
+        assert algo.mean_round_gains == base.mean_round_gains
+
+    rows = {
+        "scalar": {"seconds": scalar_s, "workers": 1, "basis": "engine"},
+        "vectorized": {"seconds": vectorized_s, "workers": 1, "basis": "engine"},
+        "parallel": {"seconds": parallel_s, "workers": WORKERS, "basis": "run_spec"},
+    }
+    for stats in rows.values():
+        stats["trials_per_second"] = RUNS / stats["seconds"]
+        stats["rounds_per_second"] = RUNS * ALPHA / stats["seconds"]
+    speedup = rows["vectorized"]["trials_per_second"] / rows["scalar"]["trials_per_second"]
+    rows["scalar"]["speedup"] = 1.0
+    rows["vectorized"]["speedup"] = speedup
+    rows["parallel"]["speedup"] = serial_s / parallel_s
+
+    lines = [
+        f"engine speedup: dygroups-star, n={N} k={K} alpha={ALPHA} runs={RUNS} "
+        f"(zipf, seed={SPEC.seed})",
+        "",
+        f"{'row':<12} {'basis':>8} {'workers':>7} {'seconds':>10} {'trials/s':>10} "
+        f"{'rounds/s':>10} {'speedup':>8}",
+    ]
+    for name, stats in rows.items():
+        lines.append(
+            f"{name:<12} {stats['basis']:>8} {stats['workers']:>7d} "
+            f"{stats['seconds']:>10.4f} {stats['trials_per_second']:>10.1f} "
+            f"{stats['rounds_per_second']:>10.1f} {stats['speedup']:>7.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "engine rows time simulate_many on pre-drawn skills; the parallel row "
+        "times the full spec (draws included) against a serial baseline."
+    )
+    lines.append("gain fields bit-identical across scalar/vectorized/parallel: yes")
+    emit(
+        "core_speedup",
+        "\n".join(lines),
+        config={
+            "smoke": SMOKE,
+            "n": N,
+            "k": K,
+            "alpha": ALPHA,
+            "bench_runs": RUNS,
+            "mode": SPEC.mode,
+            "distribution": SPEC.distribution,
+            "algorithms": list(SPEC.algorithms),
+            "seed": SPEC.seed,
+            "engines": rows,
+        },
+    )
+
+    if not SMOKE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"vectorized engine {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+        )

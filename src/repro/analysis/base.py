@@ -20,22 +20,53 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-__all__ = ["Diagnostic", "FileContext", "Finding", "Rule", "WALLCLOCK_ALLOWLIST"]
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "WALLCLOCK_ALLOWLIST",
+    "wallclock_exempt_path",
+]
 
 #: ``# noqa`` / ``# noqa: DYG101, DYG302`` suppression comments.
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
 
-#: Path components whose modules may read wall clocks (DYG103 exemption).
+#: Modules that may read wall clocks (DYG103 exemption).
+#:
+#: An entry is either a single path component (exempting a whole
+#: subsystem directory) or a ``/``-joined path fragment (exempting one
+#: specific module, matched against any consecutive run of the file's
+#: path components):
 #:
 #: * ``obs`` — the observability subsystem timestamps journal records and
 #:   trace spans; clock reads are its purpose.
 #: * ``serve`` — the serving layer measures request latency, enforces
 #:   session TTLs, and stamps cohort creation times; none of those reads
 #:   feed simulation results, which stay seed-deterministic.
+#: * ``experiments/parallel.py`` — the parallel executor stamps its
+#:   ``parallel_start`` journal event with the wall-clock time so merged
+#:   journals can be aligned across hosts; simulation work inside the
+#:   workers stays seed-deterministic.
 #:
 #: Everything else under ``src/`` stays banned: simulation code that
 #: branches on the clock is non-reproducible by construction.
-WALLCLOCK_ALLOWLIST = frozenset({"obs", "serve"})
+WALLCLOCK_ALLOWLIST = frozenset({"obs", "serve", "experiments/parallel.py"})
+
+
+def wallclock_exempt_path(path: "str | Path") -> bool:
+    """Whether a module path falls under :data:`WALLCLOCK_ALLOWLIST`."""
+    parts = Path(path).parts
+    for entry in WALLCLOCK_ALLOWLIST:
+        needle = tuple(entry.split("/"))
+        if len(needle) == 1:
+            if entry in parts:
+                return True
+        elif any(
+            parts[i : i + len(needle)] == needle for i in range(len(parts) - len(needle) + 1)
+        ):
+            return True
+    return False
 
 
 @dataclass(frozen=True)
@@ -104,8 +135,7 @@ class FileContext:
         self.path = str(path)
         self.source = source
         self.tree = tree
-        parts = Path(self.path).parts
-        self.wallclock_exempt = not WALLCLOCK_ALLOWLIST.isdisjoint(parts)
+        self.wallclock_exempt = wallclock_exempt_path(self.path)
         self._noqa: dict[int, frozenset[str] | None] = {}
         for number, line in enumerate(source.splitlines(), start=1):
             match = _NOQA_RE.search(line)

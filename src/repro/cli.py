@@ -32,6 +32,12 @@ Every workload subcommand also accepts the observability flags
 given), plus ``--contracts`` to enable the runtime invariant checks of
 :mod:`repro.analysis.contracts`.  See docs/observability.md and
 docs/static-analysis.md.
+
+The spec-driven subcommands (``run``, ``sweep``, ``grid``) additionally
+accept the performance knobs ``--engine {auto,scalar,vectorized}``
+(stacked-trial vectorized simulation) and ``--workers N`` (process
+parallelism; ``REPRO_WORKERS`` sets the default) — both bit-identical to
+the scalar serial path; see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -241,6 +247,20 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--runs", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "vectorized"),
+        default="auto",
+        help="simulation engine: auto stacks runs through the vectorized "
+        "kernels when possible; results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-parallel worker count; 0 defers to REPRO_WORKERS "
+        "(unset means serial); results are bit-identical to serial",
+    )
 
 
 def _spec_from_args(args: argparse.Namespace):
@@ -256,6 +276,8 @@ def _spec_from_args(args: argparse.Namespace):
         algorithms=tuple(a.strip() for a in args.algorithms.split(",") if a.strip()),
         runs=args.runs,
         seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
     )
 
 

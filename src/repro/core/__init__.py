@@ -10,10 +10,19 @@ Contents:
 * :mod:`repro.core.objective` — LG, the telescoped objective, b-distances;
 * :mod:`repro.core.simulation` — the α-round engine and policy protocol;
 * :mod:`repro.core.dygroups` — the DyGroups driver (Algorithm 1);
-* :mod:`repro.core.batch` — vectorized batch propose path (serving layer).
+* :mod:`repro.core.batch` — vectorized batch propose path (serving layer);
+* :mod:`repro.core.vectorized` — the stacked-trial engine (``R`` trials
+  advance per round through batched kernels, bit-identical to scalar).
 """
 
-from repro.core.batch import BATCH_MODES, propose_batch, rank_structure
+from repro.core.batch import (
+    BATCH_MODES,
+    as_skills_matrix,
+    descending_orders,
+    flat_rank_listing,
+    propose_batch,
+    rank_structure,
+)
 from repro.core.dygroups import DyGroupsClique, DyGroupsStar, dygroups, dygroups_policy
 from repro.core.gain_functions import GainFunction, LinearGain, pairwise_gain
 from repro.core.grouping import Group, Grouping
@@ -35,6 +44,15 @@ from repro.core.update import (
     update_star,
     update_star_naive,
 )
+from repro.core.vectorized import (
+    ENGINES,
+    BatchSimulationResult,
+    VectorizedPolicy,
+    simulate_many,
+    update_clique_many,
+    update_star_many,
+    vectorize_policy,
+)
 
 __all__ = [
     "GainFunction",
@@ -55,8 +73,18 @@ __all__ = [
     "dygroups_star_local",
     "dygroups_clique_local",
     "BATCH_MODES",
+    "as_skills_matrix",
+    "descending_orders",
+    "flat_rank_listing",
     "propose_batch",
     "rank_structure",
+    "ENGINES",
+    "BatchSimulationResult",
+    "VectorizedPolicy",
+    "simulate_many",
+    "update_star_many",
+    "update_clique_many",
+    "vectorize_policy",
     "learning_gain",
     "total_learning_gain",
     "gain_from_trajectory",

@@ -7,7 +7,8 @@ and 3), so a batch of ``m`` same-shaped requests reduces to a single
 ``(m, n)`` stable argsort — one vectorized numpy call instead of ``m``
 Python round trips — followed by an index gather per row.
 
-Two pieces:
+The pieces, shared by the serving scheduler and the stacked-trial
+simulation engine (:mod:`repro.core.vectorized`):
 
 * :func:`rank_structure` — the grouper's output expressed over *ranks*
   (position in the descending order) rather than member indices.  For a
@@ -15,8 +16,15 @@ Two pieces:
   rank ``i`` as teacher ``i`` and deals the rest in contiguous blocks;
   Algorithm 3 deals rank ``j`` to group ``j mod k``.  The grouping
   memo (:mod:`repro.serve.cache`) replays cached structures through it.
-* :func:`propose_batch` — validate a ``(m, n)`` skill matrix, argsort it
-  along ``axis=1`` in one call, and materialize the ``m`` groupings.
+* :func:`flat_rank_listing` — the same structure flattened to one
+  ``(n,)`` index array (group ``g`` occupies the contiguous slice
+  ``[g·t, (g+1)·t)``), the layout the batched update kernels consume.
+* :func:`descending_orders` — the single stable ``(m, n)`` argsort every
+  batched grouper reduces to.
+* :func:`as_skills_matrix` — validate/coerce a batch of skill vectors to
+  a fresh ``(m, n)`` float64 matrix.
+* :func:`propose_batch` — compose the above and materialize the ``m``
+  groupings.
 
 Bit-identity with the scalar groupers is guaranteed (and pinned by
 tests): ``propose_batch(S, k, mode)[i]`` lists exactly the same members
@@ -33,7 +41,14 @@ import numpy as np
 from repro._validation import require_divisible_groups
 from repro.core.grouping import Grouping
 
-__all__ = ["rank_structure", "propose_batch", "BATCH_MODES"]
+__all__ = [
+    "BATCH_MODES",
+    "as_skills_matrix",
+    "descending_orders",
+    "flat_rank_listing",
+    "propose_batch",
+    "rank_structure",
+]
 
 #: Modes with a vectorizable rank-space grouper.
 BATCH_MODES: tuple[str, ...] = ("star", "clique")
@@ -67,8 +82,58 @@ def rank_structure(n: int, k: int, mode: str) -> tuple[tuple[int, ...], ...]:
     raise ValueError(f"no batchable rank structure for mode {mode!r}; expected one of {BATCH_MODES}")
 
 
-def _validate_matrix(skills: np.ndarray, *, name: str = "skills") -> np.ndarray:
-    """Coerce to a fresh 2-D float64 matrix of positive finite rows."""
+@lru_cache(maxsize=256)
+def _flat_rank_listing_cached(n: int, k: int, mode: str) -> np.ndarray:
+    flat = np.concatenate([np.asarray(ranks, dtype=np.intp) for ranks in rank_structure(n, k, mode)])
+    flat.setflags(write=False)
+    return flat
+
+
+def flat_rank_listing(n: int, k: int, mode: str) -> np.ndarray:
+    """:func:`rank_structure` flattened to one read-only ``(n,)`` array.
+
+    Group ``g`` of the grouping occupies the contiguous slice
+    ``[g·t, (g+1)·t)`` where ``t = n // k``; indexing a descending order
+    with this array therefore yields the member listing of every group at
+    once.  The result is cached and marked read-only — copy before
+    mutating.
+
+    Raises:
+        ValueError: for an unknown mode or an invalid ``(n, k)`` pair.
+    """
+    return _flat_rank_listing_cached(n, k, mode)
+
+
+def descending_orders(matrix: np.ndarray) -> np.ndarray:
+    """Stable descending argsort of each row of a ``(m, n)`` skill matrix.
+
+    This is the one vectorized call every batched DyGroups grouper reduces
+    to; ties keep ascending column-index order, matching the scalar
+    :func:`repro.core.skills.descending_order` exactly.
+
+    For strictly positive rows (the validated skill domain) the sort runs
+    on the IEEE-754 bit patterns instead of the floats: positive doubles
+    order identically to their ``int64`` views, equal values share one
+    bit pattern (no signed zeros in the domain), and numpy's stable sort
+    is a radix sort for integer keys — same permutation, bit for bit,
+    measurably faster per row.  Non-positive or non-finite input falls
+    back to the float sort.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+    if matrix.size and np.all(matrix > 0.0):
+        return np.argsort(-matrix.view(np.int64), axis=1, kind="stable")
+    return np.argsort(-matrix, axis=1, kind="stable")
+
+
+def as_skills_matrix(skills: np.ndarray, *, name: str = "skills") -> np.ndarray:
+    """Coerce to a fresh 2-D float64 matrix of positive finite rows.
+
+    A single 1-D vector is accepted and reshaped to a batch of one.
+
+    Raises:
+        TypeError: if ``skills`` is not numeric.
+        ValueError: on empty/higher-rank shapes or non-positive values.
+    """
     try:
         matrix = np.array(skills, dtype=np.float64, copy=True)
     except (TypeError, ValueError) as exc:
@@ -104,8 +169,10 @@ def propose_batch(skills: np.ndarray, k: int, mode: str) -> list[Grouping]:
         ValueError: on invalid shapes, non-positive values, a ``k`` that
             does not divide ``n``, or a non-batchable mode.
     """
-    matrix = _validate_matrix(skills)
-    structure = rank_structure(matrix.shape[1], k, mode)
+    matrix = as_skills_matrix(skills)
+    n = matrix.shape[1]
+    listing = flat_rank_listing(n, k, mode)
     # One stable argsort for the whole batch — the vectorized hot path.
-    orders = np.argsort(-matrix, axis=1, kind="stable")
-    return [Grouping(order[list(ranks)] for ranks in structure) for order in orders]
+    orders = descending_orders(matrix)
+    members = orders[:, listing].reshape(matrix.shape[0], k, n // k)
+    return [Grouping(row) for row in members]

@@ -93,6 +93,22 @@ class Clique(InteractionMode):
         return update_clique(skills, grouping, gain)
 
     def group_gain(self, skills: np.ndarray, group: Group, gain: GainFunction) -> float:
+        if not gain.is_linear:
+            return self._group_gain_reference(skills, group, gain)
+        # Theorem 3 for linear gains: the rank-i member's averaged gain is
+        # r·(c_{i−1} − (i−1)·s_i)/(i−1) with c the descending prefix sums,
+        # so the per-group total needs one vectorized pass, not O(t²)
+        # pairwise calls.  Tie order cannot affect the sum (equal values
+        # sort to identical arrays), so a plain descending sort suffices.
+        values = np.sort(np.asarray(skills, dtype=np.float64)[group.indices()])[::-1]
+        if values.size < 2:
+            return 0.0
+        rate: float = gain.rate  # type: ignore[attr-defined]
+        prefix = np.cumsum(values)
+        ranks = np.arange(1, values.size, dtype=np.float64)
+        return float(np.sum(rate * (prefix[:-1] - ranks * values[1:]) / ranks))
+
+    def _group_gain_reference(self, skills: np.ndarray, group: Group, gain: GainFunction) -> float:
         # Equation 2 literally: the rank-i member averages its pairwise
         # gains over (i − 1); ties are ranked stably by member index.
         ranked = sorted(group, key=lambda m: (-float(skills[m]), m))

@@ -193,10 +193,15 @@ def simulate(
     timing = record_timings or obs is not None
     round_seconds = np.empty(alpha, dtype=np.float64) if timing else None
     if metrics is not None:
+        # `core.rounds` / `core.round_seconds` aggregate across engines;
+        # the `.scalar` / `.vectorized` variants attribute work per engine
+        # (see repro.core.vectorized for the batched counterpart).
         rounds_counter = metrics.counter("core.rounds")
+        engine_rounds_counter = metrics.counter("core.rounds.scalar")
         interactions_counter = metrics.counter("core.interactions")
         proposals_counter = metrics.counter(f"core.proposals.{policy.name or type(policy).__name__}")
         round_timer = metrics.timer("core.round_seconds")
+        engine_round_timer = metrics.timer("core.round_seconds.scalar")
     _log.debug(
         "simulate: policy=%s mode=%s n=%d k=%d alpha=%d",
         policy.name, resolved_mode.name, len(array), k, alpha,
@@ -257,8 +262,10 @@ def simulate(
                 round_seconds[t] = duration  # type: ignore[index]
                 if metrics is not None:
                     round_timer.observe(duration)
+                    engine_round_timer.observe(duration)
             if metrics is not None:
                 rounds_counter.inc()
+                engine_rounds_counter.inc()
                 interactions_counter.inc(grouping.n)
                 proposals_counter.inc()
             if journal is not None:

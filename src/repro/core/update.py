@@ -50,12 +50,17 @@ def _check_inputs(skills: np.ndarray, grouping: Grouping) -> None:
         raise ValueError(f"skills has {len(skills)} entries but grouping covers n={grouping.n}")
 
 
-def group_max(skills: np.ndarray, grouping: Grouping) -> np.ndarray:
-    """Per-group maximum skill (the 'teacher' skill), indexed by group."""
-    _check_inputs(skills, grouping)
+def _group_max_unchecked(skills: np.ndarray, grouping: Grouping) -> np.ndarray:
+    """:func:`group_max` minus input validation, for pre-validated hot paths."""
     maxima = np.full(grouping.k, -np.inf)
     np.maximum.at(maxima, grouping.assignment, skills)
     return maxima
+
+
+def group_max(skills: np.ndarray, grouping: Grouping) -> np.ndarray:
+    """Per-group maximum skill (the 'teacher' skill), indexed by group."""
+    _check_inputs(skills, grouping)
+    return _group_max_unchecked(skills, grouping)
 
 
 def update_star(skills: np.ndarray, grouping: Grouping, gain: GainFunction) -> np.ndarray:
@@ -65,7 +70,7 @@ def update_star(skills: np.ndarray, grouping: Grouping, gain: GainFunction) -> n
     teacher itself has zero skill difference and is unaltered.
     """
     _check_inputs(skills, grouping)
-    teachers = group_max(skills, grouping)[grouping.assignment]
+    teachers = _group_max_unchecked(skills, grouping)[grouping.assignment]
     delta = teachers - skills
     return skills + np.asarray(gain(delta), dtype=np.float64)
 

@@ -1,0 +1,648 @@
+"""Stacked-trial simulation engine: all trials advance in lock-step.
+
+Every effectiveness and runtime figure in the paper averages ``R``
+independent trials of the same ``(policy, n, k, α, mode)`` configuration.
+The scalar engine (:func:`repro.core.simulation.simulate`) runs them one
+at a time; this module runs the whole stack per round with a handful of
+vectorized numpy calls:
+
+* both ``DYGROUPS-MODE-LOCAL`` groupers (and the percentile baseline) are
+  pure functions of the descending order, so proposing for ``R`` trials is
+  one ``(R, n)`` stable argsort (:func:`repro.core.batch.descending_orders`)
+  plus an index gather;
+* the Star update is a row-wise group-max gather over the ``(R, k, t)``
+  member tensor;
+* the Clique update applies Theorem 3's prefix-sum formula to the
+  within-group descending sort of the same tensor.
+
+Bit-identity with the scalar engine is a hard design constraint, pinned
+by hypothesis properties in ``tests/properties``: every elementwise float
+operation here is the same operation, on the same operands, as its scalar
+counterpart — gathering values into a different layout does not change
+what is added to what.  Clique tie order matches the scalar
+``np.lexsort((-skills, labels))`` convention via a two-pass stable sort
+(by member index, then by descending value).
+
+Policies without a vectorization (annealing, k-means, LPA, brute force)
+fall back to per-trial scalar :func:`~repro.core.simulation.simulate`
+calls automatically; :func:`simulate_many` is the single entry point
+either way, and :func:`vectorize_policy` is the dispatch.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import require_divisible_groups, require_positive_int
+from repro.analysis import contracts as _contracts
+from repro.core.batch import as_skills_matrix, descending_orders, flat_rank_listing
+from repro.core.gain_functions import GainFunction, LinearGain
+from repro.core.interactions import InteractionMode, get_mode
+from repro.core.simulation import GroupingPolicy, SimulationResult, simulate
+from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
+
+__all__ = [
+    "ENGINES",
+    "BatchSimulationResult",
+    "VectorizedPolicy",
+    "simulate_many",
+    "update_clique_many",
+    "update_star_many",
+    "vectorize_policy",
+]
+
+_log = logging.getLogger("repro.core.vectorized")
+
+#: Engine selectors accepted by :func:`simulate_many` and the experiment
+#: layer: ``"auto"`` vectorizes when possible, the other two force a path.
+ENGINES: tuple[str, ...] = ("auto", "scalar", "vectorized")
+
+
+class VectorizedPolicy(abc.ABC):
+    """A grouping policy that proposes for a whole stack of trials at once.
+
+    The batched analogue of :class:`~repro.core.simulation.GroupingPolicy`:
+    instead of one :class:`~repro.core.grouping.Grouping`, a proposal is a
+    ``(R, n)`` *members matrix* whose row ``r`` lists participant indices
+    such that group ``g`` of trial ``r`` occupies the contiguous column
+    slice ``[g·t, (g+1)·t)`` with ``t = n // k``.  Each row must be a
+    permutation of ``0 … n−1``.
+    """
+
+    #: Must equal the wrapped scalar policy's ``name``.
+    name: str = ""
+
+    @abc.abstractmethod
+    def propose_many(
+        self, skills: np.ndarray, k: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Return the ``(R, n)`` members matrix for the current skills.
+
+        Args:
+            skills: ``(R, n)`` current skill matrix (must not be mutated).
+            k: number of groups; divides ``n``.
+            rngs: one generator per trial — stochastic policies must draw
+                exactly what their scalar counterpart draws, from the
+                trial's own generator, so streams stay bit-identical.
+        """
+
+    def reset(self) -> None:
+        """Clear any cross-round state before a new batch of simulations."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _RankListingPolicy(VectorizedPolicy):
+    """Deterministic policy that is a pure function of the descending order.
+
+    Covers DyGroups Star/Clique (Algorithms 2 and 3) and the percentile
+    baseline: the member listing over *ranks* is fixed per ``(n, k)``, so
+    a proposal is one batched argsort plus a gather.
+    """
+
+    def __init__(self, name: str, listing_for: "callable") -> None:
+        self.name = name
+        self._listing_for = listing_for
+
+    def propose_many(
+        self, skills: np.ndarray, k: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        listing = self._listing_for(skills.shape[1], k)
+        return descending_orders(skills)[:, listing]
+
+
+@lru_cache(maxsize=256)
+def _percentile_listing(n: int, k: int, p: float) -> np.ndarray:
+    """Rank listing of ``PercentilePartitions(p)``, flattened per group.
+
+    Mirrors the scalar seed/fill arithmetic exactly: the top ``(1 − p)``
+    fraction (clamped to at least one seed per group, dealt round-robin)
+    followed by descending filler blocks.
+    """
+    size = require_divisible_groups(n, k)
+    seeds_total = max(k, min(int(round((1.0 - p) * n)), n))
+    seeds_per_group = min(seeds_total // k, size)
+    seed_count = seeds_per_group * k
+    fill_per_group = size - seeds_per_group
+    listing = np.empty(n, dtype=np.intp)
+    for g in range(k):
+        start = g * size
+        listing[start : start + seeds_per_group] = np.arange(g, seed_count, k, dtype=np.intp)
+        fill_start = seed_count + g * fill_per_group
+        listing[start + seeds_per_group : start + size] = np.arange(
+            fill_start, fill_start + fill_per_group, dtype=np.intp
+        )
+    listing.setflags(write=False)
+    return listing
+
+
+class _VectorizedRandom(VectorizedPolicy):
+    """Batched ``RANDOM-ASSIGNMENT``: one permutation per trial per round.
+
+    Each trial draws ``rng.permutation(n)`` from its own generator — the
+    exact draw (count and order) of the scalar baseline, so a trial's
+    random stream is unchanged by batching.
+    """
+
+    name = "random"
+
+    def propose_many(
+        self, skills: np.ndarray, k: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        trials, n = skills.shape
+        members = np.empty((trials, n), dtype=np.intp)
+        for i in range(trials):
+            members[i] = rngs[i].permutation(n)
+        return members
+
+
+class _VectorizedStatic(VectorizedPolicy):
+    """Batched static baseline: freeze the base policy's first proposal."""
+
+    def __init__(self, base: VectorizedPolicy) -> None:
+        self._base = base
+        self._frozen: np.ndarray | None = None
+        self.name = f"static-{base.name}"
+
+    def reset(self) -> None:
+        self._frozen = None
+        self._base.reset()
+
+    def propose_many(
+        self, skills: np.ndarray, k: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        if self._frozen is None:
+            self._frozen = self._base.propose_many(skills, k, rngs)
+        return self._frozen
+
+
+def vectorize_policy(policy: GroupingPolicy) -> "VectorizedPolicy | None":
+    """The batched counterpart of a scalar policy, or ``None``.
+
+    Dispatches on the exact policy type (a subclass may have changed the
+    semantics, so it does not inherit its parent's vectorization).
+    Annealing, k-means, LPA, and brute force have no vectorized form —
+    :func:`simulate_many` falls back to per-trial scalar simulation for
+    them.
+    """
+    # Baselines import the core engine, so these imports must stay inside
+    # the function to keep core → baselines out of import time.
+    from repro.baselines.percentile import PercentilePartitions
+    from repro.baselines.random_assignment import RandomAssignment
+    from repro.baselines.static import StaticPolicy
+    from repro.core.dygroups import DyGroupsClique, DyGroupsStar
+
+    kind = type(policy)
+    if kind is DyGroupsStar:
+        return _RankListingPolicy(policy.name, lambda n, k: flat_rank_listing(n, k, "star"))
+    if kind is DyGroupsClique:
+        return _RankListingPolicy(policy.name, lambda n, k: flat_rank_listing(n, k, "clique"))
+    if kind is RandomAssignment:
+        return _VectorizedRandom()
+    if kind is PercentilePartitions:
+        p = policy.p  # type: ignore[attr-defined]
+        return _RankListingPolicy(policy.name, lambda n, k: _percentile_listing(n, k, p))
+    if kind is StaticPolicy:
+        base = vectorize_policy(policy.base)  # type: ignore[attr-defined]
+        return None if base is None else _VectorizedStatic(base)
+    return None
+
+
+# -- batched update kernels ---------------------------------------------------
+
+
+def _check_members(skills: np.ndarray, members: np.ndarray, k: int) -> int:
+    """Validate a members matrix against a skill matrix; returns group size."""
+    if skills.ndim != 2:
+        raise ValueError(f"skills must be 2-D (trials, n), got shape {skills.shape}")
+    if members.shape != skills.shape:
+        raise ValueError(
+            f"members matrix shape {members.shape} does not match skills shape {skills.shape}"
+        )
+    return require_divisible_groups(skills.shape[1], k)
+
+
+def update_star_many(
+    skills: np.ndarray, members: np.ndarray, k: int, gain: GainFunction
+) -> np.ndarray:
+    """Batched ``UPDATE-SKILLS-STAR`` over a ``(R, n)`` skill matrix.
+
+    ``members`` is a :class:`VectorizedPolicy` members matrix (group ``g``
+    in columns ``[g·t, (g+1)·t)``).  Per trial this performs exactly the
+    scalar :func:`repro.core.update.update_star` arithmetic: every member
+    adds ``gain(teacher − s)`` with the teacher the group's row-wise max.
+    """
+    t = _check_members(skills, members, k)
+    trials, n = skills.shape
+    group_vals = np.take_along_axis(skills, members, axis=1).reshape(trials, k, t)
+    teachers = np.max(group_vals, axis=2, keepdims=True)
+    updated_groups = group_vals + np.asarray(gain(teachers - group_vals), dtype=np.float64)
+    out = np.empty_like(skills)
+    np.put_along_axis(out, members, updated_groups.reshape(trials, n), axis=1)
+    return out
+
+
+def update_clique_many(
+    skills: np.ndarray, members: np.ndarray, k: int, gain: GainFunction
+) -> np.ndarray:
+    """Batched ``UPDATE-SKILLS-CLIQUE`` (Theorem 3) for linear gains.
+
+    Sorts each group of each trial by descending skill — ties broken by
+    ascending participant index, reproducing the scalar engine's
+    ``np.lexsort((-skills, labels))`` via a two-pass stable sort — then
+    applies the prefix-sum increment ``r·(c_i − i·s_{i+1}) / i`` with the
+    same float operations and operand order as the scalar kernel.
+
+    Raises:
+        ValueError: for a non-linear gain function (no closed form; use
+            the scalar engine's naive path).
+    """
+    t = _check_members(skills, members, k)
+    if not gain.is_linear:
+        raise ValueError("update_clique_many requires a linear gain function")
+    rate: float = gain.rate  # type: ignore[attr-defined]
+    trials, n = skills.shape
+    mem = members.reshape(trials, k, t)
+    vals = np.take_along_axis(skills, members, axis=1).reshape(trials, k, t)
+    # Two-pass stable sort == lexsort((-value, member)): order members
+    # ascending first so the stable by-value pass breaks ties by index.
+    by_index = np.argsort(mem, axis=2, kind="stable")
+    mem = np.take_along_axis(mem, by_index, axis=2)
+    vals = np.take_along_axis(vals, by_index, axis=2)
+    # Positive doubles order identically to their int64 bit views, and the
+    # stable sort on integer keys is radix — same tie-keeping permutation.
+    if vals.size and np.all(vals > 0.0):
+        by_value = np.argsort(-np.ascontiguousarray(vals).view(np.int64), axis=2, kind="stable")
+    else:
+        by_value = np.argsort(-vals, axis=2, kind="stable")
+    mem = np.take_along_axis(mem, by_value, axis=2)
+    vals = np.take_along_axis(vals, by_value, axis=2)
+    increment = np.zeros_like(vals)
+    if t > 1:
+        prefix = np.cumsum(vals, axis=2)
+        ranks = np.arange(1, t, dtype=np.float64)
+        increment[:, :, 1:] = rate * (prefix[:, :, :-1] - ranks * vals[:, :, 1:]) / ranks
+    out = np.empty_like(skills)
+    np.put_along_axis(out, mem.reshape(trials, n), (vals + increment).reshape(trials, n), axis=1)
+    return out
+
+
+# -- the stacked-trial engine -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Trajectories of ``R`` stacked α-round simulations.
+
+    The batched analogue of
+    :class:`~repro.core.simulation.SimulationResult`; trial ``i`` is row
+    ``i`` everywhere, and :meth:`result` slices one trial back out.
+
+    Attributes:
+        policy_name: name of the grouping policy.
+        mode_name: interaction mode (``"star"``/``"clique"``).
+        k: number of groups per round.
+        alpha: number of rounds.
+        engine: which engine produced the rows (``"vectorized"`` or
+            ``"scalar"`` after a per-trial fallback).
+        initial_skills: ``(R, n)`` skills before round 1.
+        final_skills: ``(R, n)`` skills after round α.
+        round_gains: ``(R, α)``; ``round_gains[i, t] = LG(G_{t+1})`` of
+            trial ``i``.
+        skill_history: ``(R, α+1, n)`` trajectory (``None`` unless
+            recording was requested).
+        round_seconds: ``(R, α)`` per-round seconds (``None`` unless
+            timing was requested or observability is enabled).  On the
+            vectorized engine a round advances all trials at once, so each
+            trial is attributed the batch duration divided by ``R``.
+        batch_round_seconds: length-α seconds the vectorized engine spent
+            per stacked round (``None`` on the scalar fallback).
+    """
+
+    policy_name: str
+    mode_name: str
+    k: int
+    alpha: int
+    engine: str
+    initial_skills: np.ndarray
+    final_skills: np.ndarray
+    round_gains: np.ndarray
+    skill_history: np.ndarray | None = None
+    round_seconds: np.ndarray | None = None
+    batch_round_seconds: np.ndarray | None = None
+
+    @property
+    def trials(self) -> int:
+        """Number of stacked trials ``R``."""
+        return int(self.initial_skills.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Number of participants per trial."""
+        return int(self.initial_skills.shape[1])
+
+    @property
+    def total_gains(self) -> np.ndarray:
+        """Length-``R`` total gain per trial (the TDG objective values)."""
+        return self.round_gains.sum(axis=1)
+
+    def result(self, i: int) -> SimulationResult:
+        """Trial ``i`` as a scalar :class:`SimulationResult` (no groupings)."""
+        if not 0 <= i < self.trials:
+            raise IndexError(f"trial index {i} out of range 0..{self.trials - 1}")
+        return SimulationResult(
+            policy_name=self.policy_name,
+            mode_name=self.mode_name,
+            k=self.k,
+            alpha=self.alpha,
+            initial_skills=self.initial_skills[i].copy(),
+            final_skills=self.final_skills[i].copy(),
+            round_gains=self.round_gains[i].copy(),
+            groupings=(),
+            skill_history=None if self.skill_history is None else self.skill_history[i].copy(),
+            round_seconds=None if self.round_seconds is None else self.round_seconds[i].copy(),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"BatchSimulationResult(policy={self.policy_name!r}, mode={self.mode_name!r}, "
+            f"trials={self.trials}, n={self.n}, k={self.k}, alpha={self.alpha}, "
+            f"engine={self.engine!r})"
+        )
+
+
+def _resolve_gain(gain: "GainFunction | None", rate: "float | None") -> GainFunction:
+    if (gain is None) == (rate is None):
+        raise ValueError("provide exactly one of gain= or rate=")
+    return gain if gain is not None else LinearGain(rate)  # type: ignore[arg-type]
+
+
+def _scalar_fallback(
+    policy: GroupingPolicy,
+    matrix: np.ndarray,
+    *,
+    k: int,
+    alpha: int,
+    mode: InteractionMode,
+    gain_fn: GainFunction,
+    seeds: "Sequence[int | None]",
+    record_history: bool,
+    record_timings: bool,
+) -> BatchSimulationResult:
+    """Per-trial scalar simulation, stacked into a batch result."""
+    results = [
+        simulate(
+            policy,
+            matrix[i],
+            k=k,
+            alpha=alpha,
+            mode=mode,
+            gain=gain_fn,
+            seed=seeds[i],
+            record_groupings=False,
+            record_history=record_history,
+            record_timings=record_timings,
+        )
+        for i in range(matrix.shape[0])
+    ]
+    timed = all(r.round_seconds is not None for r in results)
+    return BatchSimulationResult(
+        policy_name=policy.name,
+        mode_name=mode.name,
+        k=int(k),
+        alpha=alpha,
+        engine="scalar",
+        initial_skills=matrix,
+        final_skills=np.vstack([r.final_skills for r in results]),
+        round_gains=np.vstack([r.round_gains for r in results]),
+        skill_history=(
+            np.stack([r.skill_history for r in results]) if record_history else None
+        ),
+        round_seconds=np.vstack([r.round_seconds for r in results]) if timed else None,
+        batch_round_seconds=None,
+    )
+
+
+def simulate_many(
+    policy: GroupingPolicy,
+    skills: np.ndarray,
+    *,
+    k: int,
+    alpha: int,
+    mode: "str | InteractionMode",
+    gain: "GainFunction | None" = None,
+    rate: "float | None" = None,
+    seeds: "Sequence[int | None] | None" = None,
+    engine: str = "auto",
+    record_history: bool = False,
+    record_timings: bool = False,
+) -> BatchSimulationResult:
+    """Run ``R`` stacked trials of ``policy`` for ``alpha`` rounds each.
+
+    The batched analogue of :func:`repro.core.simulation.simulate`: row
+    ``i`` of the ``(R, n)`` ``skills`` matrix is one independent trial,
+    seeded by ``seeds[i]``, and every row of the returned
+    :class:`BatchSimulationResult` is **bit-identical** to the scalar
+    ``simulate(policy, skills[i], ..., seed=seeds[i])`` trajectory.
+
+    Args:
+        policy: the scalar grouping policy (vectorized automatically via
+            :func:`vectorize_policy` when possible).
+        skills: ``(R, n)`` initial skill matrix (a 1-D vector is treated
+            as a batch of one).
+        k: number of groups; must divide ``n``.
+        alpha: number of rounds.
+        mode: ``"star"`` / ``"clique"`` (or an ``InteractionMode``).
+        gain: learning-gain function (exactly one of ``gain``/``rate``).
+        rate: shorthand for ``gain=LinearGain(rate)``.
+        seeds: per-trial RNG seeds (length ``R``); ``None`` draws OS
+            entropy per trial, like scalar ``seed=None``.
+        engine: ``"auto"`` (vectorize when the policy and mode allow,
+            scalar fallback otherwise), ``"scalar"`` (force per-trial
+            simulation), or ``"vectorized"`` (raise if not vectorizable).
+        record_history: keep the ``(R, α+1, n)`` skill trajectory.
+        record_timings: fill per-round timings (also on whenever
+            observability is configured).
+
+    Raises:
+        ValueError: on inconsistent parameters, an unknown engine, or
+            ``engine="vectorized"`` for a policy/mode with no vectorized
+            path (non-vectorizable policy, or clique with a non-linear
+            gain function).
+    """
+    matrix = as_skills_matrix(skills)
+    trials, n = matrix.shape
+    require_divisible_groups(n, k)
+    alpha = require_positive_int(alpha, name="alpha")
+    resolved_mode = get_mode(mode)
+    gain_fn = _resolve_gain(gain, rate)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if seeds is None:
+        seed_list: list[int | None] = [None] * trials
+    else:
+        seed_list = list(seeds)
+        if len(seed_list) != trials:
+            raise ValueError(f"seeds has length {len(seed_list)}, expected {trials} (one per trial)")
+
+    required = getattr(policy, "required_mode", None)
+    if required is not None and required != resolved_mode.name:
+        raise ValueError(
+            f"policy {policy.name!r} optimizes for mode {required!r} "
+            f"but the simulation runs mode {resolved_mode.name!r}"
+        )
+
+    vec = vectorize_policy(policy) if engine != "scalar" else None
+    # Clique needs Theorem 3's closed form, which only exists for linear
+    # gain functions; Star vectorizes for any elementwise gain.
+    updatable = resolved_mode.name == "star" or gain_fn.is_linear
+    if engine == "vectorized" and (vec is None or not updatable):
+        reason = (
+            f"policy {policy.name!r} has no vectorized form"
+            if vec is None
+            else f"mode {resolved_mode.name!r} requires a linear gain function to vectorize"
+        )
+        raise ValueError(f"engine='vectorized' is not available: {reason}")
+    if vec is None or not updatable:
+        return _scalar_fallback(
+            policy,
+            matrix,
+            k=int(k),
+            alpha=alpha,
+            mode=resolved_mode,
+            gain_fn=gain_fn,
+            seeds=seed_list,
+            record_history=record_history,
+            record_timings=record_timings,
+        )
+
+    rngs = [np.random.default_rng(s) for s in seed_list]
+    vec.reset()
+    initial = matrix.copy()
+    history = np.empty((trials, alpha + 1, n), dtype=np.float64) if record_history else None
+    if history is not None:
+        history[:, 0] = matrix
+    round_gains = np.empty((trials, alpha), dtype=np.float64)
+
+    checking = _contracts.contracts_enabled()
+    obs = _obs.state()
+    journal = obs.journal if obs is not None else None
+    metrics = obs.metrics if obs is not None else None
+    timing = record_timings or obs is not None
+    batch_seconds = np.empty(alpha, dtype=np.float64) if timing else None
+    if metrics is not None:
+        rounds_counter = metrics.counter("core.rounds")
+        engine_rounds_counter = metrics.counter("core.rounds.vectorized")
+        interactions_counter = metrics.counter("core.interactions")
+        proposals_counter = metrics.counter(f"core.proposals.{vec.name or type(vec).__name__}")
+        round_timer = metrics.timer("core.round_seconds")
+        engine_round_timer = metrics.timer("core.round_seconds.vectorized")
+    _log.debug(
+        "simulate_many: policy=%s mode=%s trials=%d n=%d k=%d alpha=%d",
+        vec.name, resolved_mode.name, trials, n, k, alpha,
+    )
+    if journal is not None:
+        journal.emit(
+            "run_start",
+            policy=vec.name,
+            mode=resolved_mode.name,
+            n=n,
+            k=int(k),
+            alpha=alpha,
+            trials=trials,
+            engine="vectorized",
+        )
+
+    current = matrix
+    with _trace.span("core.simulate_many", policy=vec.name, alpha=alpha, trials=trials):
+        for t in range(alpha):
+            round_started = time.perf_counter() if timing else 0.0
+            if journal is not None:
+                journal.emit("round_start", round=t, trials=trials, engine="vectorized")
+            with _trace.span(f"policy.propose_many:{vec.name}"):
+                members = vec.propose_many(current, k, rngs)
+            if members.shape != current.shape:
+                raise ValueError(
+                    f"vectorized policy {vec.name!r} returned a members matrix of shape "
+                    f"{members.shape}; expected {current.shape}"
+                )
+            if checking:
+                _check_members_are_permutations(members)
+            with _trace.span("core.skill_update:vectorized"):
+                if resolved_mode.name == "star":
+                    updated = update_star_many(current, members, k, gain_fn)
+                else:
+                    updated = update_clique_many(current, members, k, gain_fn)
+            gains_t = np.sum(updated - current, axis=1)
+            if checking:
+                _contracts.check_gains_nonnegative(gains_t)
+            round_gains[:, t] = gains_t
+            if history is not None:
+                history[:, t + 1] = updated
+            current = updated
+            if timing:
+                duration = time.perf_counter() - round_started
+                batch_seconds[t] = duration  # type: ignore[index]
+                if metrics is not None:
+                    round_timer.observe(duration)
+                    engine_round_timer.observe(duration)
+            if metrics is not None:
+                rounds_counter.inc(trials)
+                engine_rounds_counter.inc(trials)
+                interactions_counter.inc(trials * n)
+                proposals_counter.inc(trials)
+            if journal is not None:
+                journal.emit(
+                    "round_end",
+                    round=t,
+                    gain=float(gains_t.sum()),
+                    trials=trials,
+                    engine="vectorized",
+                )
+
+    if journal is not None:
+        journal.emit(
+            "run_end",
+            policy=vec.name,
+            total_gain=float(round_gains.sum()),
+            trials=trials,
+            engine="vectorized",
+        )
+    round_seconds = None
+    if batch_seconds is not None:
+        # One vectorized round advances every trial at once; amortize the
+        # batch duration uniformly so per-trial timings stay comparable.
+        round_seconds = np.tile(batch_seconds / trials, (trials, 1))
+    return BatchSimulationResult(
+        policy_name=vec.name,
+        mode_name=resolved_mode.name,
+        k=int(k),
+        alpha=alpha,
+        engine="vectorized",
+        initial_skills=initial,
+        final_skills=current,
+        round_gains=round_gains,
+        skill_history=history,
+        round_seconds=round_seconds,
+        batch_round_seconds=batch_seconds,
+    )
+
+
+def _check_members_are_permutations(members: np.ndarray) -> None:
+    """Contract: every members-matrix row is a permutation of ``0 … n−1``."""
+    n = members.shape[1]
+    expected = np.arange(n, dtype=members.dtype)
+    if not np.array_equal(np.sort(members, axis=1), np.broadcast_to(expected, members.shape)):
+        raise _contracts.ContractViolation(
+            "vectorized proposal violated the partition contract: "
+            "a members-matrix row is not a permutation of 0..n-1"
+        )

@@ -1,0 +1,284 @@
+"""Process-parallel executor for specs and sweeps.
+
+Every run of a spec derives all of its randomness from ``spec.seed + i``
+and nothing else, and the stacked-trial kernels of
+:mod:`repro.core.vectorized` are row-independent — so the full work list
+of a sweep, the cross product of (grid point × run), can be chunked over
+worker processes in any way and merged back into **bit-identical**
+outcomes.  This module owns that fan-out:
+
+* :func:`resolve_workers` — the ``workers`` knob (argument → spec field →
+  ``REPRO_WORKERS`` environment variable → serial);
+* :func:`run_spec_parallel` / :func:`sweep_outcomes_parallel` — the
+  parallel twins of :func:`repro.experiments.runner.run_spec` and
+  :func:`repro.experiments.sweep.sweep_outcomes`.  Callers normally reach
+  them implicitly through ``workers=N`` on the serial entry points.
+
+Determinism contract: units are ordered (grid point, run index), split
+into contiguous chunks, executed with the exact same per-run seeds as
+serial execution, and merged in chunk order — so every accumulator list
+the outcome assembly sees is identical to the serial one.  Gains are
+therefore exactly equal; only wall-clock timing fields differ (they
+measure real, now-concurrent work).
+
+Observability: forked workers inherit the parent's wiring, so each worker
+first calls :func:`repro.obs.runtime.detach` (dropping the parent's
+journal file descriptor without closing it), resets its inherited metrics
+registry, and re-enables metrics-only collection.  The parent journals
+``parallel_start`` / ``parallel_chunk`` / ``parallel_end`` events and
+merges every worker's metrics snapshot in chunk order — deterministic,
+unlike live cross-process emission.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from datetime import datetime, timezone
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments import runner as _runner
+from repro.experiments.spec import ExperimentSpec
+from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "run_spec_parallel",
+    "sweep_outcomes_parallel",
+]
+
+_log = logging.getLogger("repro.experiments.parallel")
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: "int | None" = None) -> int:
+    """Resolve the effective worker count.
+
+    ``None`` and ``0`` defer to the :data:`WORKERS_ENV` environment
+    variable; an unset (or non-positive) variable means serial (1).
+
+    Raises:
+        ValueError: for a negative or non-integer count, or a variable
+            value that is not an integer.
+    """
+    if workers is None:
+        workers = 0
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 0:
+        raise ValueError(f"workers must be a non-negative int, got {workers!r}")
+    if workers == 0:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+    return max(1, workers)
+
+
+def _worker_init() -> None:
+    """Per-worker-process setup (runs once, before any chunk).
+
+    Forked children inherit the parent's observability state — including
+    an open journal file descriptor — and its metrics counts.  Detach the
+    wiring (without closing the parent's sinks), drop the inherited
+    counts, and re-enable metrics-only collection so each worker's
+    snapshot reports exactly its own chunks' work.
+    """
+    _obs.detach()
+    _obs.metrics_registry().reset()
+    _obs.enable_metrics()
+
+
+def _run_units_chunk(
+    payload: "tuple[tuple[ExperimentSpec, ...], tuple[tuple[int, int], ...], bool]",
+) -> "tuple[list[tuple[int, _runner._RunsData]], dict]":
+    """Execute one contiguous chunk of (spec index, run index) units.
+
+    Consecutive units of the same spec are executed as one stacked
+    :func:`~repro.experiments.runner._execute_runs` call, so a chunk
+    covering a whole grid point still vectorizes across its runs.
+    Returns the per-spec accumulators in unit order plus the worker's
+    metrics snapshot.
+    """
+    specs, units, keep_results = payload
+    results: list[tuple[int, _runner._RunsData]] = []
+    start = 0
+    while start < len(units):
+        spec_index = units[start][0]
+        stop = start
+        while stop < len(units) and units[stop][0] == spec_index:
+            stop += 1
+        run_indices = [run for _, run in units[start:stop]]
+        results.append(
+            (
+                spec_index,
+                _runner._execute_runs(specs[spec_index], run_indices, keep_results=keep_results),
+            )
+        )
+        start = stop
+    return results, _obs.metrics_registry().snapshot()
+
+
+def _merge_metrics_snapshot(snapshot: dict) -> None:
+    """Fold one worker's metrics snapshot into the parent registry.
+
+    Called in chunk order (never concurrently), so merged counts and
+    retained timer series are deterministic given the chunking.
+    """
+    obs = _obs.state()
+    if obs is None:
+        return
+    registry = obs.metrics
+    for name, payload in snapshot.get("counters", {}).items():
+        registry.counter(name).inc(payload["value"])
+    for name, payload in snapshot.get("timers", {}).items():
+        timer = registry.timer(name)
+        for value in payload["values"]:
+            timer.observe(value)
+    for name, payload in snapshot.get("histograms", {}).items():
+        histogram = registry.histogram(name)
+        for value in payload["values"]:
+            histogram.observe(value)
+
+
+def _parallel_execute(
+    specs: Sequence[ExperimentSpec], *, workers: int, keep_results: bool = False
+) -> "list[_runner._RunsData]":
+    """Fan the (spec × run) work list out over worker processes.
+
+    Units are ordered (spec index, run index) and split into contiguous
+    chunks — one per worker slot, at most one per unit — then merged in
+    chunk order, reproducing the serial accumulator lists exactly.
+    """
+    units = [(si, ri) for si, spec in enumerate(specs) for ri in range(spec.runs)]
+    chunk_count = min(len(units), workers)
+    bounds = np.array_split(np.arange(len(units)), chunk_count)
+    chunks = [tuple(units[int(b[0]) : int(b[-1]) + 1]) for b in bounds if b.size]
+    obs = _obs.state()
+    journal = obs.journal if obs is not None else None
+    if journal is not None:
+        journal.emit(
+            "parallel_start",
+            workers=workers,
+            chunks=len(chunks),
+            units=len(units),
+            utc=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        )
+    _log.info(
+        "parallel execute: specs=%d units=%d workers=%d chunks=%d",
+        len(specs), len(units), workers, len(chunks),
+    )
+    merged = [_runner._RunsData.empty(spec.algorithms) for spec in specs]
+    started = time.perf_counter()
+    payloads = [(tuple(specs), chunk, keep_results) for chunk in chunks]
+    with _trace.span("experiments.parallel", workers=workers, chunks=len(chunks)):
+        with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
+            # map() yields in submission order even when chunks finish out
+            # of order, so the merge below is deterministic.
+            for index, (chunk_results, snapshot) in enumerate(
+                pool.map(_run_units_chunk, payloads)
+            ):
+                for spec_index, data in chunk_results:
+                    merged[spec_index].extend(data)
+                _merge_metrics_snapshot(snapshot)
+                if journal is not None:
+                    journal.emit("parallel_chunk", index=index, units=len(chunks[index]))
+    if journal is not None:
+        journal.emit(
+            "parallel_end",
+            chunks=len(chunks),
+            seconds=round(time.perf_counter() - started, 9),
+        )
+    if obs is not None:
+        obs.metrics.counter("experiments.parallel.chunks").inc(len(chunks))
+    return merged
+
+
+def run_spec_parallel(
+    spec: ExperimentSpec,
+    *,
+    keep_results: bool = False,
+    workers: "int | None" = None,
+) -> "_runner.SpecOutcome | tuple":
+    """Parallel :func:`~repro.experiments.runner.run_spec`.
+
+    Chunks the spec's runs over worker processes; per-run seeds are
+    unchanged (``spec.seed + i``), so the outcome's gain fields are
+    bit-identical to serial execution.  Timing fields measure the real
+    (concurrent) work and will differ.
+    """
+    count = resolve_workers(workers if workers is not None else spec.workers)
+    if count <= 1 or spec.runs <= 1:
+        serial = spec.with_(workers=1)
+        return _runner.run_spec(serial, keep_results=keep_results)
+    _log.info(
+        "run_spec_parallel: n=%d runs=%d workers=%d engine=%s",
+        spec.n, spec.runs, count, spec.engine,
+    )
+    _runner._emit_spec_start(spec)
+    data = _parallel_execute([spec], workers=count, keep_results=keep_results)[0]
+    outcomes = _runner._assemble_outcomes(spec, data)
+    _runner._emit_spec_end(outcomes)
+    outcome = _runner.SpecOutcome(spec=spec, outcomes=outcomes)
+    if keep_results:
+        return outcome, data.raw
+    return outcome
+
+
+def sweep_outcomes_parallel(
+    spec: ExperimentSpec,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    workers: "int | None" = None,
+) -> "list[_runner.SpecOutcome]":
+    """Parallel :func:`~repro.experiments.sweep.sweep_outcomes`.
+
+    Chunks the full (grid point × run) cross product over worker
+    processes and reassembles per-point outcomes in grid order; gain
+    fields are bit-identical to the serial sweep.
+
+    Raises:
+        ValueError: for an unsweepable parameter or an empty grid.
+    """
+    from repro.experiments.sweep import SWEEPABLE, _cast_value
+
+    if parameter not in SWEEPABLE:
+        raise ValueError(f"parameter must be one of {SWEEPABLE}, got {parameter!r}")
+    if not values:
+        raise ValueError("values must be non-empty")
+    count = resolve_workers(workers if workers is not None else spec.workers)
+    point_specs = [spec.with_(**{parameter: _cast_value(parameter, v)}) for v in values]
+    if count <= 1:
+        from repro.experiments.sweep import sweep_outcomes
+
+        return sweep_outcomes(spec.with_(workers=1), parameter, values)
+    _log.info(
+        "sweep_outcomes_parallel: parameter=%s points=%d workers=%d",
+        parameter, len(point_specs), count,
+    )
+    merged = _parallel_execute(point_specs, workers=count)
+    obs = _obs.state()
+    journal = obs.journal if obs is not None else None
+    outcomes: list[_runner.SpecOutcome] = []
+    for point_spec, data in zip(point_specs, merged):
+        if journal is not None:
+            journal.emit(
+                "sweep_point",
+                parameter=parameter,
+                value=getattr(point_spec, parameter),
+            )
+        _runner._emit_spec_start(point_spec)
+        point_outcomes = _runner._assemble_outcomes(point_spec, data)
+        _runner._emit_spec_end(point_outcomes)
+        outcomes.append(_runner.SpecOutcome(spec=point_spec, outcomes=point_outcomes))
+    return outcomes

@@ -6,6 +6,20 @@ every algorithm sees the *same* initial skills in run ``i`` — a paired
 design that removes skill-draw variance from algorithm comparisons, as in
 the paper's matched-population protocol.
 
+Engine routing: with ``spec.engine`` ``"auto"`` (the default) the runs of
+each vectorizable algorithm are stacked into one
+:func:`repro.core.vectorized.simulate_many` call — a handful of ``(R, n)``
+numpy kernels per round instead of ``R`` Python loops — while every other
+algorithm keeps the per-run scalar path.  Seeding is unchanged (trial
+``i`` still uses ``spec.seed + i``), so outcomes are **bit-identical**
+across engines; only the timing fields are measured differently (a
+stacked round is amortized uniformly over its trials).
+
+Process parallelism: ``run_spec(spec, workers=N)`` (or ``spec.workers`` /
+the ``REPRO_WORKERS`` environment variable) fans the runs out over worker
+processes via :mod:`repro.experiments.parallel`; results are merged in
+deterministic run order and are bit-identical to serial execution.
+
 Instrumentation: each algorithm run is timed with the
 :class:`repro.obs.metrics.Timer` API (whole-run wall-clock) and the
 engine's per-round timings (``record_timings=True``) feed
@@ -17,12 +31,14 @@ configured (:mod:`repro.obs.runtime`), the runner additionally emits
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.baselines.registry import make_policy
 from repro.core.simulation import SimulationResult, simulate
+from repro.core.vectorized import simulate_many
 from repro.data.distributions import get_distribution
 from repro.experiments.spec import ExperimentSpec
 from repro.obs import runtime as _obs
@@ -78,33 +94,182 @@ def draw_skills(spec: ExperimentSpec, run_index: int) -> np.ndarray:
     return generate(spec.n, seed=spec.seed + run_index)
 
 
-def run_spec(
-    spec: ExperimentSpec,
-    *,
-    keep_results: bool = False,
-) -> SpecOutcome | tuple[SpecOutcome, dict[str, list[SimulationResult]]]:
-    """Run every algorithm of ``spec`` for ``spec.runs`` repetitions.
+@dataclass
+class _RunsData:
+    """Per-algorithm accumulators for a set of runs (picklable).
 
-    Args:
-        spec: the experiment configuration.
-        keep_results: also return the raw per-run
-            :class:`SimulationResult` lists (memory-heavy for large n).
-
-    Returns:
-        The averaged :class:`SpecOutcome`; with ``keep_results=True``, a
-        ``(outcome, results_by_algorithm)`` tuple.
+    Lists are ordered by run index; chunked parallel execution produces
+    one ``_RunsData`` per chunk and concatenates them in run order, so
+    the merged lists are exactly what serial execution would build.
     """
-    totals: dict[str, list[float]] = {name: [] for name in spec.algorithms}
-    rounds: dict[str, list[np.ndarray]] = {name: [] for name in spec.algorithms}
-    round_times: dict[str, list[np.ndarray]] = {name: [] for name in spec.algorithms}
-    timers: dict[str, Timer] = {name: Timer(f"run.{name}") for name in spec.algorithms}
-    raw: dict[str, list[SimulationResult]] = {name: [] for name in spec.algorithms}
 
-    _log.info(
-        "run_spec: n=%d k=%d alpha=%d rate=%g mode=%s dist=%s runs=%d algorithms=%s",
-        spec.n, spec.k, spec.alpha, spec.rate, spec.mode,
-        spec.distribution, spec.runs, ",".join(spec.algorithms),
-    )
+    totals: dict[str, list[float]] = field(default_factory=dict)
+    rounds: dict[str, list[np.ndarray]] = field(default_factory=dict)
+    round_times: dict[str, list[np.ndarray]] = field(default_factory=dict)
+    runtime_totals: dict[str, float] = field(default_factory=dict)
+    raw: dict[str, list[SimulationResult]] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls, algorithms: Sequence[str]) -> "_RunsData":
+        return cls(
+            totals={name: [] for name in algorithms},
+            rounds={name: [] for name in algorithms},
+            round_times={name: [] for name in algorithms},
+            runtime_totals={name: 0.0 for name in algorithms},
+            raw={name: [] for name in algorithms},
+        )
+
+    def extend(self, other: "_RunsData") -> None:
+        """Append ``other``'s runs after this accumulator's (in order)."""
+        for name in self.totals:
+            self.totals[name].extend(other.totals[name])
+            self.rounds[name].extend(other.rounds[name])
+            self.round_times[name].extend(other.round_times[name])
+            self.runtime_totals[name] += other.runtime_totals[name]
+            self.raw[name].extend(other.raw[name])
+
+
+def _execute_runs(
+    spec: ExperimentSpec, run_indices: Sequence[int], *, keep_results: bool = False
+) -> _RunsData:
+    """Execute the given runs of ``spec`` for every algorithm.
+
+    The shared work kernel behind serial :func:`run_spec` and the
+    process-parallel executor: a chunk of run indices in, per-algorithm
+    accumulators out.  Per-run results depend only on ``spec`` and the
+    run index (all randomness derives from ``spec.seed + i`` and the
+    batched kernels are row-independent), so any chunking of the index
+    set concatenates back to the identical totals.
+    """
+    indices = list(run_indices)
+    data = _RunsData.empty(spec.algorithms)
+    if not indices:
+        return data
+    obs = _obs.state()
+    if spec.engine == "scalar":
+        _execute_runs_scalar(spec, indices, data, keep_results=keep_results, obs=obs)
+    else:
+        _execute_runs_stacked(spec, indices, data, keep_results=keep_results, obs=obs)
+    return data
+
+
+def _execute_runs_scalar(
+    spec: ExperimentSpec,
+    indices: list[int],
+    data: _RunsData,
+    *,
+    keep_results: bool,
+    obs: "_obs.ObsState | None",
+) -> None:
+    """Run-major scalar loop (the ``engine="scalar"`` path)."""
+    timers = {name: Timer(f"run.{name}") for name in spec.algorithms}
+    for run_index in indices:
+        skills = draw_skills(spec, run_index)
+        for name in spec.algorithms:
+            policy = make_policy(
+                name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
+            )
+            with _trace.span(f"experiments.run:{name}", run_index=run_index):
+                with timers[name].time():
+                    result = simulate(
+                        policy,
+                        skills,
+                        k=spec.k,
+                        alpha=spec.alpha,
+                        mode=spec.mode,
+                        rate=spec.rate,
+                        seed=spec.seed + run_index,
+                        record_groupings=False,
+                        record_timings=True,
+                    )
+            _log.debug(
+                "run %d %s: total_gain=%.6g in %.4fs",
+                run_index, name, result.total_gain, timers[name].values[-1],
+            )
+            data.totals[name].append(result.total_gain)
+            data.rounds[name].append(result.round_gains)
+            assert result.round_seconds is not None  # record_timings=True
+            data.round_times[name].append(result.round_seconds)
+            if obs is not None:
+                obs.metrics.counter("experiments.simulations").inc()
+            if keep_results:
+                data.raw[name].append(result)
+    for name in spec.algorithms:
+        data.runtime_totals[name] = float(timers[name].total)
+
+
+def _execute_runs_stacked(
+    spec: ExperimentSpec,
+    indices: list[int],
+    data: _RunsData,
+    *,
+    keep_results: bool,
+    obs: "_obs.ObsState | None",
+) -> None:
+    """Algorithm-major stacked path (``engine`` ``"auto"``/``"vectorized"``).
+
+    All runs of one algorithm go through a single
+    :func:`~repro.core.vectorized.simulate_many` call; non-vectorizable
+    algorithms fall back to per-trial scalar simulation inside it (or
+    raise, under ``engine="vectorized"``).
+    """
+    skills_matrix = np.stack([draw_skills(spec, i) for i in indices])
+    seeds = [spec.seed + i for i in indices]
+    for name in spec.algorithms:
+        policy = make_policy(
+            name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
+        )
+        timer = Timer(f"run.{name}")
+        with _trace.span(f"experiments.run_many:{name}", runs=len(indices)):
+            with timer.time():
+                batch = simulate_many(
+                    policy,
+                    skills_matrix,
+                    k=spec.k,
+                    alpha=spec.alpha,
+                    mode=spec.mode,
+                    rate=spec.rate,
+                    seeds=seeds,
+                    engine=spec.engine,
+                    record_timings=True,
+                )
+        _log.debug(
+            "runs %s %s [%s]: mean_total_gain=%.6g in %.4fs",
+            indices, name, batch.engine, float(batch.total_gains.mean()), timer.values[-1],
+        )
+        totals = batch.total_gains
+        for row in range(len(indices)):
+            data.totals[name].append(float(totals[row]))
+            data.rounds[name].append(batch.round_gains[row].copy())
+            assert batch.round_seconds is not None  # record_timings=True
+            data.round_times[name].append(batch.round_seconds[row].copy())
+            if keep_results:
+                data.raw[name].append(batch.result(row))
+        data.runtime_totals[name] = float(timer.total)
+        if obs is not None:
+            obs.metrics.counter("experiments.simulations").inc(len(indices))
+
+
+def _assemble_outcomes(spec: ExperimentSpec, data: _RunsData) -> dict[str, AlgorithmOutcome]:
+    """Fold per-run accumulators into :class:`AlgorithmOutcome` rows.
+
+    Shared by the serial and parallel executors — both feed run-ordered
+    lists in, so outcome equality reduces to list equality.
+    """
+    return {
+        name: AlgorithmOutcome(
+            name=name,
+            mean_total_gain=float(np.mean(data.totals[name])),
+            std_total_gain=float(np.std(data.totals[name], ddof=1)) if spec.runs > 1 else 0.0,
+            mean_round_gains=tuple(np.mean(np.vstack(data.rounds[name]), axis=0)),
+            mean_runtime_seconds=data.runtime_totals[name] / spec.runs,
+            mean_round_seconds=tuple(np.mean(np.vstack(data.round_times[name]), axis=0)),
+        )
+        for name in spec.algorithms
+    }
+
+
+def _emit_spec_start(spec: ExperimentSpec) -> None:
     obs = _obs.state()
     journal = obs.journal if obs is not None else None
     if journal is not None:
@@ -119,59 +284,62 @@ def run_spec(
             algorithms=list(spec.algorithms),
             runs=spec.runs,
             seed=spec.seed,
+            engine=spec.engine,
         )
 
-    with _trace.span("experiments.run_spec", n=spec.n, runs=spec.runs):
-        for run_index in range(spec.runs):
-            skills = draw_skills(spec, run_index)
-            for name in spec.algorithms:
-                policy = make_policy(
-                    name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
-                )
-                with _trace.span(f"experiments.run:{name}", run_index=run_index):
-                    with timers[name].time():
-                        result = simulate(
-                            policy,
-                            skills,
-                            k=spec.k,
-                            alpha=spec.alpha,
-                            mode=spec.mode,
-                            rate=spec.rate,
-                            seed=spec.seed + run_index,
-                            record_groupings=False,
-                            record_timings=True,
-                        )
-                _log.debug(
-                    "run %d/%d %s: total_gain=%.6g in %.4fs",
-                    run_index + 1, spec.runs, name,
-                    result.total_gain, timers[name].values[-1],
-                )
-                totals[name].append(result.total_gain)
-                rounds[name].append(result.round_gains)
-                assert result.round_seconds is not None  # record_timings=True
-                round_times[name].append(result.round_seconds)
-                if obs is not None:
-                    obs.metrics.counter("experiments.simulations").inc()
-                if keep_results:
-                    raw[name].append(result)
 
-    outcomes = {
-        name: AlgorithmOutcome(
-            name=name,
-            mean_total_gain=float(np.mean(totals[name])),
-            std_total_gain=float(np.std(totals[name], ddof=1)) if spec.runs > 1 else 0.0,
-            mean_round_gains=tuple(np.mean(np.vstack(rounds[name]), axis=0)),
-            mean_runtime_seconds=timers[name].mean,
-            mean_round_seconds=tuple(np.mean(np.vstack(round_times[name]), axis=0)),
-        )
-        for name in spec.algorithms
-    }
+def _emit_spec_end(outcomes: dict[str, AlgorithmOutcome]) -> None:
+    obs = _obs.state()
+    journal = obs.journal if obs is not None else None
     if journal is not None:
         journal.emit(
             "spec_end",
             ranking=sorted(outcomes, key=lambda a: outcomes[a].mean_total_gain, reverse=True),
         )
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    *,
+    keep_results: bool = False,
+    workers: int | None = None,
+) -> SpecOutcome | tuple[SpecOutcome, dict[str, list[SimulationResult]]]:
+    """Run every algorithm of ``spec`` for ``spec.runs`` repetitions.
+
+    Args:
+        spec: the experiment configuration (``spec.engine`` selects the
+            simulation engine; results are bit-identical either way).
+        keep_results: also return the raw per-run
+            :class:`SimulationResult` lists (memory-heavy for large n).
+        workers: process-parallel worker count; ``None`` defers to
+            ``spec.workers`` (and the ``REPRO_WORKERS`` environment
+            variable).  Any value ``> 1`` routes through
+            :mod:`repro.experiments.parallel`; outcomes are bit-identical
+            to serial execution.
+
+    Returns:
+        The averaged :class:`SpecOutcome`; with ``keep_results=True``, a
+        ``(outcome, results_by_algorithm)`` tuple.
+    """
+    from repro.experiments import parallel as _parallel
+
+    resolved_workers = _parallel.resolve_workers(workers if workers is not None else spec.workers)
+    if resolved_workers > 1 and spec.runs > 1:
+        return _parallel.run_spec_parallel(
+            spec, keep_results=keep_results, workers=resolved_workers
+        )
+
+    _log.info(
+        "run_spec: n=%d k=%d alpha=%d rate=%g mode=%s dist=%s runs=%d engine=%s algorithms=%s",
+        spec.n, spec.k, spec.alpha, spec.rate, spec.mode,
+        spec.distribution, spec.runs, spec.engine, ",".join(spec.algorithms),
+    )
+    _emit_spec_start(spec)
+    with _trace.span("experiments.run_spec", n=spec.n, runs=spec.runs):
+        data = _execute_runs(spec, range(spec.runs), keep_results=keep_results)
+    outcomes = _assemble_outcomes(spec, data)
+    _emit_spec_end(outcomes)
     outcome = SpecOutcome(spec=spec, outcomes=outcomes)
     if keep_results:
-        return outcome, raw
+        return outcome, data.raw
     return outcome

@@ -23,6 +23,7 @@ from repro._validation import (
 )
 from repro.baselines.registry import POLICY_NAMES
 from repro.core.interactions import get_mode
+from repro.core.vectorized import ENGINES
 from repro.data.distributions import DISTRIBUTIONS
 
 __all__ = ["ExperimentSpec", "DEFAULT_ALGORITHMS"]
@@ -48,6 +49,16 @@ class ExperimentSpec:
         seed: base seed; run ``i`` uses ``seed + i``.
         lpa_max_evals: optional LPA evaluation budget override (the
             pure-Python LPA is the costliest baseline; benches cap it).
+        engine: simulation engine selection — ``"auto"`` stacks the
+            spec's runs through :func:`repro.core.simulate_many` for
+            vectorizable algorithms and falls back per run otherwise,
+            ``"scalar"`` forces the per-run loop, ``"vectorized"``
+            additionally *requires* every algorithm to vectorize.
+            Results are bit-identical across engines.
+        workers: process-parallel worker count for the runner; ``0``
+            defers to the ``REPRO_WORKERS`` environment variable (and
+            runs serial when that is unset), ``1`` forces serial.
+            Results are bit-identical to serial execution.
     """
 
     n: int = 10_000
@@ -60,6 +71,8 @@ class ExperimentSpec:
     runs: int = 10
     seed: int = 7
     lpa_max_evals: int | None = None
+    engine: str = "auto"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         require_divisible_groups(self.n, self.k)
@@ -67,6 +80,10 @@ class ExperimentSpec:
         require_learning_rate(self.rate, name="rate")
         require_positive_int(self.runs, name="runs")
         get_mode(self.mode)
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) or self.workers < 0:
+            raise ValueError(f"workers must be a non-negative int, got {self.workers!r}")
         if self.distribution not in DISTRIBUTIONS:
             raise ValueError(
                 f"unknown distribution {self.distribution!r}; expected one of {sorted(DISTRIBUTIONS)}"

@@ -24,10 +24,29 @@ _log = logging.getLogger("repro.experiments.sweep")
 SWEEPABLE: tuple[str, ...] = ("n", "k", "alpha", "rate")
 
 
+def _cast_value(parameter: str, value: float) -> "float | int":
+    """Coerce a grid value to the spec field's type."""
+    return float(value) if parameter == "rate" else int(value)
+
+
 def sweep_outcomes(
-    spec: ExperimentSpec, parameter: str, values: Sequence[float]
+    spec: ExperimentSpec,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    workers: "int | None" = None,
 ) -> list[SpecOutcome]:
     """Run ``spec`` once per value of ``parameter`` and return raw outcomes.
+
+    Args:
+        spec: the base configuration.
+        parameter: one of :data:`SWEEPABLE`.
+        values: the grid.
+        workers: process-parallel worker count; ``None`` defers to
+            ``spec.workers`` (and ``REPRO_WORKERS``).  Any value ``> 1``
+            chunks the (grid point × run) cross product over worker
+            processes via :mod:`repro.experiments.parallel`; gain fields
+            are bit-identical to the serial sweep.
 
     Raises:
         ValueError: for an unsweepable parameter or an empty grid.
@@ -36,12 +55,17 @@ def sweep_outcomes(
         raise ValueError(f"parameter must be one of {SWEEPABLE}, got {parameter!r}")
     if not values:
         raise ValueError("values must be non-empty")
+    from repro.experiments import parallel as _parallel
+
+    resolved = _parallel.resolve_workers(workers if workers is not None else spec.workers)
+    if resolved > 1:
+        return _parallel.sweep_outcomes_parallel(spec, parameter, values, workers=resolved)
     obs = _obs.state()
     journal = obs.journal if obs is not None else None
     outcomes = []
     with _trace.span("experiments.sweep", parameter=parameter, points=len(values)):
         for value in values:
-            cast = float(value) if parameter == "rate" else int(value)
+            cast = _cast_value(parameter, value)
             _log.info("sweep point: %s=%s", parameter, cast)
             if journal is not None:
                 journal.emit("sweep_point", parameter=parameter, value=cast)

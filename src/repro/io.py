@@ -130,6 +130,8 @@ def spec_outcome_to_dict(outcome: SpecOutcome) -> dict[str, Any]:
             "runs": spec.runs,
             "seed": spec.seed,
             "lpa_max_evals": spec.lpa_max_evals,
+            "engine": spec.engine,
+            "workers": spec.workers,
         },
         "outcomes": {
             name: {

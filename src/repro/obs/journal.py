@@ -54,6 +54,9 @@ EVENTS: tuple[str, ...] = (
     "spec_start",
     "spec_end",
     "sweep_point",
+    "parallel_start",
+    "parallel_chunk",
+    "parallel_end",
     "span",
     "lint",
     "serve_start",

@@ -28,6 +28,7 @@ from repro.obs.trace import Tracer
 __all__ = [
     "ObsState",
     "configure",
+    "detach",
     "enable_metrics",
     "enabled",
     "metrics_registry",
@@ -113,6 +114,24 @@ def shutdown() -> None:
         _trace.deactivate()
     if _state.journal is not None:
         _state.journal.close()
+    _state = None
+
+
+def detach() -> None:
+    """Forget the current wiring *without* closing its sinks.
+
+    For forked worker processes (:mod:`repro.experiments.parallel`): the
+    child inherits the parent's :class:`ObsState` — including an open
+    journal file descriptor — and must stop using it without emitting
+    ``journal_close`` into the parent's stream or interleaving records.
+    The parent's state is untouched; the child starts observability-free
+    and may :func:`configure` its own sinks afterwards.
+    """
+    global _state
+    if _state is None:
+        return
+    if _state.tracer is not None:
+        _trace.deactivate()
     _state = None
 
 

@@ -106,7 +106,7 @@ class TestWallClock:
 
 
 class TestWallClockServeCarveOut:
-    """The documented DYG103 allowlist covers ``serve/`` — and nothing else."""
+    """The documented DYG103 allowlist — obs, serve, experiments/parallel.py."""
 
     def test_serve_modules_exempt(self):
         source = "import time\nt = time.time()\n"
@@ -119,7 +119,27 @@ class TestWallClockServeCarveOut:
     def test_allowlist_contents_are_documented_set(self):
         from repro.analysis.base import WALLCLOCK_ALLOWLIST
 
-        assert WALLCLOCK_ALLOWLIST == frozenset({"obs", "serve"})
+        assert WALLCLOCK_ALLOWLIST == frozenset({"obs", "serve", "experiments/parallel.py"})
+
+    def test_parallel_executor_module_exempt(self):
+        # The parallel executor stamps its parallel_start journal event.
+        source = "from datetime import datetime, timezone\nd = datetime.now(timezone.utc)\n"
+        assert codes(source, path="src/repro/experiments/parallel.py") == []
+
+    def test_parallel_fragment_requires_consecutive_components(self):
+        # "experiments/parallel.py" is a path *fragment*: both components
+        # must appear consecutively, so neither half exempts on its own.
+        source = "import time\nt = time.time()\n"
+        assert codes(source, path="src/repro/experiments/runner.py") == ["DYG103"]
+        assert codes(source, path="src/repro/parallel.py") == ["DYG103"]
+
+    def test_wallclock_exempt_path_fragment_matching(self):
+        from repro.analysis.base import wallclock_exempt_path
+
+        assert wallclock_exempt_path("src/repro/experiments/parallel.py")
+        assert wallclock_exempt_path("src/repro/obs/journal.py")
+        assert not wallclock_exempt_path("src/repro/experiments/sweep.py")
+        assert not wallclock_exempt_path("src/repro/core/parallel.py")
 
     def test_exemption_requires_serve_path_component(self):
         # A module merely *named* like the subsystem stays banned.
