@@ -10,12 +10,19 @@ latency, and the grouping-memo hit rate, archived as
 the numbers measure the service (sessions + cache + scheduler), not
 socket syscalls.
 
-Two workloads:
+Three workloads:
 
 * ``replay`` — every client replays the same cohort configuration, the
   memo's best case (exact-tier hits dominate after warmup);
 * ``unique`` — every cohort gets distinct skills, the worst case (all
-  misses; measures the scheduler + session overhead ceiling).
+  misses; measures the scheduler + session overhead ceiling).  With
+  workers, advance requests ride the scheduler's *batched round steps*:
+  concurrent same-shape cohorts are stepped as one stacked
+  ``propose_batch → apply_update_many`` wave;
+* ``inline`` — the ``unique`` load with ``workers=0``, so every round
+  steps through the scalar kernel one cohort at a time.  The
+  ``unique`` vs ``inline`` pair is the before/after of round-step
+  batching, archived under ``config.batched_round_step``.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.serve.client import InProcessClient
 from repro.serve.config import ServeConfig
 from repro.serve.service import GroupingService
 
-from benchmarks._util import FULL, emit
+from benchmarks._util import FULL, emit, metrics_snapshot
 
 #: Closed-loop client threads.
 CLIENTS = 8 if FULL else 4
@@ -45,13 +52,26 @@ ROUNDS = 6
 N, K = 120, 10
 
 
-def _run_workload(unique_skills: bool) -> dict[str, float]:
+def _step_batch_counters() -> tuple[int, float, int]:
+    """(batches, summed batch size, recorded batches) from the metrics registry."""
+    snapshot = metrics_snapshot()
+    batches = (
+        snapshot.get("counters", {})
+        .get("serve.scheduler.step_batches", {})
+        .get("value", 0)
+    )
+    sizes = snapshot.get("histograms", {}).get("serve.scheduler.step_batch_size", {})
+    return batches, sizes.get("total", 0.0), sizes.get("count", 0)
+
+
+def _run_workload(unique_skills: bool, *, workers: int = 4) -> dict[str, float]:
     """Drive the closed loop and return throughput/latency/hit-rate stats."""
     base = np.random.default_rng(42).uniform(1.0, 10.0, size=N)
     latencies: list[float] = []
     lock = threading.Lock()
+    batches_before, size_total_before, size_count_before = _step_batch_counters()
 
-    with GroupingService(ServeConfig(workers=4, cache_size=512)) as service:
+    with GroupingService(ServeConfig(workers=workers, cache_size=512)) as service:
         client = InProcessClient(service)
 
         def loop(worker: int) -> None:
@@ -82,6 +102,9 @@ def _run_workload(unique_skills: bool) -> dict[str, float]:
     ordered = sorted(latencies)
     requests = len(latencies) * 4  # create + advance + inspect + delete
     probes = cache_stats["hits"] + cache_stats["misses"]
+    batches_after, size_total_after, size_count_after = _step_batch_counters()
+    step_batches = batches_after - batches_before
+    recorded = size_count_after - size_count_before
     return {
         "requests": requests,
         "wall_seconds": wall,
@@ -90,6 +113,10 @@ def _run_workload(unique_skills: bool) -> dict[str, float]:
         "loop_p95_ms": 1e3 * ordered[int(len(ordered) * 0.95)],
         "loop_mean_ms": 1e3 * fsum(ordered) / len(ordered),
         "cache_hit_rate": cache_stats["hits"] / probes if probes else 0.0,
+        "step_batches": step_batches,
+        "step_batch_mean": (
+            (size_total_after - size_total_before) / recorded if recorded else 0.0
+        ),
     }
 
 
@@ -98,18 +125,28 @@ def bench_serve_throughput(benchmark):
         _run_workload, args=(False,), iterations=1, rounds=1
     )
     unique = _run_workload(True)
+    inline = _run_workload(True, workers=0)
 
     lines = [
         f"closed-loop load: {CLIENTS} clients x {LOOPS} loops "
         f"(n={N}, k={K}, {ROUNDS} rounds/cohort)",
         "",
-        f"{'workload':<10} {'req/s':>10} {'p50 ms':>10} {'p95 ms':>10} {'hit rate':>10}",
+        f"{'workload':<10} {'req/s':>10} {'p50 ms':>10} {'p95 ms':>10} "
+        f"{'hit rate':>10} {'steps/batch':>12}",
     ]
-    for name, stats in (("replay", replay), ("unique", unique)):
+    for name, stats in (("replay", replay), ("unique", unique), ("inline", inline)):
         lines.append(
             f"{name:<10} {stats['req_per_second']:>10.1f} {stats['loop_p50_ms']:>10.2f} "
-            f"{stats['loop_p95_ms']:>10.2f} {stats['cache_hit_rate']:>10.2%}"
+            f"{stats['loop_p95_ms']:>10.2f} {stats['cache_hit_rate']:>10.2%} "
+            f"{stats['step_batch_mean']:>12.2f}"
         )
+    speedup = unique["req_per_second"] / inline["req_per_second"]
+    lines += [
+        "",
+        f"batched round steps (unique vs inline): {speedup:.2f}x req/s "
+        f"({unique['step_batches']} step batches, "
+        f"mean {unique['step_batch_mean']:.2f} cohorts/wave)",
+    ]
     emit(
         "serve_throughput",
         "\n".join(lines),
@@ -121,6 +158,18 @@ def bench_serve_throughput(benchmark):
             "k": K,
             "replay": replay,
             "unique": unique,
+            "inline": inline,
+            # Before/after of scheduler round-step batching on the same
+            # cache-miss load: "before" steps every cohort through the
+            # scalar kernel inline, "after" stacks concurrent same-shape
+            # cohorts into propose_batch → apply_update_many waves.
+            "batched_round_step": {
+                "before_req_per_second": inline["req_per_second"],
+                "after_req_per_second": unique["req_per_second"],
+                "speedup": speedup,
+                "step_batches": unique["step_batches"],
+                "step_batch_mean": unique["step_batch_mean"],
+            },
         },
     )
 
@@ -130,3 +179,7 @@ def bench_serve_throughput(benchmark):
     # The unique workload computes every proposal fresh.
     assert unique["cache_hit_rate"] < 0.1
     assert replay["requests"] == CLIENTS * LOOPS * 4
+    # Round-step batching must actually engage under workers, and the
+    # workerless baseline must bypass it entirely.
+    assert unique["step_batches"] > 0, "scheduler should batch round steps"
+    assert inline["step_batches"] == 0

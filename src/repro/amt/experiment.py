@@ -32,7 +32,6 @@ from repro.amt.assessment import DEFAULT_QUESTIONS, estimate_skills
 from repro.amt.population import Population, matched_split
 from repro.amt.retention import RetentionModel
 from repro.amt.worker import make_workers
-from repro.baselines.registry import make_policy
 from repro.core.interactions import get_mode
 from repro.core.gain_functions import LinearGain
 from repro.core.simulation import GroupingPolicy
@@ -153,7 +152,11 @@ def run_population(
             latents = np.array([w.latent_skill for w in chosen], dtype=np.float64)
             estimates = estimate_skills(latents, rng, questions=config.questions)
             grouping = policy.propose(estimates, config.k, rng)
-            updated = mode.update(latents, grouping, gain_fn)
+            # The AMT protocol groups on noisy *estimates* but learning
+            # acts on *latent* skills — two different arrays, which no
+            # round kernel models (kernels propose and update the same
+            # vector, and their gain would count estimation error).
+            updated = mode.update(latents, grouping, gain_fn)  # noqa: DYG204
             for worker, new_latent in zip(chosen, updated):
                 worker.learn(float(new_latent))
             round_gain = float(np.sum(updated - latents))
@@ -184,6 +187,10 @@ def _run_experiment(
     config: AmtConfig,
     seed: int | None,
 ) -> AmtExperimentResult:
+    # Imported here: the registry reaches this module through the
+    # extensions package, so a module-level import would be circular.
+    from repro.baselines.registry import make_policy
+
     rng = np.random.default_rng(seed)
     total = config.population_size * len(policies)
     workers = make_workers(total, rng, mean=config.skill_mean, spread=config.skill_spread)

@@ -14,6 +14,7 @@ from repro.analysis.rules.determinism import (
     StdlibRandomRule,
     WallClockRule,
 )
+from repro.analysis.rules.engine_rules import ManualRoundStepRule
 from repro.analysis.rules.hygiene import AllDriftRule, BareExceptRule, FloatEqualityRule
 
 __all__ = ["ALL_RULES", "rule_catalog"]
@@ -25,6 +26,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     ValidationRoutingRule,
     ParameterMutationRule,
+    ManualRoundStepRule,
     AllDriftRule,
     FloatEqualityRule,
     BareExceptRule,

@@ -1,0 +1,76 @@
+"""DYG2xx (engine) — round-step unification rules.
+
+Algorithm 1's round step — propose a grouping, update skills through an
+interaction mode, account the gain — lives in exactly one place per
+engine: :class:`repro.engine.kernel.RoundKernel` (scalar) and
+:class:`repro.engine.stacked.StackedRoundKernel` (batched).  Every other
+layer (drivers, experiments, serving, extensions) must delegate to those
+kernels rather than re-inline the loop body, or observability events,
+contract hooks, and gain accounting silently drift apart.
+
+* ``DYG204`` — a function outside ``repro/core`` and ``repro/engine``
+  that calls a policy's ``.propose(...)`` / ``.propose_many(...)`` *and*
+  applies a skill update (``.update(skills, grouping, ...)``) is
+  hand-inlining the round step.  Legitimate exceptions (e.g. proposing
+  on skill *estimates* while updating latent skills, which no kernel
+  models) carry a reasoned ``# noqa: DYG204``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.base import FileContext, Finding, Rule
+
+__all__ = ["ManualRoundStepRule", "round_step_exempt_path"]
+
+#: Path components whose modules own the round step and may inline it.
+ROUND_STEP_ALLOWLIST = frozenset({"core", "engine"})
+
+#: The propose-step spellings of :class:`~repro.core.simulation.GroupingPolicy`
+#: and :class:`~repro.core.vectorized.VectorizedPolicy`.
+_PROPOSE_METHODS = frozenset({"propose", "propose_many"})
+
+
+def round_step_exempt_path(path: "str | Path") -> bool:
+    """Whether a module may hand-inline the round step (kernel home turf)."""
+    return bool(ROUND_STEP_ALLOWLIST & set(Path(path).parts))
+
+
+class ManualRoundStepRule(Rule):
+    """DYG204: no hand-inlined propose/update round steps outside the kernels."""
+
+    code = "DYG204"
+    name = "manual-round-step"
+    summary = "propose+update round step inlined outside repro.core/repro.engine"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if round_step_exempt_path(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            proposes = False
+            update_call: "ast.Call | None" = None
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                callee = inner.func
+                if not isinstance(callee, ast.Attribute):
+                    continue
+                if callee.attr in _PROPOSE_METHODS:
+                    proposes = True
+                elif callee.attr == "update" and len(inner.args) >= 2:
+                    # Two-plus positional arguments separates the mode's
+                    # update(skills, grouping, gain) from dict.update(other).
+                    update_call = inner
+            if proposes and update_call is not None:
+                yield Finding.at(
+                    update_call,
+                    f"function {node.name}() inlines the propose → update round "
+                    "step; delegate to repro.engine.RoundKernel (or "
+                    "StackedRoundKernel) so events, contracts, and gain "
+                    "accounting stay unified",
+                )

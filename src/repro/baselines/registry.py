@@ -1,43 +1,25 @@
-"""Name-based policy registry.
+"""Name-based policy registry (compatibility shim).
 
-The experiment harness, CLI, and benches refer to grouping algorithms by
-their canonical string names.  :func:`make_policy` builds a fresh policy
-instance for a name, threading through the context (mode, learning rate)
-that objective-aware policies such as LPA require.
+The canonical registry now lives in :mod:`repro.registry`, which adds
+typed :class:`~repro.registry.PolicySpec` params, capability flags, and
+the Section VII extension policies.  This module keeps the historical
+surface: :data:`POLICY_NAMES` lists the *baseline* algorithm names (the
+paper's evaluation line-up, without extensions) and :func:`make_policy`
+accepts the legacy keyword knobs (``percentile_p``, ``lpa_max_evals``)
+and forwards them as spec params.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.baselines.annealing import AnnealingGrouping
-from repro.baselines.kmeans import KMeansGrouping
-from repro.baselines.local_optimum import ArbitraryLocalOptimum
-from repro.baselines.lpa import LpaGrouping
-from repro.baselines.percentile import PercentilePartitions
-from repro.baselines.random_assignment import RandomAssignment
-from repro.baselines.static import StaticPolicy
-from repro.core.dygroups import DyGroupsClique, DyGroupsStar, dygroups_policy
 from repro.core.simulation import GroupingPolicy
+from repro.registry import PolicySpec, build_policy, policy_names
 
 __all__ = ["POLICY_NAMES", "make_policy"]
 
-#: Canonical algorithm names accepted by :func:`make_policy`.
-POLICY_NAMES: tuple[str, ...] = (
-    "dygroups",
-    "dygroups-star",
-    "dygroups-clique",
-    "random",
-    "kmeans",
-    "percentile",
-    "lpa",
-    "annealing",
-    "static-dygroups",
-    "static-random",
-    "local-optimum-random",
-    "local-optimum-reversed",
-    "local-optimum-interleaved",
-)
+#: Canonical baseline algorithm names accepted by :func:`make_policy`
+#: (every unified-registry name works too; extensions are listed by
+#: :func:`repro.registry.policy_names`).
+POLICY_NAMES: tuple[str, ...] = policy_names(include_extensions=False)
 
 
 def make_policy(
@@ -51,35 +33,21 @@ def make_policy(
     """Instantiate the policy registered under ``name``.
 
     Args:
-        name: one of :data:`POLICY_NAMES` (``"dygroups"`` resolves to the
-            instantiation matching ``mode``).
+        name: a registered policy name or spec string (``"dygroups"``
+            resolves to the instantiation matching ``mode``;
+            ``"percentile:p=0.9"`` carries typed params inline).
         mode: interaction mode context (needed by ``dygroups`` and
             ``lpa``).
         rate: learning-rate context (needed by ``lpa``).
-        percentile_p: the Percentile-Partitions split parameter.
+        percentile_p: the Percentile-Partitions split parameter (legacy
+            knob; equivalent to the ``p`` spec param).
         lpa_max_evals: optional evaluation budget for the search-based
-            baselines (LPA's swap evaluations / annealing's steps).
+            baselines (LPA's swap evaluations / annealing's steps;
+            legacy knob, equivalent to ``max_evals`` / ``steps``).
 
     Raises:
-        ValueError: for an unknown name.
+        ValueError: for an unknown name or a bad spec param.
     """
-    factories: dict[str, Callable[[], GroupingPolicy]] = {
-        "dygroups": lambda: dygroups_policy(mode),
-        "dygroups-star": DyGroupsStar,
-        "dygroups-clique": DyGroupsClique,
-        "random": RandomAssignment,
-        "kmeans": KMeansGrouping,
-        "percentile": lambda: PercentilePartitions(percentile_p),
-        "lpa": lambda: LpaGrouping(mode, rate, max_evals=lpa_max_evals),
-        "annealing": lambda: AnnealingGrouping(mode, rate, steps=lpa_max_evals),
-        "static-dygroups": lambda: StaticPolicy(dygroups_policy(mode)),
-        "static-random": lambda: StaticPolicy(RandomAssignment()),
-        "local-optimum-random": lambda: ArbitraryLocalOptimum("random"),
-        "local-optimum-reversed": lambda: ArbitraryLocalOptimum("reversed"),
-        "local-optimum-interleaved": lambda: ArbitraryLocalOptimum("interleaved"),
-    }
-    try:
-        factory = factories[name]
-    except KeyError:
-        raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}") from None
-    return factory()
+    spec = PolicySpec.parse(name)
+    spec = spec.with_defaults(p=percentile_p, max_evals=lpa_max_evals, steps=lpa_max_evals)
+    return build_policy(spec, mode=mode, rate=rate)

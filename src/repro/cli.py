@@ -242,14 +242,19 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--distribution", default="lognormal")
     parser.add_argument(
         "--algorithms",
+        "--algorithm",
+        dest="algorithms",
         default="dygroups,random,percentile,lpa,kmeans",
-        help="comma-separated algorithm names",
+        help="comma-separated registry policy specs — a name or "
+        "'name:key=value;key=value' (see `dygroups list`)",
     )
     parser.add_argument("--runs", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
+    from repro.engine.select import ENGINES
+
     parser.add_argument(
         "--engine",
-        choices=("auto", "scalar", "vectorized"),
+        choices=ENGINES,
         default="auto",
         help="simulation engine: auto stacks runs through the vectorized "
         "kernels when possible; results are bit-identical either way",
@@ -316,12 +321,12 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    from repro.baselines.registry import make_policy
     from repro.core.simulation import simulate
     from repro.io import load_skills
+    from repro.registry import build_policy
 
     skills = load_skills(args.skills_file)
-    policy = make_policy(args.policy, mode=args.mode, rate=args.rate)
+    policy = build_policy(args.policy, mode=args.mode, rate=args.rate)
     result = simulate(
         policy,
         skills,
@@ -426,15 +431,23 @@ def _command_theorems(args: argparse.Namespace) -> int:
 
 
 def _command_list() -> int:
-    from repro.baselines.registry import POLICY_NAMES
     from repro.data.distributions import DISTRIBUTIONS
     from repro.experiments.figures import FIGURES
     from repro.obs.journal import EVENTS
+    from repro.registry import capability_matrix
 
     from repro.analysis import rule_catalog
 
     print("figures:       ", ", ".join(sorted(FIGURES)))
-    print("algorithms:    ", ", ".join(POLICY_NAMES))
+    rows = capability_matrix()
+    print(
+        "algorithms:    ",
+        ", ".join(name + ("*" if "extension" in caps else "") for name, caps, _ in rows),
+        " (* = Section VII extension)",
+    )
+    for name, caps, params in rows:
+        if params:
+            print(f"                 {name} params: " + ", ".join(params))
     print("distributions: ", ", ".join(sorted(DISTRIBUTIONS)))
     print("journal events:", ", ".join(EVENTS))
     print("lint rules:    ", ", ".join(code for code, _, _ in rule_catalog()),

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import abc
 import logging
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,11 +26,9 @@ from repro._validation import (
     require_divisible_groups,
     require_positive_int,
 )
-from repro.analysis import contracts as _contracts
 from repro.core.gain_functions import GainFunction, LinearGain
 from repro.core.grouping import Grouping
 from repro.core.interactions import InteractionMode, get_mode
-from repro.obs import runtime as _obs
 from repro.obs import trace as _trace
 
 __all__ = ["GroupingPolicy", "SimulationResult", "simulate"]
@@ -164,14 +161,13 @@ def simulate(
         raise ValueError("provide at most one of rng= or seed=")
     generator = rng if rng is not None else np.random.default_rng(seed)
 
-    # Objective-aware policies (e.g. LPA) declare the mode their internal
-    # scoring assumes; running them under a different mode is a user error.
-    required = getattr(policy, "required_mode", None)
-    if required is not None and required != resolved_mode.name:
-        raise ValueError(
-            f"policy {policy.name!r} optimizes for mode {required!r} "
-            f"but the simulation runs mode {resolved_mode.name!r}"
-        )
+    # The kernel owns the round step — propose span, shape validation,
+    # contract hooks, skill update, gain accounting, journal events, and
+    # metrics, resolved once per call (see repro.engine.kernel).  It also
+    # rejects a policy whose `required_mode` contradicts the mode.
+    from repro.engine.kernel import RoundKernel
+
+    kernel = RoundKernel(policy, resolved_mode, gain_fn, record_timings=record_timings)
 
     policy.reset()
     initial = array.copy()
@@ -180,28 +176,9 @@ def simulate(
         history[0] = array
     round_gains = np.empty(alpha, dtype=np.float64)
     groupings: list[Grouping] = []
-
-    # Contracts and observability wiring — both resolved once per call;
-    # every per-round hook below is behind a boolean / `is not None` guard
-    # so the disabled path stays a plain loop (plus the no-op span fast
-    # path, see repro.obs.trace).  Contract checks are read-only and draw
-    # no randomness: enabling them never changes results.
-    checking = _contracts.contracts_enabled()
-    obs = _obs.state()
-    journal = obs.journal if obs is not None else None
-    metrics = obs.metrics if obs is not None else None
-    timing = record_timings or obs is not None
+    timing = kernel.timing
     round_seconds = np.empty(alpha, dtype=np.float64) if timing else None
-    if metrics is not None:
-        # `core.rounds` / `core.round_seconds` aggregate across engines;
-        # the `.scalar` / `.vectorized` variants attribute work per engine
-        # (see repro.core.vectorized for the batched counterpart).
-        rounds_counter = metrics.counter("core.rounds")
-        engine_rounds_counter = metrics.counter("core.rounds.scalar")
-        interactions_counter = metrics.counter("core.interactions")
-        proposals_counter = metrics.counter(f"core.proposals.{policy.name or type(policy).__name__}")
-        round_timer = metrics.timer("core.round_seconds")
-        engine_round_timer = metrics.timer("core.round_seconds.scalar")
+    journal = kernel.journal
     _log.debug(
         "simulate: policy=%s mode=%s n=%d k=%d alpha=%d",
         policy.name, resolved_mode.name, len(array), k, alpha,
@@ -219,57 +196,15 @@ def simulate(
     current = array
     with _trace.span("core.simulate", policy=policy.name, alpha=alpha):
         for t in range(alpha):
-            round_started = time.perf_counter() if timing else 0.0
-            if journal is not None:
-                journal.emit("round_start", round=t)
-                propose_started = time.perf_counter()
-            with _trace.span(f"policy.propose:{policy.name}"):
-                grouping = policy.propose(current, k, generator)
-            if journal is not None:
-                journal.emit(
-                    "propose",
-                    round=t,
-                    policy=policy.name,
-                    dur=round(time.perf_counter() - propose_started, 9),
-                )
-            if grouping.n != len(current) or grouping.k != k:
-                raise ValueError(
-                    f"policy {policy.name!r} returned a grouping with n={grouping.n}, "
-                    f"k={grouping.k}; expected n={len(current)}, k={k}"
-                )
-            if checking:
-                _contracts.check_partition(grouping, n=len(current), k=k)
-            with _trace.span("core.skill_update"):
-                updated = resolved_mode.update(current, grouping, gain_fn)
-            gain_t = float(np.sum(updated - current))
-            if checking:
-                if resolved_mode.name == "star":
-                    _contracts.check_star_teacher_unchanged(current, updated, grouping)
-                elif resolved_mode.name == "clique":
-                    _contracts.check_clique_order_preserved(current, updated, grouping)
-                _contracts.check_gains_nonnegative(gain_t)
-            round_gains[t] = gain_t
-            if journal is not None:
-                journal.emit("gain", round=t, value=gain_t)
-                journal.emit("skill_update", round=t, total_skill=float(updated.sum()))
+            outcome = kernel.step(current, k, generator, round_index=t)
+            round_gains[t] = outcome.gain
             if record_groupings:
-                groupings.append(grouping)
+                groupings.append(outcome.grouping)
             if history is not None:
-                history[t + 1] = updated
-            current = updated
+                history[t + 1] = outcome.updated
+            current = outcome.updated
             if timing:
-                duration = time.perf_counter() - round_started
-                round_seconds[t] = duration  # type: ignore[index]
-                if metrics is not None:
-                    round_timer.observe(duration)
-                    engine_round_timer.observe(duration)
-            if metrics is not None:
-                rounds_counter.inc()
-                engine_rounds_counter.inc()
-                interactions_counter.inc(grouping.n)
-                proposals_counter.inc()
-            if journal is not None:
-                journal.emit("round_end", round=t, gain=gain_t)
+                round_seconds[t] = outcome.seconds  # type: ignore[index]
 
     total_gain = float(round_gains.sum())
     _log.debug("simulate done: policy=%s total_gain=%.6g", policy.name, total_gain)

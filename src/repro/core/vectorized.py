@@ -16,24 +16,24 @@ vectorized numpy calls:
   within-group descending sort of the same tensor.
 
 Bit-identity with the scalar engine is a hard design constraint, pinned
-by hypothesis properties in ``tests/properties``: every elementwise float
-operation here is the same operation, on the same operands, as its scalar
-counterpart — gathering values into a different layout does not change
-what is added to what.  Clique tie order matches the scalar
-``np.lexsort((-skills, labels))`` convention via a two-pass stable sort
-(by member index, then by descending value).
+by hypothesis properties in ``tests/properties``: the round step itself
+lives in :class:`repro.engine.stacked.StackedRoundKernel` (with the
+batched Star/Clique update kernels beside it), which performs the same
+float operations, on the same operands, as the scalar kernel.  This
+module keeps the driver: trial stacking, per-trial seeding, trajectory
+recording, and the scalar fallback.
 
 Policies without a vectorization (annealing, k-means, LPA, brute force)
 fall back to per-trial scalar :func:`~repro.core.simulation.simulate`
 calls automatically; :func:`simulate_many` is the single entry point
-either way, and :func:`vectorize_policy` is the dispatch.
+either way, :func:`vectorize_policy` is the dispatch, and
+:func:`repro.engine.select.select_engine` is the decision.
 """
 
 from __future__ import annotations
 
 import abc
 import logging
-import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
@@ -41,12 +41,18 @@ from typing import Sequence
 import numpy as np
 
 from repro._validation import require_divisible_groups, require_positive_int
-from repro.analysis import contracts as _contracts
 from repro.core.batch import as_skills_matrix, descending_orders, flat_rank_listing
 from repro.core.gain_functions import GainFunction, LinearGain
 from repro.core.interactions import InteractionMode, get_mode
 from repro.core.simulation import GroupingPolicy, SimulationResult, simulate
-from repro.obs import runtime as _obs
+from repro.engine.kernel import check_required_mode
+from repro.engine.select import ENGINES, select_engine
+from repro.engine.stacked import (
+    StackedRoundKernel,
+    check_members_are_permutations as _check_members_are_permutations,  # noqa: F401 - back-compat
+    update_clique_many,
+    update_star_many,
+)
 from repro.obs import trace as _trace
 
 __all__ = [
@@ -60,10 +66,6 @@ __all__ = [
 ]
 
 _log = logging.getLogger("repro.core.vectorized")
-
-#: Engine selectors accepted by :func:`simulate_many` and the experiment
-#: layer: ``"auto"`` vectorizes when possible, the other two force a path.
-ENGINES: tuple[str, ...] = ("auto", "scalar", "vectorized")
 
 
 class VectorizedPolicy(abc.ABC):
@@ -189,8 +191,11 @@ def vectorize_policy(policy: GroupingPolicy) -> "VectorizedPolicy | None":
     """The batched counterpart of a scalar policy, or ``None``.
 
     Dispatches on the exact policy type (a subclass may have changed the
-    semantics, so it does not inherit its parent's vectorization).
-    Annealing, k-means, LPA, and brute force have no vectorized form —
+    semantics, so it does not inherit its parent's vectorization), then
+    consults the unified registry's per-policy ``vectorizer`` hooks —
+    which is how extension policies (e.g. ``fair-star``) vectorize
+    without this module importing the extensions package.  Annealing,
+    k-means, LPA, and brute force have no vectorized form —
     :func:`simulate_many` falls back to per-trial scalar simulation for
     them.
     """
@@ -214,89 +219,14 @@ def vectorize_policy(policy: GroupingPolicy) -> "VectorizedPolicy | None":
     if kind is StaticPolicy:
         base = vectorize_policy(policy.base)  # type: ignore[attr-defined]
         return None if base is None else _VectorizedStatic(base)
-    return None
+    from repro.registry import vectorizer_for
 
-
-# -- batched update kernels ---------------------------------------------------
-
-
-def _check_members(skills: np.ndarray, members: np.ndarray, k: int) -> int:
-    """Validate a members matrix against a skill matrix; returns group size."""
-    if skills.ndim != 2:
-        raise ValueError(f"skills must be 2-D (trials, n), got shape {skills.shape}")
-    if members.shape != skills.shape:
-        raise ValueError(
-            f"members matrix shape {members.shape} does not match skills shape {skills.shape}"
-        )
-    return require_divisible_groups(skills.shape[1], k)
-
-
-def update_star_many(
-    skills: np.ndarray, members: np.ndarray, k: int, gain: GainFunction
-) -> np.ndarray:
-    """Batched ``UPDATE-SKILLS-STAR`` over a ``(R, n)`` skill matrix.
-
-    ``members`` is a :class:`VectorizedPolicy` members matrix (group ``g``
-    in columns ``[g·t, (g+1)·t)``).  Per trial this performs exactly the
-    scalar :func:`repro.core.update.update_star` arithmetic: every member
-    adds ``gain(teacher − s)`` with the teacher the group's row-wise max.
-    """
-    t = _check_members(skills, members, k)
-    trials, n = skills.shape
-    group_vals = np.take_along_axis(skills, members, axis=1).reshape(trials, k, t)
-    teachers = np.max(group_vals, axis=2, keepdims=True)
-    updated_groups = group_vals + np.asarray(gain(teachers - group_vals), dtype=np.float64)
-    out = np.empty_like(skills)
-    np.put_along_axis(out, members, updated_groups.reshape(trials, n), axis=1)
-    return out
-
-
-def update_clique_many(
-    skills: np.ndarray, members: np.ndarray, k: int, gain: GainFunction
-) -> np.ndarray:
-    """Batched ``UPDATE-SKILLS-CLIQUE`` (Theorem 3) for linear gains.
-
-    Sorts each group of each trial by descending skill — ties broken by
-    ascending participant index, reproducing the scalar engine's
-    ``np.lexsort((-skills, labels))`` via a two-pass stable sort — then
-    applies the prefix-sum increment ``r·(c_i − i·s_{i+1}) / i`` with the
-    same float operations and operand order as the scalar kernel.
-
-    Raises:
-        ValueError: for a non-linear gain function (no closed form; use
-            the scalar engine's naive path).
-    """
-    t = _check_members(skills, members, k)
-    if not gain.is_linear:
-        raise ValueError("update_clique_many requires a linear gain function")
-    rate: float = gain.rate  # type: ignore[attr-defined]
-    trials, n = skills.shape
-    mem = members.reshape(trials, k, t)
-    vals = np.take_along_axis(skills, members, axis=1).reshape(trials, k, t)
-    # Two-pass stable sort == lexsort((-value, member)): order members
-    # ascending first so the stable by-value pass breaks ties by index.
-    by_index = np.argsort(mem, axis=2, kind="stable")
-    mem = np.take_along_axis(mem, by_index, axis=2)
-    vals = np.take_along_axis(vals, by_index, axis=2)
-    # Positive doubles order identically to their int64 bit views, and the
-    # stable sort on integer keys is radix — same tie-keeping permutation.
-    if vals.size and np.all(vals > 0.0):
-        by_value = np.argsort(-np.ascontiguousarray(vals).view(np.int64), axis=2, kind="stable")
-    else:
-        by_value = np.argsort(-vals, axis=2, kind="stable")
-    mem = np.take_along_axis(mem, by_value, axis=2)
-    vals = np.take_along_axis(vals, by_value, axis=2)
-    increment = np.zeros_like(vals)
-    if t > 1:
-        prefix = np.cumsum(vals, axis=2)
-        ranks = np.arange(1, t, dtype=np.float64)
-        increment[:, :, 1:] = rate * (prefix[:, :, :-1] - ranks * vals[:, :, 1:]) / ranks
-    out = np.empty_like(skills)
-    np.put_along_axis(out, mem.reshape(trials, n), (vals + increment).reshape(trials, n), axis=1)
-    return out
+    return vectorizer_for(policy)
 
 
 # -- the stacked-trial engine -------------------------------------------------
+# (The batched update kernels live in repro.engine.stacked and are
+# re-exported above for compatibility.)
 
 
 @dataclass(frozen=True)
@@ -494,25 +424,10 @@ def simulate_many(
         if len(seed_list) != trials:
             raise ValueError(f"seeds has length {len(seed_list)}, expected {trials} (one per trial)")
 
-    required = getattr(policy, "required_mode", None)
-    if required is not None and required != resolved_mode.name:
-        raise ValueError(
-            f"policy {policy.name!r} optimizes for mode {required!r} "
-            f"but the simulation runs mode {resolved_mode.name!r}"
-        )
+    check_required_mode(policy, resolved_mode)
 
-    vec = vectorize_policy(policy) if engine != "scalar" else None
-    # Clique needs Theorem 3's closed form, which only exists for linear
-    # gain functions; Star vectorizes for any elementwise gain.
-    updatable = resolved_mode.name == "star" or gain_fn.is_linear
-    if engine == "vectorized" and (vec is None or not updatable):
-        reason = (
-            f"policy {policy.name!r} has no vectorized form"
-            if vec is None
-            else f"mode {resolved_mode.name!r} requires a linear gain function to vectorize"
-        )
-        raise ValueError(f"engine='vectorized' is not available: {reason}")
-    if vec is None or not updatable:
+    engine_name, vec = select_engine(policy, mode=resolved_mode, gain=gain_fn, engine=engine)
+    if engine_name == "scalar":
         return _scalar_fallback(
             policy,
             matrix,
@@ -524,6 +439,7 @@ def simulate_many(
             record_history=record_history,
             record_timings=record_timings,
         )
+    assert vec is not None  # select_engine pairs "vectorized" with a policy
 
     rngs = [np.random.default_rng(s) for s in seed_list]
     vec.reset()
@@ -533,19 +449,13 @@ def simulate_many(
         history[:, 0] = matrix
     round_gains = np.empty((trials, alpha), dtype=np.float64)
 
-    checking = _contracts.contracts_enabled()
-    obs = _obs.state()
-    journal = obs.journal if obs is not None else None
-    metrics = obs.metrics if obs is not None else None
-    timing = record_timings or obs is not None
+    # The stacked kernel owns the round step — propose span, shape
+    # validation, contract hooks, batched update, per-trial gains,
+    # journal events, and metrics (see repro.engine.stacked).
+    kernel = StackedRoundKernel(vec, resolved_mode, gain_fn, record_timings=record_timings)
+    timing = kernel.timing
     batch_seconds = np.empty(alpha, dtype=np.float64) if timing else None
-    if metrics is not None:
-        rounds_counter = metrics.counter("core.rounds")
-        engine_rounds_counter = metrics.counter("core.rounds.vectorized")
-        interactions_counter = metrics.counter("core.interactions")
-        proposals_counter = metrics.counter(f"core.proposals.{vec.name or type(vec).__name__}")
-        round_timer = metrics.timer("core.round_seconds")
-        engine_round_timer = metrics.timer("core.round_seconds.vectorized")
+    journal = kernel.journal
     _log.debug(
         "simulate_many: policy=%s mode=%s trials=%d n=%d k=%d alpha=%d",
         vec.name, resolved_mode.name, trials, n, k, alpha,
@@ -565,49 +475,13 @@ def simulate_many(
     current = matrix
     with _trace.span("core.simulate_many", policy=vec.name, alpha=alpha, trials=trials):
         for t in range(alpha):
-            round_started = time.perf_counter() if timing else 0.0
-            if journal is not None:
-                journal.emit("round_start", round=t, trials=trials, engine="vectorized")
-            with _trace.span(f"policy.propose_many:{vec.name}"):
-                members = vec.propose_many(current, k, rngs)
-            if members.shape != current.shape:
-                raise ValueError(
-                    f"vectorized policy {vec.name!r} returned a members matrix of shape "
-                    f"{members.shape}; expected {current.shape}"
-                )
-            if checking:
-                _check_members_are_permutations(members)
-            with _trace.span("core.skill_update:vectorized"):
-                if resolved_mode.name == "star":
-                    updated = update_star_many(current, members, k, gain_fn)
-                else:
-                    updated = update_clique_many(current, members, k, gain_fn)
-            gains_t = np.sum(updated - current, axis=1)
-            if checking:
-                _contracts.check_gains_nonnegative(gains_t)
-            round_gains[:, t] = gains_t
+            outcome = kernel.step(current, k, rngs, round_index=t)
+            round_gains[:, t] = outcome.gains
             if history is not None:
-                history[:, t + 1] = updated
-            current = updated
+                history[:, t + 1] = outcome.updated
+            current = outcome.updated
             if timing:
-                duration = time.perf_counter() - round_started
-                batch_seconds[t] = duration  # type: ignore[index]
-                if metrics is not None:
-                    round_timer.observe(duration)
-                    engine_round_timer.observe(duration)
-            if metrics is not None:
-                rounds_counter.inc(trials)
-                engine_rounds_counter.inc(trials)
-                interactions_counter.inc(trials * n)
-                proposals_counter.inc(trials)
-            if journal is not None:
-                journal.emit(
-                    "round_end",
-                    round=t,
-                    gain=float(gains_t.sum()),
-                    trials=trials,
-                    engine="vectorized",
-                )
+                batch_seconds[t] = outcome.seconds  # type: ignore[index]
 
     if journal is not None:
         journal.emit(
@@ -635,14 +509,3 @@ def simulate_many(
         round_seconds=round_seconds,
         batch_round_seconds=batch_seconds,
     )
-
-
-def _check_members_are_permutations(members: np.ndarray) -> None:
-    """Contract: every members-matrix row is a permutation of ``0 … n−1``."""
-    n = members.shape[1]
-    expected = np.arange(n, dtype=members.dtype)
-    if not np.array_equal(np.sort(members, axis=1), np.broadcast_to(expected, members.shape)):
-        raise _contracts.ContractViolation(
-            "vectorized proposal violated the partition contract: "
-            "a members-matrix row is not a permutation of 0..n-1"
-        )

@@ -36,14 +36,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.registry import make_policy
-from repro.core.simulation import SimulationResult, simulate
+from repro.core.gain_functions import LinearGain
+from repro.core.simulation import GroupingPolicy, SimulationResult, simulate
 from repro.core.vectorized import simulate_many
 from repro.data.distributions import get_distribution
+from repro.engine.select import select_engine
 from repro.experiments.spec import ExperimentSpec
 from repro.obs import runtime as _obs
 from repro.obs import trace as _trace
 from repro.obs.metrics import Timer
+from repro.registry import PolicySpec, build_policy
 
 __all__ = ["AlgorithmOutcome", "SpecOutcome", "run_spec", "draw_skills"]
 
@@ -92,6 +94,18 @@ def draw_skills(spec: ExperimentSpec, run_index: int) -> np.ndarray:
     """The initial skill array of run ``run_index`` of ``spec``."""
     generate = get_distribution(spec.distribution)
     return generate(spec.n, seed=spec.seed + run_index)
+
+
+def _policy_for(spec: ExperimentSpec, entry: str) -> GroupingPolicy:
+    """Build the policy for one ``spec.algorithms`` entry via the registry.
+
+    ``spec.lpa_max_evals`` back-fills the search-budget param of entries
+    that do not set it inline (the legacy knob bridge).
+    """
+    policy_spec = PolicySpec.parse(entry).with_defaults(
+        max_evals=spec.lpa_max_evals, steps=spec.lpa_max_evals
+    )
+    return build_policy(policy_spec, mode=spec.mode, rate=spec.rate)
 
 
 @dataclass
@@ -146,29 +160,50 @@ def _execute_runs(
     if not indices:
         return data
     obs = _obs.state()
-    if spec.engine == "scalar":
-        _execute_runs_scalar(spec, indices, data, keep_results=keep_results, obs=obs)
-    else:
-        _execute_runs_stacked(spec, indices, data, keep_results=keep_results, obs=obs)
+    # One engine decision per algorithm, through the same select_engine
+    # every driver uses: vectorizable entries stack all runs into one
+    # simulate_many call; the rest run the per-run scalar loop.  Under
+    # engine="vectorized", select_engine raises for a non-vectorizable
+    # entry — the same error simulate_many would have raised.
+    scalar_algos: list[str] = []
+    stacked_algos: list[str] = []
+    for entry in spec.algorithms:
+        if spec.engine == "scalar":
+            scalar_algos.append(entry)
+            continue
+        engine_name, _ = select_engine(
+            _policy_for(spec, entry),
+            mode=spec.mode,
+            gain=LinearGain(spec.rate),
+            engine=spec.engine,
+        )
+        (stacked_algos if engine_name == "vectorized" else scalar_algos).append(entry)
+    if scalar_algos:
+        _execute_runs_scalar(
+            spec, scalar_algos, indices, data, keep_results=keep_results, obs=obs
+        )
+    if stacked_algos:
+        _execute_runs_stacked(
+            spec, stacked_algos, indices, data, keep_results=keep_results, obs=obs
+        )
     return data
 
 
 def _execute_runs_scalar(
     spec: ExperimentSpec,
+    algorithms: Sequence[str],
     indices: list[int],
     data: _RunsData,
     *,
     keep_results: bool,
     obs: "_obs.ObsState | None",
 ) -> None:
-    """Run-major scalar loop (the ``engine="scalar"`` path)."""
-    timers = {name: Timer(f"run.{name}") for name in spec.algorithms}
+    """Run-major scalar loop (non-vectorizable or forced-scalar entries)."""
+    timers = {name: Timer(f"run.{name}") for name in algorithms}
     for run_index in indices:
         skills = draw_skills(spec, run_index)
-        for name in spec.algorithms:
-            policy = make_policy(
-                name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
-            )
+        for name in algorithms:
+            policy = _policy_for(spec, name)
             with _trace.span(f"experiments.run:{name}", run_index=run_index):
                 with timers[name].time():
                     result = simulate(
@@ -194,31 +229,28 @@ def _execute_runs_scalar(
                 obs.metrics.counter("experiments.simulations").inc()
             if keep_results:
                 data.raw[name].append(result)
-    for name in spec.algorithms:
+    for name in algorithms:
         data.runtime_totals[name] = float(timers[name].total)
 
 
 def _execute_runs_stacked(
     spec: ExperimentSpec,
+    algorithms: Sequence[str],
     indices: list[int],
     data: _RunsData,
     *,
     keep_results: bool,
     obs: "_obs.ObsState | None",
 ) -> None:
-    """Algorithm-major stacked path (``engine`` ``"auto"``/``"vectorized"``).
+    """Algorithm-major stacked path (vectorizable entries).
 
     All runs of one algorithm go through a single
-    :func:`~repro.core.vectorized.simulate_many` call; non-vectorizable
-    algorithms fall back to per-trial scalar simulation inside it (or
-    raise, under ``engine="vectorized"``).
+    :func:`~repro.core.vectorized.simulate_many` call.
     """
     skills_matrix = np.stack([draw_skills(spec, i) for i in indices])
     seeds = [spec.seed + i for i in indices]
-    for name in spec.algorithms:
-        policy = make_policy(
-            name, mode=spec.mode, rate=spec.rate, lpa_max_evals=spec.lpa_max_evals
-        )
+    for name in algorithms:
+        policy = _policy_for(spec, name)
         timer = Timer(f"run.{name}")
         with _trace.span(f"experiments.run_many:{name}", runs=len(indices)):
             with timer.time():

@@ -21,10 +21,10 @@ from repro._validation import (
     require_learning_rate,
     require_positive_int,
 )
-from repro.baselines.registry import POLICY_NAMES
 from repro.core.interactions import get_mode
-from repro.core.vectorized import ENGINES
 from repro.data.distributions import DISTRIBUTIONS
+from repro.engine.select import ENGINES
+from repro.registry import PolicySpec
 
 __all__ = ["ExperimentSpec", "DEFAULT_ALGORITHMS"]
 
@@ -44,11 +44,15 @@ class ExperimentSpec:
         mode: interaction mode name.
         distribution: initial-skill distribution name (see
             :data:`repro.data.distributions.DISTRIBUTIONS`).
-        algorithms: policy names to compare.
+        algorithms: registry policy specs to compare — a name or a
+            ``"name:key=value;key=value"`` spec string with typed params
+            (see :mod:`repro.registry`); extension policies included.
         runs: independent repetitions to average over.
         seed: base seed; run ``i`` uses ``seed + i``.
-        lpa_max_evals: optional LPA evaluation budget override (the
-            pure-Python LPA is the costliest baseline; benches cap it).
+        lpa_max_evals: optional evaluation budget for the search-based
+            baselines (legacy knob; filled into ``lpa``/``annealing``
+            entries that do not set ``max_evals``/``steps`` inline —
+            prefer the spec-param form).
         engine: simulation engine selection — ``"auto"`` stacks the
             spec's runs through :func:`repro.core.simulate_many` for
             vectorizable algorithms and falls back per run otherwise,
@@ -90,9 +94,11 @@ class ExperimentSpec:
             )
         if not self.algorithms:
             raise ValueError("algorithms must be non-empty")
-        unknown = [a for a in self.algorithms if a not in POLICY_NAMES]
-        if unknown:
-            raise ValueError(f"unknown algorithms {unknown}; expected names from {POLICY_NAMES}")
+        # Validate every entry against the unified registry: names
+        # (including extensions) and inline typed params, e.g.
+        # "percentile:p=0.9".  The parse error names the offending key.
+        for entry in self.algorithms:
+            PolicySpec.parse(entry)
 
     def with_(self, **overrides: Any) -> "ExperimentSpec":
         """A copy of this spec with fields replaced (validated again)."""

@@ -116,33 +116,49 @@ class AffinityAwarePolicy(GroupingPolicy):
 
     Args:
         state: the evolving affinity state (shared across rounds; the
-            policy advances it after each proposal).
+            policy advances it after each proposal).  ``None`` — the
+            registry default — creates a fresh :class:`AffinityState`
+            lazily from the first proposal's population size, and
+            :meth:`reset` discards it so back-to-back simulations start
+            from strangers again.
         mode: interaction mode for gain scoring.
         rate: linear learning rate for gain scoring.
         weight: λ ∈ [0, 1]; 0 = pure learning gain, 1 = pure affinity.
         sweeps: swap-improvement passes over the population per round.
+        initial: starting pairwise affinity for a lazily created state.
+        growth: co-grouped relaxation factor for a lazily created state.
+        decay: separation decay for a lazily created state.
     """
 
     name = "affinity-aware"
 
     def __init__(
         self,
-        state: AffinityState,
+        state: "AffinityState | None" = None,
         *,
         mode: str = "star",
         rate: float = 0.5,
         weight: float = 0.3,
         sweeps: int = 2,
+        initial: float = 0.1,
+        growth: float = 0.3,
+        decay: float = 0.95,
     ) -> None:
+        self._shared_state = state
         self._state = state
         self._mode_name = get_mode(mode).name
         self._rate = require_learning_rate(rate)
         self._weight = require_probability(weight, name="weight")
         self._sweeps = require_positive_int(sweeps, name="sweeps")
+        self._initial = require_probability(initial, name="initial")
+        self._growth = require_probability(growth, name="growth")
+        self._decay = require_probability(decay, name="decay")
         self._previous: Grouping | None = None
 
     def reset(self) -> None:
         self._previous = None
+        if self._shared_state is None:
+            self._state = None
 
     @property
     def required_mode(self) -> str:
@@ -165,6 +181,10 @@ class AffinityAwarePolicy(GroupingPolicy):
         skills = np.asarray(skills, dtype=np.float64)
         n = len(skills)
         size = require_divisible_groups(n, k)
+        if self._state is None:
+            self._state = AffinityState(
+                n, initial=self._initial, growth=self._growth, decay=self._decay
+            )
         seed_grouping = (
             dygroups_star_local(skills, k)
             if self._mode_name == "star"

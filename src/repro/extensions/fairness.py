@@ -18,6 +18,7 @@ issue"; this module provides the natural first instrument:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -27,7 +28,12 @@ from repro.core.simulation import GroupingPolicy, SimulationResult
 from repro.core.skills import descending_order
 from repro.metrics.inequality import atkinson, coefficient_of_variation, gini, theil
 
-__all__ = ["FairnessAwarePolicy", "FairnessReport", "fairness_report"]
+__all__ = [
+    "FairnessAwarePolicy",
+    "FairnessReport",
+    "fair_star_rank_listing",
+    "fairness_report",
+]
 
 
 class FairnessAwarePolicy(GroupingPolicy):
@@ -42,6 +48,11 @@ class FairnessAwarePolicy(GroupingPolicy):
 
     name = "fair-star"
 
+    @property
+    def required_mode(self) -> str:
+        """The grouping is round-optimal (Theorem 1) only under Star mode."""
+        return "star"
+
     def propose(self, skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
         n = len(skills)
         size = require_divisible_groups(n, k)
@@ -53,6 +64,29 @@ class FairnessAwarePolicy(GroupingPolicy):
             np.concatenate(([teachers[i]], ascending_rest[i * per_group : (i + 1) * per_group]))
             for i in range(k)
         )
+
+
+@lru_cache(maxsize=256)
+def fair_star_rank_listing(n: int, k: int) -> np.ndarray:
+    """Rank listing of :class:`FairnessAwarePolicy`, flattened per group.
+
+    The policy is a pure function of the descending skill order: group
+    ``i`` takes the rank-``i`` teacher plus the ``i``-th ascending block
+    of the remaining learners, i.e. ranks ``n−1−i·per−j``.  This is the
+    listing the vectorized engine gathers from
+    :func:`repro.core.batch.descending_orders`, mirroring the scalar
+    :meth:`FairnessAwarePolicy.propose` member order exactly.
+    """
+    size = require_divisible_groups(n, k)
+    per_group = size - 1
+    listing = np.empty(n, dtype=np.intp)
+    for i in range(k):
+        start = i * size
+        listing[start] = i
+        offsets = np.arange(per_group, dtype=np.intp)
+        listing[start + 1 : start + size] = (n - 1) - (i * per_group + offsets)
+    listing.setflags(write=False)
+    return listing
 
 
 @dataclass(frozen=True, slots=True)

@@ -33,6 +33,7 @@ from repro.amt.retention import RetentionModel
 from repro.core.gain_functions import LinearGain
 from repro.core.interactions import get_mode
 from repro.core.simulation import GroupingPolicy
+from repro.engine.kernel import RoundKernel
 
 __all__ = ["RetentionSimulationResult", "simulate_with_retention"]
 
@@ -102,12 +103,10 @@ def simulate_with_retention(
     model = retention if retention is not None else RetentionModel()
     mode_obj = get_mode(mode)
     gain_fn = LinearGain(rate)
-
-    required = getattr(policy, "required_mode", None)
-    if required is not None and required != mode_obj.name:
-        raise ValueError(
-            f"policy {policy.name!r} optimizes for mode {required!r} but this run uses {mode_obj.name!r}"
-        )
+    # The kernel validates required_mode and owns the round step
+    # (propose → update → gain → contracts); instrument=False keeps this
+    # extension's rounds out of the core engine's telemetry.
+    kernel = RoundKernel(policy, mode_obj, gain_fn, instrument=False)
 
     policy.reset()
     n = len(array)
@@ -124,10 +123,9 @@ def simulate_with_retention(
         if participating >= 2 * k:
             chosen = generator.choice(active_idx, size=participating, replace=False)
             sub_skills = current[chosen]
-            grouping = policy.propose(sub_skills, k, generator)
-            updated = mode_obj.update(sub_skills, grouping, gain_fn)
-            round_gain_per_member[chosen] = updated - sub_skills
-            current[chosen] = updated
+            outcome = kernel.step(sub_skills, k, generator, round_index=rounds_played)
+            round_gain_per_member[chosen] = outcome.updated - sub_skills
+            current[chosen] = outcome.updated
             rounds_played += 1
         gains.append(float(round_gain_per_member.sum()))
 

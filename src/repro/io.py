@@ -27,9 +27,13 @@ from repro._validation import as_skill_array
 from repro.core.grouping import Grouping
 from repro.core.simulation import SimulationResult
 from repro.experiments.runner import SpecOutcome
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics.series import Series, SeriesSet
+from repro.registry import PolicySpec
 
 __all__ = [
+    "experiment_spec_to_dict",
+    "experiment_spec_from_dict",
     "simulation_result_to_dict",
     "simulation_result_from_dict",
     "series_set_to_dict",
@@ -110,6 +114,57 @@ def series_set_from_dict(payload: dict[str, Any]) -> SeriesSet:
     )
 
 
+def experiment_spec_to_dict(spec: ExperimentSpec) -> dict[str, Any]:
+    """JSON-able representation of an experiment spec (current form).
+
+    Algorithms are stored as canonical registry spec strings (see
+    :class:`repro.registry.PolicySpec`); the legacy ``lpa_max_evals``
+    knob is written only when set, so specs that moved their budgets
+    into spec params serialize without it.
+    """
+    payload: dict[str, Any] = {
+        "n": spec.n,
+        "k": spec.k,
+        "alpha": spec.alpha,
+        "rate": spec.rate,
+        "mode": spec.mode,
+        "distribution": spec.distribution,
+        "algorithms": [PolicySpec.parse(entry).canonical() for entry in spec.algorithms],
+        "runs": spec.runs,
+        "seed": spec.seed,
+        "engine": spec.engine,
+        "workers": spec.workers,
+    }
+    if spec.lpa_max_evals is not None:
+        payload["lpa_max_evals"] = spec.lpa_max_evals
+    return payload
+
+
+def experiment_spec_from_dict(payload: dict[str, Any]) -> ExperimentSpec:
+    """Inverse of :func:`experiment_spec_to_dict`.
+
+    Also reads the old on-disk form: plain algorithm names (no spec
+    params) and an always-present, possibly ``null`` ``lpa_max_evals``
+    key.  Missing keys fall back to the spec defaults.
+
+    Raises:
+        ValueError: if the stored configuration is invalid (unknown
+            algorithm, bad param key/value, ...).
+    """
+    fields = dict(payload)
+    fields.pop("format", None)
+    if "algorithms" in fields:
+        fields["algorithms"] = tuple(fields["algorithms"])
+    known = {
+        "n", "k", "alpha", "rate", "mode", "distribution",
+        "algorithms", "runs", "seed", "lpa_max_evals", "engine", "workers",
+    }
+    unknown = sorted(set(fields) - known)
+    if unknown:
+        raise ValueError(f"unknown experiment-spec keys {unknown}")
+    return ExperimentSpec(**fields)
+
+
 def spec_outcome_to_dict(outcome: SpecOutcome) -> dict[str, Any]:
     """JSON-able export of an averaged experiment outcome.
 
@@ -117,22 +172,8 @@ def spec_outcome_to_dict(outcome: SpecOutcome) -> dict[str, Any]:
     spec (its seed fully determines them), so only the spec and the
     aggregates are stored.
     """
-    spec = outcome.spec
     return {
-        "spec": {
-            "n": spec.n,
-            "k": spec.k,
-            "alpha": spec.alpha,
-            "rate": spec.rate,
-            "mode": spec.mode,
-            "distribution": spec.distribution,
-            "algorithms": list(spec.algorithms),
-            "runs": spec.runs,
-            "seed": spec.seed,
-            "lpa_max_evals": spec.lpa_max_evals,
-            "engine": spec.engine,
-            "workers": spec.workers,
-        },
+        "spec": experiment_spec_to_dict(outcome.spec),
         "outcomes": {
             name: {
                 "mean_total_gain": algo.mean_total_gain,

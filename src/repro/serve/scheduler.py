@@ -1,4 +1,4 @@
-"""Micro-batching propose executor with bounded queues and backpressure.
+"""Micro-batching round-step executor with bounded queues and backpressure.
 
 Concurrent ``propose`` requests for the deterministic DyGroups groupers
 are pure functions of ``(skills, k, mode)`` — no generator state — so
@@ -8,6 +8,16 @@ one vectorized :func:`repro.core.batch.propose_batch` call (a single
 ``(m, n)`` argsort instead of ``m`` Python round trips).  Requests whose
 array is already memoized are answered straight from the
 :class:`~repro.serve.cache.GroupingCache`.
+
+Full *round steps* batch the same way: :meth:`BatchScheduler.step`
+enqueues a whole propose → update → gain round for a cohort session, and
+the worker advances every same-``(n, k, mode, rate)`` cohort it drained
+with one batched proposal plus one stacked skill update
+(:func:`repro.engine.stacked.apply_update_many` — the vectorized
+engine's kernel, bit-identical to the scalar round step).  Cohorts are
+advanced in *waves* of distinct sessions, locks taken in session-id
+order, so concurrent advances of one cohort stay sequential and
+deadlock-free.
 
 Backpressure is explicit: the request queue is bounded and
 :meth:`BatchScheduler.submit` *rejects* work with
@@ -27,15 +37,20 @@ import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.analysis import contracts as _contracts
 from repro.core.batch import BATCH_MODES, propose_batch
 from repro.core.grouping import Grouping
+from repro.engine.stacked import apply_update_many, grouping_to_members
 from repro.obs import runtime as _obs
 from repro.serve.cache import GroupingCache
 from repro.serve.errors import RequestTimeout, SchedulerSaturated, ServiceClosed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.sessions import CohortSession
 
 __all__ = ["BatchScheduler"]
 
@@ -53,6 +68,17 @@ class _Request:
         self.k = k
         self.mode = mode
         self.future: "Future[Grouping]" = Future()
+        self.enqueued = enqueued
+
+
+class _StepRequest:
+    """One queued full-round-step request for a cohort session."""
+
+    __slots__ = ("session", "future", "enqueued")
+
+    def __init__(self, session: "CohortSession", enqueued: float) -> None:
+        self.session = session
+        self.future: "Future[dict[str, Any]]" = Future()
         self.enqueued = enqueued
 
 
@@ -92,6 +118,8 @@ class BatchScheduler:
         registry = _obs.metrics_registry()
         self._batches = registry.counter("serve.scheduler.batches")
         self._batch_size = registry.histogram("serve.scheduler.batch_size", keep=1024)
+        self._step_batches = registry.counter("serve.scheduler.step_batches")
+        self._step_batch_size = registry.histogram("serve.scheduler.step_batch_size", keep=1024)
         self._rejections = registry.counter("serve.scheduler.rejections")
         self._wait_seconds = registry.timer("serve.scheduler.wait_seconds", keep=1024)
         self._workers = [
@@ -148,6 +176,53 @@ class BatchScheduler:
                 f"propose request did not complete within {timeout:g}s"
             ) from None
 
+    def submit_step(self, session: "CohortSession") -> "Future[dict[str, Any]]":
+        """Enqueue one full round step for ``session``.
+
+        The future resolves to the round record
+        (``{"round": t, "gain": g, "groups": ...}``) once a worker has
+        advanced the cohort — possibly together with other queued
+        same-configuration cohorts in one batched round step.
+
+        Raises:
+            ServiceClosed: after :meth:`close`.
+            SchedulerSaturated: when the bounded queue is full.
+            ValueError: for a session whose mode/gain has no batched
+                update (the service routes only DyGroups cohorts here).
+        """
+        if self._closed:
+            raise ServiceClosed("scheduler is shut down")
+        if session.mode.name not in BATCH_MODES:
+            raise ValueError(
+                f"mode {session.mode.name!r} is not batchable; expected one of {BATCH_MODES}"
+            )
+        if session.mode.name == "clique" and not session.gain_fn.is_linear:
+            raise ValueError("batched clique round steps require a linear gain function")
+        request = _StepRequest(session, time.perf_counter())
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._rejections.inc()
+            raise SchedulerSaturated(
+                f"propose queue is full ({self.queue_depth} requests queued); retry later"
+            ) from None
+        return request.future
+
+    def step(self, session: "CohortSession", *, timeout: "float | None" = None) -> dict[str, Any]:
+        """Blocking submit-and-wait for one round step.
+
+        Raises:
+            RequestTimeout: the future did not resolve within ``timeout``.
+            (plus everything :meth:`submit_step` raises)
+        """
+        future = self.submit_step(session)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            raise RequestTimeout(
+                f"round-step request did not complete within {timeout:g}s"
+            ) from None
+
     def close(self, *, timeout: float = 5.0) -> None:
         """Stop accepting work, drain the queue, and join the workers."""
         with self._lock:
@@ -186,9 +261,16 @@ class BatchScheduler:
             now = time.perf_counter()
             for request in batch:
                 self._wait_seconds.observe(now - request.enqueued)
-            self._batches.inc()
-            self._batch_size.observe(len(batch))
-            self._execute(batch)
+            proposals = [r for r in batch if isinstance(r, _Request)]
+            steps = [r for r in batch if isinstance(r, _StepRequest)]
+            if proposals:
+                self._batches.inc()
+                self._batch_size.observe(len(proposals))
+                self._execute(proposals)
+            if steps:
+                self._step_batches.inc()
+                self._step_batch_size.observe(len(steps))
+                self._execute_steps(steps)
 
     def _execute(self, batch: list[_Request]) -> None:
         """Answer a drained batch, vectorizing compatible requests together."""
@@ -210,3 +292,89 @@ class BatchScheduler:
                 continue
             for request, grouping in zip(requests, groupings):
                 request.future.set_result(grouping)
+
+    def _execute_steps(self, batch: "list[_StepRequest]") -> None:
+        """Advance a drained batch of cohorts, batching compatible rounds.
+
+        Requests are grouped by ``(n, k, mode, rate)`` — the full round
+        configuration — then advanced in waves of *distinct* sessions so
+        that two queued advances of one cohort play sequential rounds
+        (its lock is not reentrant, and round indices must not collide).
+        """
+        by_config: "dict[tuple[int, int, str, float], list[_StepRequest]]" = {}
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                session = request.session
+                key = (session.n, session.k, session.mode.name, session.rate)
+                by_config.setdefault(key, []).append(request)
+        for requests in by_config.values():
+            remaining = requests
+            while remaining:
+                wave: "list[_StepRequest]" = []
+                later: "list[_StepRequest]" = []
+                seen: set[int] = set()
+                for request in remaining:
+                    if id(request.session) in seen:
+                        later.append(request)
+                    else:
+                        seen.add(id(request.session))
+                        wave.append(request)
+                self._execute_step_wave(wave)
+                remaining = later
+
+    def _execute_step_wave(self, wave: "list[_StepRequest]") -> None:
+        """One batched round step over distinct same-configuration cohorts.
+
+        Bit-identity with the inline path is the invariant: the proposal
+        comes from the same memo/batched grouper, and the stacked update
+        is :func:`repro.engine.stacked.apply_update_many` — pinned equal
+        to the scalar kernel per row — with the row-wise gain reduction
+        summing the same operands in the same order.
+        """
+        # Locks are taken in session-id order — a global order shared by
+        # every wave, so two workers locking overlapping waves cannot
+        # deadlock — and held across the compute: the wave reads every
+        # cohort's skills, advances them in one stacked update, and
+        # writes the results back atomically per session.
+        wave = sorted(wave, key=lambda request: request.session.id)
+        sessions = [request.session for request in wave]
+        for session in sessions:
+            session.lock.acquire()
+        try:
+            first = sessions[0]
+            k, mode, gain_fn = first.k, first.mode, first.gain_fn
+            arrays = [session.skills for session in sessions]
+            if self.cache is not None:
+                groupings = self.cache.propose_batch(arrays, k, mode.name)
+            else:
+                groupings = propose_batch(np.stack(arrays), k, mode.name)
+            checking = _contracts.contracts_enabled()
+            if checking:
+                for skills, grouping in zip(arrays, groupings):
+                    # Parity with the inline fast path, which checks
+                    # Theorem 1 and the partition shape per proposal.
+                    _contracts.check_top_k_teachers(skills, grouping)
+                    _contracts.check_partition(grouping, n=skills.size, k=k)
+            stacked = np.stack(arrays)
+            members = np.stack([grouping_to_members(grouping) for grouping in groupings])
+            updated = apply_update_many(stacked, members, k, mode, gain_fn)
+            gains = np.sum(updated - stacked, axis=1)
+            if checking:
+                for row, (skills, grouping) in enumerate(zip(arrays, groupings)):
+                    if mode.name == "star":
+                        _contracts.check_star_teacher_unchanged(skills, updated[row], grouping)
+                    elif mode.name == "clique":
+                        _contracts.check_clique_order_preserved(skills, updated[row], grouping)
+                _contracts.check_gains_nonnegative(gains)
+            for row, request in enumerate(wave):
+                record = request.session.record_round_locked(
+                    groupings[row], updated[row].copy(), float(gains[row])
+                )
+                request.future.set_result(record)
+        except Exception as error:
+            for request in wave:
+                if not request.future.done():
+                    request.future.set_exception(error)
+        finally:
+            for session in sessions:
+                session.lock.release()

@@ -6,12 +6,17 @@ the HTTP front-end (:mod:`repro.serve.http`) and the in-process client
 same JSON-shaped payloads, so validation, routing, metrics, and journal
 events live in exactly one place.
 
-Propose routing: the deterministic DyGroups groupers take the fast path
-(micro-batching scheduler when workers are configured, else the grouping
-memo inline, else the scalar grouper); every other registered policy —
-stochastic or stateful — runs inline on its per-cohort instance with the
-cohort's own seeded generator, preserving the offline engine's
-reproducibility guarantees.
+Round routing: the deterministic DyGroups groupers take the fast path —
+full batched round steps through the micro-batching scheduler when
+workers are configured (same-configuration cohorts advance together in
+one stacked update), else the grouping memo feeding the session's round
+kernel inline; every other registered policy — stochastic or stateful —
+runs inline on its per-cohort instance with the cohort's own seeded
+generator, preserving the offline engine's reproducibility guarantees.
+
+Cohorts are created from the unified policy registry
+(:mod:`repro.registry`): the ``policy`` field accepts any registered
+name *or* a typed spec string such as ``"percentile:p=0.9"``.
 
 All request validation routes through :mod:`repro._validation`;
 violations surface as :class:`~repro.serve.errors.InvalidRequest`
@@ -33,13 +38,13 @@ from repro._validation import (
     require_positive_int,
 )
 from repro.analysis import contracts as _contracts
-from repro.baselines.registry import POLICY_NAMES, make_policy
 from repro.core.batch import BATCH_MODES
 from repro.core.gain_functions import LinearGain
 from repro.core.grouping import Grouping
 from repro.core.interactions import get_mode
 from repro.obs import runtime as _obs
 from repro.obs import trace as _trace
+from repro.registry import PolicySpec, build_policy
 from repro.serve.cache import GroupingCache
 from repro.serve.config import ServeConfig
 from repro.serve.errors import InvalidRequest, ServiceClosed
@@ -144,9 +149,10 @@ class GroupingService:
         Payload fields: ``skills`` (required list of positive numbers),
         ``k`` (required int dividing ``n``), ``mode`` (``"star"``, the
         default, or ``"clique"``), ``rate`` (learning rate in (0, 1),
-        default 0.5), ``policy`` (any name in the registry, default
-        ``"dygroups"``), ``seed`` (int, default 0), ``record_history``
-        (bool, default false).
+        default 0.5), ``policy`` (any registered name or typed spec
+        string like ``"percentile:p=0.9"``, default ``"dygroups"``),
+        ``seed`` (int, default 0), ``record_history`` (bool, default
+        false).
 
         Raises:
             InvalidRequest: on any validation failure.
@@ -169,12 +175,9 @@ class GroupingService:
                 raise TypeError(f"seed must be an int, got {type(seed_raw).__name__}")
             seed = int(seed_raw)
             record_history = bool(_field(payload, "record_history", False))
-            policy_name = str(_field(payload, "policy", "dygroups"))
-            if policy_name not in POLICY_NAMES:
-                raise ValueError(
-                    f"unknown policy {policy_name!r}; expected one of {', '.join(POLICY_NAMES)}"
-                )
-            policy = make_policy(policy_name, mode=mode.name, rate=rate)
+            spec = PolicySpec.parse(str(_field(payload, "policy", "dygroups")))
+            policy_name = spec.canonical()
+            policy = build_policy(spec, mode=mode.name, rate=rate)
         except (TypeError, ValueError) as error:
             raise InvalidRequest(str(error)) from error
 
@@ -220,13 +223,23 @@ class GroupingService:
         except (TypeError, ValueError) as error:
             raise InvalidRequest(str(error)) from error
         session = self.store.get(cohort_id)
-        propose = self._propose_fn(session)
         played: list[dict[str, Any]] = []
         with _trace.span("serve.advance", cohort=cohort_id, rounds=rounds):
-            for _ in range(rounds):
-                record = session.advance_round(propose)
-                self._rounds_advanced.inc()
-                played.append(record)
+            if self.scheduler is not None and self._fast_path(session):
+                # Batched round steps: the scheduler advances this cohort
+                # together with any concurrently queued same-(n, k, mode,
+                # rate) cohorts in one stacked update.
+                timeout = self.config.request_timeout
+                for _ in range(rounds):
+                    record = self.scheduler.step(session, timeout=timeout)
+                    self._rounds_advanced.inc()
+                    played.append(record)
+            else:
+                propose = self._propose_fn(session)
+                for _ in range(rounds):
+                    record = session.advance_round(propose)
+                    self._rounds_advanced.inc()
+                    played.append(record)
         state = _obs.state()
         if state is not None and state.journal is not None:
             for record in played:
@@ -276,36 +289,29 @@ class GroupingService:
 
     # -- propose routing ---------------------------------------------------
 
+    def _fast_path(self, session: CohortSession) -> bool:
+        """Whether this cohort's round is the deterministic DyGroups step."""
+        return (
+            PolicySpec.parse(session.policy_name).name in _FAST_PATH_POLICIES
+            and session.mode.name in BATCH_MODES
+        )
+
     def _propose_fn(self, session: CohortSession) -> Any:
-        """The propose callable for one advance call, or ``None`` for the
-        session policy's own (inline) propose."""
-        if session.policy_name not in _FAST_PATH_POLICIES:
+        """The propose callable for one inline advance call, or ``None``
+        for the session policy's own propose."""
+        if self.cache is None or not self._fast_path(session):
             return None
         mode = session.mode.name
-        if mode not in BATCH_MODES:
-            return None
-        if self.scheduler is not None:
-            timeout = self.config.request_timeout
 
-            def propose(skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
-                grouping = self.scheduler.propose(skills, k, mode, timeout=timeout)
-                if _contracts.contracts_enabled():
-                    # Parity with DyGroupsStar/Clique.propose, which check
-                    # Theorem 1 on every offline proposal.
-                    _contracts.check_top_k_teachers(skills, grouping)
-                return grouping
+        def propose(skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
+            grouping = self.cache.propose(skills, k, mode)
+            if _contracts.contracts_enabled():
+                # Parity with DyGroupsStar/Clique.propose, which check
+                # Theorem 1 on every offline proposal.
+                _contracts.check_top_k_teachers(skills, grouping)
+            return grouping
 
-            return propose
-        if self.cache is not None:
-
-            def propose(skills: np.ndarray, k: int, rng: np.random.Generator) -> Grouping:
-                grouping = self.cache.propose(skills, k, mode)
-                if _contracts.contracts_enabled():
-                    _contracts.check_top_k_teachers(skills, grouping)
-                return grouping
-
-            return propose
-        return None
+        return propose
 
     def __repr__(self) -> str:
         return (

@@ -12,11 +12,14 @@ by id, lazy TTL eviction on every access (plus an explicit
 recently evicted ids so the API can answer ``410 session_expired``
 rather than a bare 404 for cohorts that aged out.
 
-Round advancement mirrors the loop body of
-:func:`repro.core.simulation.simulate` exactly — propose, update, gain,
-contracts — so a cohort advanced ``α`` times over the service is
-bit-identical to an offline ``simulate`` run with the same seed (pinned
-by the integration tests).
+Round advancement *is* the offline engine's round step: each session
+owns a :class:`repro.engine.kernel.RoundKernel` (built with
+``instrument=False`` so served rounds emit no ``core.*`` events) and
+delegates propose → update → gain → contracts to it, so a cohort
+advanced ``α`` times over the service is bit-identical to an offline
+``simulate`` run with the same seed (pinned by the integration tests).
+The batched scheduler path records externally computed rounds through
+:meth:`CohortSession.record_round_locked` instead.
 
 Clock discipline: TTLs are measured on an injectable *monotonic* clock
 (never jumps backwards); the wall clock is read only for the
@@ -35,19 +38,17 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.analysis import contracts as _contracts
 from repro.core.gain_functions import GainFunction
 from repro.core.grouping import Grouping
 from repro.core.interactions import InteractionMode
 from repro.core.simulation import GroupingPolicy
+from repro.engine.kernel import ProposeFn, RoundKernel
 from repro.serve.errors import CapacityExhausted, CohortNotFound, SessionExpired
 
 __all__ = ["CohortSession", "SessionStore"]
 
 #: How many evicted cohort ids the store remembers for 410 answers.
 _EVICTED_MEMORY = 1024
-
-ProposeFn = Callable[[np.ndarray, int, np.random.Generator], Grouping]
 
 
 class CohortSession:
@@ -87,6 +88,9 @@ class CohortSession:
         self.skill_history: "list[np.ndarray] | None" = [skills.copy()] if record_history else None
         self.lock = threading.Lock()
         self.created_utc = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        # instrument=False: served rounds emit serve.* telemetry from the
+        # service layer, never the offline engine's core.* events.
+        self._kernel = RoundKernel(policy, mode, gain_fn, instrument=False)
         self.policy.reset()
 
     @property
@@ -107,14 +111,14 @@ class CohortSession:
     def advance_round(self, propose: "ProposeFn | None" = None) -> dict[str, Any]:
         """Advance one round and return its record.
 
-        Mirrors the ``simulate`` loop body: propose a grouping, validate
-        its shape, apply the mode's skill update, measure the gain, and —
-        when runtime contracts are enabled — run the same invariant
-        checks the offline engine runs.
+        Delegates the round step — propose, shape check, skill update,
+        gain accounting, runtime contracts — to the session's
+        :class:`~repro.engine.kernel.RoundKernel`, the same kernel the
+        offline ``simulate`` driver runs.
 
         Args:
             propose: optional override for the propose step (the service
-                passes the cache/scheduler fast path for DyGroups
+                passes the grouping-memo fast path for DyGroups
                 policies); defaults to the session policy's own
                 :meth:`~repro.core.simulation.GroupingPolicy.propose`.
 
@@ -123,36 +127,34 @@ class CohortSession:
             ``t`` is the 0-based index of the round just played.
         """
         with self.lock:
-            current = self.skills
-            if propose is None:
-                grouping = self.policy.propose(current, self.k, self.rng)
-            else:
-                grouping = propose(current, self.k, self.rng)
-            if grouping.n != len(current) or grouping.k != self.k:
-                raise ValueError(
-                    f"policy {self.policy_name!r} returned a grouping with n={grouping.n}, "
-                    f"k={grouping.k}; expected n={len(current)}, k={self.k}"
-                )
-            checking = _contracts.contracts_enabled()
-            if checking:
-                _contracts.check_partition(grouping, n=len(current), k=self.k)
-            updated = self.mode.update(current, grouping, self.gain_fn)
-            gain_t = float(np.sum(updated - current))
-            if checking:
-                if self.mode.name == "star":
-                    _contracts.check_star_teacher_unchanged(current, updated, grouping)
-                elif self.mode.name == "clique":
-                    _contracts.check_clique_order_preserved(current, updated, grouping)
-                _contracts.check_gains_nonnegative(gain_t)
-            self.skills = updated
-            self.round_gains.append(gain_t)
-            if self.skill_history is not None:
-                self.skill_history.append(updated.copy())
-            return {
-                "round": len(self.round_gains) - 1,
-                "gain": gain_t,
-                "groups": [list(group) for group in grouping],
-            }
+            outcome = self._kernel.step(
+                self.skills,
+                self.k,
+                self.rng,
+                round_index=len(self.round_gains),
+                propose=propose,
+            )
+            return self.record_round_locked(outcome.grouping, outcome.updated, outcome.gain)
+
+    def record_round_locked(
+        self, grouping: Grouping, updated: np.ndarray, gain: float
+    ) -> dict[str, Any]:
+        """Record one computed round; the caller must hold ``self.lock``.
+
+        Shared tail of the two advancement paths: the inline kernel step
+        above, and the scheduler's batched round step, which computes a
+        whole wave of same-configuration cohorts with one stacked update
+        while holding every wave member's lock.
+        """
+        self.skills = updated
+        self.round_gains.append(gain)
+        if self.skill_history is not None:
+            self.skill_history.append(updated.copy())
+        return {
+            "round": len(self.round_gains) - 1,
+            "gain": gain,
+            "groups": [list(group) for group in grouping],
+        }
 
     def describe(self, *, include_history: bool = False) -> dict[str, Any]:
         """JSON-ready summary of the cohort and its trajectory."""

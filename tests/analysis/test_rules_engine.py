@@ -1,0 +1,64 @@
+"""Unit tests for DYG204 — the manual-round-step rule."""
+
+from __future__ import annotations
+
+from repro.analysis import LintEngine
+
+ROUND_STEP = (
+    "def run(policy, mode, skills, k, rng, gain):\n"
+    "    grouping = policy.propose(skills, k, rng)\n"
+    "    updated = mode.update(skills, grouping, gain)\n"
+    "    return updated\n"
+)
+
+BATCHED_STEP = (
+    "def run(vec, mode, matrix, k, rngs, gain):\n"
+    "    members = vec.propose_many(matrix, k, rngs)\n"
+    "    return mode.update(matrix, members, gain)\n"
+)
+
+
+def codes(source: str, path: str = "src/repro/experiments/custom.py"):
+    return [d.code for d in LintEngine(select="DYG204").lint_source(source, path=path)]
+
+
+class TestManualRoundStep:
+    def test_inlined_round_step_flagged(self):
+        assert codes(ROUND_STEP) == ["DYG204"]
+
+    def test_batched_round_step_flagged(self):
+        assert codes(BATCHED_STEP) == ["DYG204"]
+
+    def test_core_and_engine_are_exempt(self):
+        assert codes(ROUND_STEP, path="src/repro/core/simulation.py") == []
+        assert codes(ROUND_STEP, path="src/repro/engine/kernel.py") == []
+
+    def test_propose_alone_passes(self):
+        source = (
+            "def run(policy, skills, k, rng):\n"
+            "    return policy.propose(skills, k, rng)\n"
+        )
+        assert codes(source) == []
+
+    def test_dict_update_is_not_a_skill_update(self):
+        source = (
+            "def run(policy, skills, k, rng, extra):\n"
+            "    grouping = policy.propose(skills, k, rng)\n"
+            "    payload = {}\n"
+            "    payload.update(extra)\n"
+            "    return grouping, payload\n"
+        )
+        assert codes(source) == []
+
+    def test_noqa_suppresses(self):
+        source = (
+            "def run(policy, mode, skills, k, rng, gain):\n"
+            "    grouping = policy.propose(skills, k, rng)\n"
+            "    return mode.update(skills, grouping, gain)  # noqa: DYG204\n"
+        )
+        assert codes(source) == []
+
+    def test_repo_round_step_homes_stay_clean(self):
+        """The refactor's acceptance: no inlined round steps outside the kernels."""
+        report = LintEngine(select="DYG204").lint_paths(["src/repro"])
+        assert [str(d) for d in report.diagnostics] == []

@@ -39,8 +39,16 @@ class TestExperimentSpec:
             ExperimentSpec(distribution="cauchy")
 
     def test_rejects_unknown_algorithm(self):
-        with pytest.raises(ValueError, match="unknown algorithms"):
+        with pytest.raises(ValueError, match="unknown policy 'bogus'"):
             ExperimentSpec(algorithms=("dygroups", "bogus"))
+
+    def test_accepts_spec_strings_and_extensions(self):
+        spec = ExperimentSpec(algorithms=("percentile:p=0.9", "fair-star"))
+        assert spec.algorithms == ("percentile:p=0.9", "fair-star")
+
+    def test_rejects_bad_spec_param(self):
+        with pytest.raises(ValueError, match="has no parameter 'q'"):
+            ExperimentSpec(algorithms=("percentile:q=0.9",))
 
     def test_rejects_empty_algorithms(self):
         with pytest.raises(ValueError):
