@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs import runtime as _obs
+from repro.obs.provenance import provenance_stamp
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -34,7 +35,8 @@ FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 BENCH_RUNS = 10 if FULL else 2
 
 #: Schema version of the BENCH_<name>.json artifacts.
-BENCH_JSON_SCHEMA = 1
+#: v2 added the provenance block (git SHA, UTC timestamp, host info).
+BENCH_JSON_SCHEMA = 2
 
 # Collect per-round timings and counters for the JSON artifacts
 # (metrics-only: no journal, no tracing, no logging).
@@ -65,6 +67,7 @@ def emit(name: str, text: str, *, config: "dict[str, Any] | None" = None) -> Non
     payload = {
         "schema": BENCH_JSON_SCHEMA,
         "name": name,
+        "provenance": provenance_stamp(cwd=Path(__file__).parent),
         "config": {"full": FULL, "runs": BENCH_RUNS, **(config or {})},
         "metrics": snapshot,
         "totals": {

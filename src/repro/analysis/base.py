@@ -49,9 +49,13 @@ _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE
 #:   journals can be aligned across hosts; simulation work inside the
 #:   workers stays seed-deterministic.
 #:
+#: * ``scenarios`` — open-loop load generation and coordinated-omission
+#:   accounting are clock measurement by definition; arrival schedules
+#:   themselves are precomputed from seeds and never read the clock.
+#:
 #: Everything else under ``src/`` stays banned: simulation code that
 #: branches on the clock is non-reproducible by construction.
-WALLCLOCK_ALLOWLIST = frozenset({"obs", "serve", "experiments/parallel.py"})
+WALLCLOCK_ALLOWLIST = frozenset({"obs", "serve", "scenarios", "experiments/parallel.py"})
 
 
 def wallclock_exempt_path(path: "str | Path") -> bool:

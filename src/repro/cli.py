@@ -16,7 +16,11 @@ Subcommands:
   prints a per-phase timing table from a journal);
 * ``serve`` — the grouping service: a long-running HTTP JSON API over
   the session store, grouping memo, and micro-batching scheduler of
-  :mod:`repro.serve` (see docs/serving.md);
+  :mod:`repro.serve` (see docs/serving.md); ``--slo TARGET=LIMIT``
+  surfaces live SLO verdicts on ``GET /metrics``;
+* ``scenario`` — declared workloads (``run`` / ``compare`` / ``list``):
+  seeded open-loop load generation, SLO verdicts, and cross-paradigm
+  bit-identity checks over the scenario catalog (see SCENARIOS.md);
 * ``list`` — available figures, algorithms, distributions, journal
   events, and lint rules.
 
@@ -226,6 +230,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=256,
         help="bounded propose-queue depth (requests beyond it get 429)",
     )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        metavar="TARGET=LIMIT",
+        default=None,
+        help="an SLO target evaluated live on GET /metrics, e.g. "
+        "--slo latency_p95_ms=250 --slo max_error_rate=0.01 (repeatable)",
+    )
+
+    scenario = sub.add_parser(
+        "scenario", help="declared workloads: load generation, SLOs, paradigm comparison"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scen_run = scenario_sub.add_parser(
+        "run", help="run a scenario through one execution paradigm", parents=obs
+    )
+    scen_run.add_argument("scenario", help="catalog name or JSON spec file (see SCENARIOS.md)")
+    scen_run.add_argument(
+        "--paradigm",
+        choices=("inprocess", "http", "cli"),
+        default="inprocess",
+        help="execution paradigm (default %(default)s)",
+    )
+    scen_run.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="also write BENCH_scenario_<name>.json under DIR",
+    )
+    scen_compare = scenario_sub.add_parser(
+        "compare",
+        help="run a scenario through several paradigms and assert identical groupings",
+        parents=obs,
+    )
+    scen_compare.add_argument("scenario", help="catalog name or JSON spec file")
+    scen_compare.add_argument(
+        "--paradigms",
+        metavar="P1,P2,...",
+        default="inprocess,http,cli",
+        help="comma-separated paradigms to compare (default %(default)s)",
+    )
+    scen_compare.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="also write BENCH_scenario_<name>.json under DIR",
+    )
+    scenario_sub.add_parser("list", help="list the built-in scenario catalog")
 
     sub.add_parser(
         "list", help="list figures, algorithms, distributions, and journal events"
@@ -513,6 +565,18 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve.config import ServeConfig
     from repro.serve.http import run_server
 
+    slo: "dict[str, float] | None" = None
+    if args.slo:
+        slo = {}
+        for item in args.slo:
+            target, sep, raw = item.partition("=")
+            try:
+                if not sep:
+                    raise ValueError
+                slo[target] = float(raw)
+            except ValueError:
+                print(f"bad --slo value {item!r}; expected TARGET=LIMIT", file=sys.stderr)
+                return 2
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -520,8 +584,59 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         session_ttl=args.session_ttl,
         queue_depth=args.queue_depth,
+        slo=slo,
     )
     return run_server(config)
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import CATALOG, load_scenario
+
+    if args.scenario_command == "list":
+        print("built-in scenarios (also accepts a JSON spec file; see SCENARIOS.md):")
+        for name in sorted(CATALOG):
+            spec = CATALOG[name]
+            targets = "-" if spec.slo is None else ",".join(sorted(spec.slo.targets()))
+            print(
+                f"  {name:<18} arrival={spec.arrival.kind:<12} "
+                f"cohorts={spec.population.cohorts:<3} rounds={spec.rounds:<3} slo={targets}"
+            )
+        return 0
+
+    from repro.experiments.tables import paradigm_table
+    from repro.scenarios.harness import PARADIGMS, ParadigmMismatch, compare_scenario, write_scenario_artifact
+
+    spec = load_scenario(args.scenario)
+    if args.scenario_command == "run":
+        paradigms: tuple[str, ...] = (args.paradigm,)
+    else:
+        paradigms = tuple(p.strip() for p in args.paradigms.split(",") if p.strip())
+        unknown = [p for p in paradigms if p not in PARADIGMS]
+        if unknown:
+            print(
+                f"unknown paradigm(s) {unknown}; expected a subset of {list(PARADIGMS)}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        comparison = compare_scenario(spec, paradigms=paradigms)
+    except ParadigmMismatch as error:
+        print(f"scenario {spec.name}: PARADIGM MISMATCH: {error}", file=sys.stderr)
+        return 1
+    print(paradigm_table(comparison))
+    for paradigm, report in sorted(comparison.reports.items()):
+        if report is None:
+            continue
+        for verdict in report.failures():
+            observed = "absent" if verdict.observed is None else f"{verdict.observed:.6g}"
+            print(
+                f"  SLO FAIL [{paradigm}] {verdict.target}: "
+                f"observed {observed} vs limit {verdict.limit:.6g}"
+            )
+    if args.artifact_dir:
+        path = write_scenario_artifact(comparison, args.artifact_dir)
+        print(f"\nsaved artifact to {path}")
+    return 0 if comparison.passed else 1
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -626,6 +741,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_lint(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "scenario":
+        return _command_scenario(args)
     if args.command == "list":
         return _command_list()
     raise AssertionError(f"unhandled command {args.command!r}")

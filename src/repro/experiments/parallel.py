@@ -140,6 +140,12 @@ def _merge_metrics_snapshot(snapshot: dict) -> None:
     registry = obs.metrics
     for name, payload in snapshot.get("counters", {}).items():
         registry.counter(name).inc(payload["value"])
+    for name, payload in snapshot.get("gauges", {}).items():
+        # A gauge is a point-in-time level, not a cumulative count:
+        # merging worker snapshots keeps the highest level any worker
+        # reached (the parent's own gauge value participates too).
+        gauge = registry.gauge(name)
+        gauge.set(max(gauge.value, payload["value"]))
     for name, payload in snapshot.get("timers", {}).items():
         timer = registry.timer(name)
         for value in payload["values"]:

@@ -1,11 +1,16 @@
-"""Tabular rendering of spec outcomes (algorithm comparison tables)."""
+"""Tabular rendering of spec outcomes and scenario comparisons."""
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.experiments.render import format_value
 from repro.experiments.runner import SpecOutcome
 
-__all__ = ["comparison_table"]
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.scenarios.harness import ScenarioComparison
+
+__all__ = ["comparison_table", "paradigm_table"]
 
 
 def comparison_table(outcome: SpecOutcome, *, digits: int = 6) -> str:
@@ -44,4 +49,56 @@ def comparison_table(outcome: SpecOutcome, *, digits: int = 6) -> str:
         lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
         if r == 0:
             lines.append("  ".join("-" * widths[c] for c in range(len(header))))
+    return "\n".join(lines)
+
+
+def paradigm_table(comparison: "ScenarioComparison") -> str:
+    """Render a scenario's cross-paradigm comparison as an aligned table.
+
+    Columns: paradigm, completed requests, errors, throughput, client
+    latency percentiles in milliseconds, and the paradigm's SLO verdict
+    (``-`` when the scenario declares no SLO block).  A trailing line
+    states the bit-identity result (the comparison object only exists
+    when identity held) and the overall verdict.
+    """
+    spec = comparison.spec
+    header = ["paradigm", "requests", "errors", "rps", "p50 ms", "p95 ms", "p99 ms", "slo"]
+    rows = [header]
+    for run in comparison.runs:
+        series = run.latency_series()
+
+        def _ms(key: str) -> str:
+            if series is None or not series.get("count"):
+                return "-"
+            return format_value(1000.0 * float(series[key]), digits=3)
+
+        report = comparison.reports.get(run.paradigm)
+        rows.append(
+            [
+                run.paradigm,
+                str(run.load.requests),
+                str(run.load.errors),
+                format_value(run.load.throughput_rps, digits=3),
+                _ms("p50"),
+                _ms("p95"),
+                _ms("p99"),
+                "-" if report is None else report.verdict,
+            ]
+        )
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    population = spec.population
+    title = (
+        f"scenario {spec.name}: arrival={spec.arrival.kind} "
+        f"n={population.n} k={population.k} cohorts={population.cohorts} "
+        f"rounds={spec.rounds} policy={spec.policy}"
+    )
+    lines = [title, "=" * len(title)]
+    for r, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(header))))
+    lines.append(
+        f"groupings bit-identical across {len(comparison.runs)} paradigm(s) "
+        f"over {comparison.rounds_compared} rounds; verdict: {comparison.verdict}"
+    )
     return "\n".join(lines)

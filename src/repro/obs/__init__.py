@@ -29,7 +29,15 @@ from repro.obs.journal import (
     read_journal,
 )
 from repro.obs.logconfig import get_logger, setup_logging
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    render_prometheus,
+)
+from repro.obs.provenance import provenance_stamp
 from repro.obs.runtime import (
     ObsState,
     configure,
@@ -53,9 +61,12 @@ __all__ = [
     "get_logger",
     "setup_logging",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Timer",
+    "render_prometheus",
+    "provenance_stamp",
     "ObsState",
     "configure",
     "enable_metrics",

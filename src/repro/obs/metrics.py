@@ -1,20 +1,33 @@
-"""Process-local metrics: counters, timers, histograms, snapshot export.
+"""Process-local metrics: counters, gauges, timers, histograms, export.
 
-The registry is deliberately tiny — three instrument kinds, get-or-create
+The registry is deliberately tiny — four instrument kinds, get-or-create
 by name, and a :meth:`MetricsRegistry.snapshot` that returns plain
 JSON-able dicts (the payload behind the ``BENCH_<name>.json`` artifacts).
 Timers retain their raw observations so per-round timing *series* survive
 into the snapshot, not just aggregates.
+
+Snapshots also render to the Prometheus text exposition format via
+:func:`render_prometheus` (served by ``GET /metrics?format=prometheus``):
+counters and gauges map to their native types, timers and histograms to
+summaries with p50/p95/p99 quantile samples.
 """
 
 from __future__ import annotations
 
 import math
+import re
 import time
 from collections import deque
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "Timer"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "render_prometheus",
+]
 
 
 class Counter:
@@ -37,6 +50,51 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight waves).
+
+    Unlike a :class:`Counter` a gauge is *instantaneous* state, not an
+    accumulation: ``set`` overwrites, ``inc``/``dec`` adjust, and the
+    snapshot additionally reports the high-water mark seen since
+    creation (``max``) so a drained queue still shows how deep it got.
+    """
+
+    __slots__ = ("name", "value", "_max")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: float = 0
+        self._max: float = 0
+
+    def set(self, value: "int | float") -> "int | float":
+        """Overwrite the gauge; returns the new value."""
+        self.value = value
+        if value > self._max:
+            self._max = value
+        return self.value
+
+    def inc(self, amount: "int | float" = 1) -> "int | float":
+        """Add ``amount`` (default 1); returns the new value."""
+        return self.set(self.value + amount)
+
+    def dec(self, amount: "int | float" = 1) -> "int | float":
+        """Subtract ``amount`` (default 1); returns the new value."""
+        self.value -= amount
+        return self.value
+
+    @property
+    def max(self) -> "int | float":
+        """High-water mark since creation."""
+        return self._max
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state of the gauge."""
+        return {"type": "gauge", "value": self.value, "max": self._max}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value}, max={self._max})"
 
 
 class Histogram:
@@ -124,6 +182,7 @@ class Histogram:
             "max": self.max,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "values": [round(v, 9) for v in self.values],
         }
         if self.keep is not None:
@@ -170,7 +229,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._instruments: dict[str, "Counter | Histogram"] = {}
+        self._instruments: dict[str, "Counter | Gauge | Histogram"] = {}
 
     def _get(self, name: str, kind: type, **kwargs: Any) -> Any:
         instrument = self._instruments.get(name)
@@ -187,6 +246,10 @@ class MetricsRegistry:
         """Get or create the named counter."""
         return self._get(name, Counter)
 
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get(name, Gauge)
+
     def timer(self, name: str, *, keep: int | None = None) -> Timer:
         """Get or create the named timer (``keep`` bounds raw retention)."""
         return self._get(name, Timer, keep=keep)
@@ -197,11 +260,18 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Export every instrument, grouped by kind and sorted by name."""
-        groups: dict[str, dict[str, Any]] = {"counters": {}, "timers": {}, "histograms": {}}
+        groups: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
             if isinstance(instrument, Counter):
                 groups["counters"][name] = instrument.snapshot()
+            elif isinstance(instrument, Gauge):
+                groups["gauges"][name] = instrument.snapshot()
             elif isinstance(instrument, Timer):
                 groups["timers"][name] = instrument.snapshot()
             else:
@@ -220,3 +290,68 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         return f"MetricsRegistry(instruments={len(self._instruments)})"
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, *, namespace: str) -> str:
+    """A metric name valid under the Prometheus data model."""
+    sanitized = _PROM_INVALID.sub("_", name)
+    if namespace:
+        sanitized = f"{namespace}_{sanitized}"
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _prom_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping[str, Any]], *, namespace: str = "repro"
+) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Counters and gauges map to their native Prometheus types; timers and
+    histograms are exposed as summaries — ``{quantile="0.5|0.95|0.99"}``
+    samples over the retained window plus ``_sum``/``_count`` over the
+    full stream.  Dots in instrument names become underscores and every
+    name is prefixed with ``namespace`` (default ``repro``).
+    """
+    lines: list[str] = []
+
+    def emit(kind: str, name: str, payload: Mapping[str, Any]) -> None:
+        metric = _prom_name(name, namespace=namespace)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prom_number(payload['value'])}")
+            return
+        if kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_number(payload['value'])}")
+            lines.append(f"# TYPE {metric}_max gauge")
+            lines.append(f"{metric}_max {_prom_number(payload['max'])}")
+            return
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} {_prom_number(payload.get(key, 0.0))}'
+            )
+        lines.append(f"{metric}_sum {_prom_number(payload.get('total', 0.0))}")
+        lines.append(f"{metric}_count {_prom_number(payload.get('count', 0))}")
+
+    for name, payload in snapshot.get("counters", {}).items():
+        emit("counter", name, payload)
+    for name, payload in snapshot.get("gauges", {}).items():
+        emit("gauge", name, payload)
+    for name, payload in snapshot.get("timers", {}).items():
+        emit("summary", name, payload)
+    for name, payload in snapshot.get("histograms", {}).items():
+        emit("summary", name, payload)
+    return "\n".join(lines) + "\n"

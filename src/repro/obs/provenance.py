@@ -1,0 +1,60 @@
+"""Provenance stamps for archived artifacts.
+
+Every machine-readable artifact the repo emits — ``BENCH_<name>.json``
+from the bench harness, ``BENCH_scenario_<name>.json`` from the scenario
+harness — carries a provenance block so the perf trajectory stays
+comparable across PRs: which commit produced the numbers, when, and on
+what host.  Without it two artifacts with different numbers are just two
+files; with it they are two points on a curve.
+
+Lives under ``repro.obs`` because stamping reads the wall clock (the
+documented DYG103 allowlist): timestamps describe the run, they never
+feed results.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = ["provenance_stamp", "git_sha"]
+
+
+def git_sha(cwd: "str | Path | None" = None) -> "str | None":
+    """The current commit SHA, or ``None`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def provenance_stamp(*, cwd: "str | Path | None" = None) -> dict[str, Any]:
+    """A JSON-able provenance block: git SHA, UTC timestamp, host info.
+
+    Args:
+        cwd: directory whose git checkout to stamp (defaults to the
+            process working directory).
+    """
+    return {
+        "git_sha": git_sha(cwd),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "node": platform.node(),
+            "machine": platform.machine(),
+        },
+    }

@@ -1,0 +1,194 @@
+"""SLO verdicts over metrics-registry snapshots.
+
+:func:`evaluate_slos` turns an :class:`~repro.scenarios.spec.SLOSpec`
+plus a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` into an
+:class:`SLOReport` — one :class:`SLOVerdict` per configured target and
+an overall pass/fail.  The same engine serves two consumers with
+different metric names:
+
+* the scenario harness evaluates the load generator's own
+  ``scenario.*`` instruments after a run;
+* ``GET /metrics`` evaluates the live ``serve.http.*`` instruments when
+  the service was configured with SLO targets, so a dashboard scraping
+  the endpoint sees the verdict next to the raw series.
+
+A target whose observation is missing from the snapshot **fails**:
+an SLO that cannot be demonstrated is not met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.scenarios.spec import SLOSpec
+
+__all__ = ["SLOReport", "SLOVerdict", "evaluate_slos", "slo_prometheus_lines"]
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """One target's verdict.
+
+    Attributes:
+        target: target name (an :class:`SLOSpec` field).
+        limit: the configured bound.
+        observed: the measured value, or ``None`` when the metric was
+            absent from the snapshot.
+        passed: whether the observation satisfies the bound.
+    """
+
+    target: str
+    limit: float
+    observed: "float | None"
+    passed: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able representation."""
+        return {
+            "target": self.target,
+            "limit": self.limit,
+            "observed": self.observed,
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Every configured target's verdict plus the overall outcome."""
+
+    verdicts: tuple[SLOVerdict, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every target passed."""
+        return all(verdict.passed for verdict in self.verdicts)
+
+    @property
+    def verdict(self) -> str:
+        """``"pass"`` or ``"fail"``."""
+        return "pass" if self.passed else "fail"
+
+    def failures(self) -> list[SLOVerdict]:
+        """The failing verdicts only."""
+        return [verdict for verdict in self.verdicts if not verdict.passed]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able representation (the artifact/``/metrics`` block)."""
+        return {
+            "verdict": self.verdict,
+            "passed": self.passed,
+            "targets": [verdict.to_dict() for verdict in self.verdicts],
+        }
+
+
+def _latency_series(
+    snapshot: Mapping[str, Any], name: str
+) -> "Mapping[str, Any] | None":
+    for group in ("timers", "histograms"):
+        payload = snapshot.get(group, {}).get(name)
+        if payload is not None:
+            return payload
+    return None
+
+
+def _counter_sum(snapshot: Mapping[str, Any], names: Sequence[str]) -> "float | None":
+    counters = snapshot.get("counters", {})
+    values = [counters[name]["value"] for name in names if name in counters]
+    if not values:
+        return None
+    return float(sum(values))
+
+
+def evaluate_slos(
+    slo: SLOSpec,
+    snapshot: Mapping[str, Any],
+    *,
+    latency: str = "scenario.latency.total_seconds",
+    requests: str = "scenario.requests",
+    errors: Sequence[str] = ("scenario.errors",),
+    duration_seconds: "float | None" = None,
+    duration_gauge: str = "scenario.duration_seconds",
+) -> SLOReport:
+    """Judge ``slo``'s targets against a registry snapshot.
+
+    Args:
+        slo: the configured targets.
+        snapshot: a :meth:`MetricsRegistry.snapshot` payload.
+        latency: timer/histogram name holding per-request latency
+            **seconds** (percentiles are compared in milliseconds).
+        requests: counter name of attempted requests.
+        errors: counter names summed into the error count (absent
+            counters contribute 0 when at least one is present).
+        duration_seconds: wall duration for the throughput target;
+            when ``None`` it is read from ``duration_gauge``.
+        duration_gauge: gauge name holding the run duration in seconds.
+    """
+    verdicts: list[SLOVerdict] = []
+    targets = slo.targets()
+
+    series = _latency_series(snapshot, latency)
+    for field, key in (
+        ("latency_p50_ms", "p50"),
+        ("latency_p95_ms", "p95"),
+        ("latency_p99_ms", "p99"),
+    ):
+        if field not in targets:
+            continue
+        limit = targets[field]
+        observed: "float | None" = None
+        if series is not None and series.get("count", 0) > 0:
+            observed = 1000.0 * float(series[key])
+        verdicts.append(
+            SLOVerdict(field, limit, observed, observed is not None and observed <= limit)
+        )
+
+    request_count = _counter_sum(snapshot, (requests,))
+    error_count = _counter_sum(snapshot, errors)
+
+    if "min_throughput_rps" in targets:
+        limit = targets["min_throughput_rps"]
+        if duration_seconds is None:
+            gauge = snapshot.get("gauges", {}).get(duration_gauge)
+            duration_seconds = None if gauge is None else float(gauge["value"])
+        observed = None
+        if request_count is not None and duration_seconds is not None and duration_seconds > 0:
+            observed = request_count / duration_seconds
+        verdicts.append(
+            SLOVerdict(
+                "min_throughput_rps", limit, observed, observed is not None and observed >= limit
+            )
+        )
+
+    if "max_error_rate" in targets:
+        limit = targets["max_error_rate"]
+        observed = None
+        if request_count is not None and request_count > 0:
+            observed = (error_count or 0.0) / request_count
+        verdicts.append(
+            SLOVerdict(
+                "max_error_rate", limit, observed, observed is not None and observed <= limit
+            )
+        )
+
+    return SLOReport(tuple(verdicts))
+
+
+def slo_prometheus_lines(report: SLOReport, *, namespace: str = "repro") -> str:
+    """The verdict block in Prometheus text exposition format.
+
+    ``<namespace>_slo_passed`` is the overall verdict (1 pass / 0 fail);
+    one ``<namespace>_slo_target_passed{target="..."}`` sample per
+    configured target.
+    """
+    lines = [
+        f"# TYPE {namespace}_slo_passed gauge",
+        f"{namespace}_slo_passed {1 if report.passed else 0}",
+        f"# TYPE {namespace}_slo_target_passed gauge",
+    ]
+    for verdict in report.verdicts:
+        lines.append(
+            f'{namespace}_slo_target_passed{{target="{verdict.target}"}} '
+            f"{1 if verdict.passed else 0}"
+        )
+    return "\n".join(lines) + "\n"

@@ -9,13 +9,23 @@ invocation fails at startup with an actionable message, not mid-request.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro._validation import require_positive_int
 
-__all__ = ["ServeConfig", "DEFAULT_PORT"]
+__all__ = ["ServeConfig", "DEFAULT_PORT", "REQUEST_HISTOGRAM_KEEP"]
 
 #: Default TCP port of ``dygroups serve``.
 DEFAULT_PORT = 8750
+
+#: Raw-retention bound for every request-path histogram/timer (HTTP
+#: request latency, scheduler wait/assembly/kernel stages, scenario
+#: load-generator latencies).  A long-lived ``dygroups serve`` process
+#: records one observation per request; unbounded retention would grow
+#: memory without bound, so percentiles describe the most recent
+#: ``REQUEST_HISTOGRAM_KEEP`` observations while count/total/min/max
+#: keep tracking the full stream.
+REQUEST_HISTOGRAM_KEEP = 4096
 
 
 @dataclass(frozen=True)
@@ -35,6 +45,12 @@ class ServeConfig:
         batch_max: most propose requests coalesced into one batch.
         request_timeout: seconds a request waits on the scheduler before
             giving up.
+        slo: optional SLO target mapping (the fields of
+            :class:`repro.scenarios.spec.SLOSpec`, e.g.
+            ``{"latency_p95_ms": 250}``).  When set, ``GET /metrics``
+            evaluates the targets against the live registry and serves
+            the verdict block; parsed and fully validated by the
+            service at startup.
     """
 
     host: str = "127.0.0.1"
@@ -46,6 +62,7 @@ class ServeConfig:
     queue_depth: int = 256
     batch_max: int = 32
     request_timeout: float = 30.0
+    slo: "Mapping[str, float] | None" = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.port, int) or isinstance(self.port, bool) or not 0 <= self.port <= 65535:
@@ -63,3 +80,5 @@ class ServeConfig:
         require_positive_int(self.batch_max, name="batch_max")
         if not self.host or not isinstance(self.host, str):
             raise ValueError(f"host must be a non-empty string, got {self.host!r}")
+        if self.slo is not None and not isinstance(self.slo, Mapping):
+            raise ValueError(f"slo must be a mapping of SLO targets, got {self.slo!r}")

@@ -12,7 +12,12 @@ POST      ``/v1/cohorts/{id}/rounds``     advance rounds (body ``{"rounds": m}``
 DELETE    ``/v1/cohorts/{id}``            remove a cohort
 GET       ``/healthz``                    liveness + cache stats
 GET       ``/metrics``                    metrics-registry snapshot (JSON)
+GET       ``/metrics?format=prometheus``  same registry, Prometheus text format
 ========  ==============================  =======================================
+
+When the service was configured with SLO targets (``ServeConfig.slo``),
+both ``/metrics`` formats carry the verdict block next to the raw
+series.
 
 Failures are structured envelopes —
 ``{"error": {"code": "...", "message": "..."}}`` — with the status from
@@ -36,10 +41,11 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
 from repro.obs import runtime as _obs
 from repro.obs import trace as _trace
-from repro.serve.config import ServeConfig
+from repro.serve.config import REQUEST_HISTOGRAM_KEEP, ServeConfig
 from repro.serve.errors import InvalidRequest, ServeError
 from repro.serve.service import GroupingService
 
@@ -90,14 +96,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         self._status = status
 
+    def _respond_text(self, status: int, text: str, *, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
+
     # -- request dispatch --------------------------------------------------
 
     def _handle(self, method: str) -> None:
         self._status = 500
         registry = _obs.metrics_registry()
         registry.counter("serve.http.requests").inc()
-        timer = registry.timer("serve.http.request_seconds", keep=2048)
-        path = self.path.split("?", 1)[0]
+        timer = registry.timer("serve.http.request_seconds", keep=REQUEST_HISTOGRAM_KEEP)
+        path, _, query = self.path.partition("?")
+        self._query = parse_qs(query)
         try:
             with timer.time(), _trace.span("serve.http", method=method, path=path):
                 self._route(method, path)
@@ -121,6 +137,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(200, self.service.healthz())
             return
         if method == "GET" and path == "/metrics":
+            format_ = (self._query.get("format") or ["json"])[-1]
+            if format_ == "prometheus":
+                self._respond_text(
+                    200,
+                    self.service.metrics_prometheus(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+                return
+            if format_ != "json":
+                raise InvalidRequest(
+                    f"unknown metrics format {format_!r} (expected json or prometheus)"
+                )
             self._respond(200, self.service.metrics_snapshot())
             return
         if method == "POST" and path == "/v1/cohorts":

@@ -26,8 +26,14 @@ instead of queueing unboundedly.  Shutdown is graceful — workers drain
 the queue's sentinel and every in-flight future resolves.
 
 Metrics (``serve.scheduler.*`` in the :mod:`repro.obs.metrics`
-registry): batches executed, batch-size histogram, rejections, and a
-bounded wait-time timer.
+registry): batches executed, batch-size histogram, rejections, a
+``queue_depth`` gauge (live backlog + high-water mark), an
+``inflight_waves`` gauge, and the per-stage latency decomposition the
+scenario harness reports — ``wait_seconds`` (enqueue → dequeue),
+``batch_assembly_seconds`` (dequeue → compute start), and
+``kernel_seconds`` (the vectorized compute itself).  All request-path
+series are retention-bounded by
+:data:`repro.serve.config.REQUEST_HISTOGRAM_KEEP`.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from repro.core.grouping import Grouping
 from repro.engine.stacked import apply_update_many, grouping_to_members
 from repro.obs import runtime as _obs
 from repro.serve.cache import GroupingCache
+from repro.serve.config import REQUEST_HISTOGRAM_KEEP
 from repro.serve.errors import RequestTimeout, SchedulerSaturated, ServiceClosed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -117,11 +124,25 @@ class BatchScheduler:
         self._lock = threading.Lock()
         registry = _obs.metrics_registry()
         self._batches = registry.counter("serve.scheduler.batches")
-        self._batch_size = registry.histogram("serve.scheduler.batch_size", keep=1024)
+        self._batch_size = registry.histogram(
+            "serve.scheduler.batch_size", keep=REQUEST_HISTOGRAM_KEEP
+        )
         self._step_batches = registry.counter("serve.scheduler.step_batches")
-        self._step_batch_size = registry.histogram("serve.scheduler.step_batch_size", keep=1024)
+        self._step_batch_size = registry.histogram(
+            "serve.scheduler.step_batch_size", keep=REQUEST_HISTOGRAM_KEEP
+        )
         self._rejections = registry.counter("serve.scheduler.rejections")
-        self._wait_seconds = registry.timer("serve.scheduler.wait_seconds", keep=1024)
+        self._wait_seconds = registry.timer(
+            "serve.scheduler.wait_seconds", keep=REQUEST_HISTOGRAM_KEEP
+        )
+        self._assembly_seconds = registry.timer(
+            "serve.scheduler.batch_assembly_seconds", keep=REQUEST_HISTOGRAM_KEEP
+        )
+        self._kernel_seconds = registry.timer(
+            "serve.scheduler.kernel_seconds", keep=REQUEST_HISTOGRAM_KEEP
+        )
+        self._queue_gauge = registry.gauge("serve.scheduler.queue_depth")
+        self._inflight_waves = registry.gauge("serve.scheduler.inflight_waves")
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"dygroups-serve-worker-{i}", daemon=True
@@ -157,6 +178,7 @@ class BatchScheduler:
             raise SchedulerSaturated(
                 f"propose queue is full ({self.queue_depth} requests queued); retry later"
             ) from None
+        self._queue_gauge.inc()
         return request.future
 
     def propose(
@@ -206,6 +228,7 @@ class BatchScheduler:
             raise SchedulerSaturated(
                 f"propose queue is full ({self.queue_depth} requests queued); retry later"
             ) from None
+        self._queue_gauge.inc()
         return request.future
 
     def step(self, session: "CohortSession", *, timeout: "float | None" = None) -> dict[str, Any]:
@@ -247,6 +270,8 @@ class BatchScheduler:
             item = self._queue.get()
             if item is _STOP:
                 return
+            drained = time.perf_counter()
+            self._queue_gauge.dec()
             batch: list[_Request] = [item]
             while len(batch) < self.batch_max:
                 try:
@@ -257,20 +282,24 @@ class BatchScheduler:
                     # Another worker's shutdown sentinel — hand it back.
                     self._queue.put(extra)
                     break
+                self._queue_gauge.dec()
                 batch.append(extra)
             now = time.perf_counter()
             for request in batch:
                 self._wait_seconds.observe(now - request.enqueued)
             proposals = [r for r in batch if isinstance(r, _Request)]
             steps = [r for r in batch if isinstance(r, _StepRequest)]
+            self._assembly_seconds.observe(now - drained)
             if proposals:
                 self._batches.inc()
                 self._batch_size.observe(len(proposals))
-                self._execute(proposals)
+                with self._kernel_seconds.time():
+                    self._execute(proposals)
             if steps:
                 self._step_batches.inc()
                 self._step_batch_size.observe(len(steps))
-                self._execute_steps(steps)
+                with self._kernel_seconds.time():
+                    self._execute_steps(steps)
 
     def _execute(self, batch: list[_Request]) -> None:
         """Answer a drained batch, vectorizing compatible requests together."""
@@ -340,6 +369,7 @@ class BatchScheduler:
         sessions = [request.session for request in wave]
         for session in sessions:
             session.lock.acquire()
+        self._inflight_waves.inc()
         try:
             first = sessions[0]
             k, mode, gain_fn = first.k, first.mode, first.gain_fn
@@ -376,5 +406,6 @@ class BatchScheduler:
                 if not request.future.done():
                     request.future.set_exception(error)
         finally:
+            self._inflight_waves.dec()
             for session in sessions:
                 session.lock.release()

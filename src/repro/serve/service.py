@@ -44,7 +44,10 @@ from repro.core.grouping import Grouping
 from repro.core.interactions import get_mode
 from repro.obs import runtime as _obs
 from repro.obs import trace as _trace
+from repro.obs.metrics import render_prometheus
 from repro.registry import PolicySpec, build_policy
+from repro.scenarios.slo import SLOReport, evaluate_slos, slo_prometheus_lines
+from repro.scenarios.spec import SLOSpec
 from repro.serve.cache import GroupingCache
 from repro.serve.config import ServeConfig
 from repro.serve.errors import InvalidRequest, ServiceClosed
@@ -90,6 +93,8 @@ class GroupingService:
         self._cohorts_deleted = registry.counter("serve.cohorts.deleted")
         self._cohorts_evicted = registry.counter("serve.cohorts.evicted")
         self._rounds_advanced = registry.counter("serve.rounds.advanced")
+        self._sessions_active = registry.gauge("serve.sessions.active")
+        self.slo = SLOSpec.from_dict(self.config.slo) if self.config.slo else None
         self.store = SessionStore(
             ttl_seconds=self.config.session_ttl,
             max_sessions=self.config.max_cohorts,
@@ -137,6 +142,7 @@ class GroupingService:
 
     def _record_eviction(self, session: CohortSession) -> None:
         self._cohorts_evicted.inc()
+        self._sessions_active.set(len(self.store))
         state = _obs.state()
         if state is not None and state.journal is not None:
             state.journal.emit("cohort_evict", cohort=session.id, rounds=session.rounds)
@@ -197,6 +203,7 @@ class GroupingService:
                 )
             )
         self._cohorts_created.inc()
+        self._sessions_active.set(len(self.store))
         state = _obs.state()
         if state is not None and state.journal is not None:
             state.journal.emit(
@@ -266,6 +273,7 @@ class GroupingService:
         self._require_open()
         session = self.store.delete(cohort_id)
         self._cohorts_deleted.inc()
+        self._sessions_active.set(len(self.store))
         state = _obs.state()
         if state is not None and state.journal is not None:
             state.journal.emit("cohort_delete", cohort=cohort_id, rounds=session.rounds)
@@ -284,8 +292,40 @@ class GroupingService:
         return payload
 
     def metrics_snapshot(self) -> dict[str, Any]:
-        """The process-global metrics registry, snapshotted."""
-        return _obs.metrics_registry().snapshot()
+        """The process-global metrics registry, snapshotted.
+
+        When the service was configured with SLO targets the payload
+        gains a top-level ``"slo"`` verdict block evaluated against the
+        live ``serve.http.*`` instruments.
+        """
+        snapshot: dict[str, Any] = _obs.metrics_registry().snapshot()
+        if self.slo is not None:
+            snapshot["slo"] = self._slo_report(snapshot).to_dict()
+        return snapshot
+
+    def metrics_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Configured SLO targets append ``repro_slo_passed`` /
+        ``repro_slo_target_passed{target=...}`` gauges to the page.
+        """
+        snapshot = _obs.metrics_registry().snapshot()
+        text = render_prometheus(snapshot)
+        if self.slo is not None:
+            text += slo_prometheus_lines(self._slo_report(snapshot))
+        return text
+
+    def _slo_report(self, snapshot: Mapping[str, Any]) -> SLOReport:
+        """Judge the configured SLO targets against ``snapshot``."""
+        assert self.slo is not None
+        return evaluate_slos(
+            self.slo,
+            snapshot,
+            latency="serve.http.request_seconds",
+            requests="serve.http.requests",
+            errors=("serve.http.status.4xx", "serve.http.status.5xx"),
+            duration_seconds=max(time.monotonic() - self._started, 1e-9),
+        )
 
     # -- propose routing ---------------------------------------------------
 

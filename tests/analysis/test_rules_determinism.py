@@ -106,7 +106,7 @@ class TestWallClock:
 
 
 class TestWallClockServeCarveOut:
-    """The documented DYG103 allowlist — obs, serve, experiments/parallel.py."""
+    """The documented DYG103 allowlist — obs, serve, scenarios, experiments/parallel.py."""
 
     def test_serve_modules_exempt(self):
         source = "import time\nt = time.time()\n"
@@ -116,10 +116,17 @@ class TestWallClockServeCarveOut:
         source = "from datetime import datetime, timezone\nd = datetime.now(timezone.utc)\n"
         assert codes(source, path="src/repro/serve/sessions.py") == []
 
+    def test_scenarios_modules_exempt(self):
+        # Load generation measures latency against wall clocks by design.
+        source = "import time\nt = time.perf_counter()\n"
+        assert codes(source, path="src/repro/scenarios/loadgen.py") == []
+
     def test_allowlist_contents_are_documented_set(self):
         from repro.analysis.base import WALLCLOCK_ALLOWLIST
 
-        assert WALLCLOCK_ALLOWLIST == frozenset({"obs", "serve", "experiments/parallel.py"})
+        assert WALLCLOCK_ALLOWLIST == frozenset(
+            {"obs", "serve", "scenarios", "experiments/parallel.py"}
+        )
 
     def test_parallel_executor_module_exempt(self):
         # The parallel executor stamps its parallel_start journal event.

@@ -1,10 +1,17 @@
-"""Unit tests for repro.obs.metrics (counters/timers/histograms/snapshot)."""
+"""Unit tests for repro.obs.metrics (counters/gauges/timers/histograms)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    render_prometheus,
+)
 
 
 class TestCounter:
@@ -24,6 +31,31 @@ class TestCounter:
         counter = Counter("c")
         counter.inc(3)
         assert counter.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        assert gauge.value == 0.0
+        gauge.set(3.0)
+        gauge.inc()
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value == pytest.approx(2.0)
+
+    def test_tracks_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.inc(5)
+        gauge.dec(5)
+        gauge.inc()
+        assert gauge.value == pytest.approx(1.0)
+        assert gauge.max == pytest.approx(5.0)
+
+    def test_snapshot(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.dec()
+        assert gauge.snapshot() == {"type": "gauge", "value": 1.5, "max": 2.5}
 
 
 class TestHistogram:
@@ -81,13 +113,16 @@ class TestRegistry:
         assert registry.counter("a") is registry.counter("a")
         assert registry.timer("b") is registry.timer("b")
         assert registry.histogram("c") is registry.histogram("c")
-        assert len(registry) == 3
+        assert registry.gauge("d") is registry.gauge("d")
+        assert len(registry) == 4
 
     def test_kind_mismatch_raises(self):
         registry = MetricsRegistry()
         registry.counter("x")
         with pytest.raises(ValueError, match="Counter"):
             registry.timer("x")
+        with pytest.raises(ValueError, match="Counter"):
+            registry.gauge("x")
 
     def test_timer_is_not_a_histogram_name(self):
         registry = MetricsRegistry()
@@ -100,9 +135,11 @@ class TestRegistry:
         registry.counter("z.count").inc(2)
         registry.timer("a.seconds").observe(0.5)
         registry.histogram("m.sizes").observe(10.0)
+        registry.gauge("q.depth").set(4)
         snapshot = registry.snapshot()
-        assert set(snapshot) == {"counters", "timers", "histograms"}
+        assert set(snapshot) == {"counters", "gauges", "timers", "histograms"}
         assert snapshot["counters"]["z.count"]["value"] == 2
+        assert snapshot["gauges"]["q.depth"]["value"] == 4
         assert snapshot["timers"]["a.seconds"]["values"] == [0.5]
         assert snapshot["histograms"]["m.sizes"]["count"] == 1
 
@@ -120,3 +157,47 @@ class TestRegistry:
         registry.reset()
         assert len(registry) == 0
         assert registry.counter("c").value == 0
+
+
+class TestRenderPrometheus:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.http.requests").inc(3)
+        registry.gauge("serve.scheduler.queue_depth").set(2)
+        timer = registry.timer("serve.http.request_seconds")
+        for value in (0.1, 0.2, 0.3):
+            timer.observe(value)
+        return registry.snapshot()
+
+    def test_counter_gauge_and_summary_lines(self):
+        text = render_prometheus(self._snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_http_requests counter" in lines
+        assert "repro_serve_http_requests 3.0" in lines
+        assert "# TYPE repro_serve_scheduler_queue_depth gauge" in lines
+        assert "repro_serve_scheduler_queue_depth 2.0" in lines
+        assert "# TYPE repro_serve_http_request_seconds summary" in lines
+        assert any(
+            line.startswith('repro_serve_http_request_seconds{quantile="0.95"}')
+            for line in lines
+        )
+        assert "repro_serve_http_request_seconds_count 3.0" in lines
+        assert "repro_serve_http_request_seconds_sum 0.6" in lines
+
+    def test_gauge_high_water_mark_sample(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.inc(7)
+        gauge.dec(7)
+        lines = render_prometheus(registry.snapshot()).splitlines()
+        assert "repro_depth 0.0" in lines
+        assert "repro_depth_max 7.0" in lines
+
+    def test_names_are_sanitized_and_namespaced(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.errors.Timeout-ish").inc()
+        text = render_prometheus(registry.snapshot(), namespace="app")
+        assert "app_serve_errors_Timeout_ish 1.0" in text
+
+    def test_page_ends_with_newline(self):
+        assert render_prometheus(self._snapshot()).endswith("\n")

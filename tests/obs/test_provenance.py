@@ -1,0 +1,55 @@
+"""Unit tests for repro.obs.provenance (artifact stamping)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime
+from pathlib import Path
+
+from repro.obs.provenance import git_sha, provenance_stamp
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _repo_has_git() -> bool:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=_REPO_ROOT,
+                capture_output=True,
+                timeout=5.0,
+            ).returncode
+            == 0
+        )
+    except OSError:
+        return False
+
+
+class TestGitSha:
+    def test_resolves_inside_a_repo(self):
+        if not _repo_has_git():
+            assert git_sha(cwd=_REPO_ROOT) is None
+            return
+        sha = git_sha(cwd=_REPO_ROOT)
+        assert sha is not None
+        assert len(sha) == 40
+        assert all(c in "0123456789abcdef" for c in sha)
+
+    def test_none_outside_a_repo(self, tmp_path):
+        assert git_sha(cwd=tmp_path) is None
+
+
+class TestProvenanceStamp:
+    def test_shape_and_json_ability(self):
+        stamp = provenance_stamp(cwd=_REPO_ROOT)
+        assert set(stamp) == {"git_sha", "created_utc", "host"}
+        assert set(stamp["host"]) == {"platform", "python", "node", "machine"}
+        assert json.loads(json.dumps(stamp)) == stamp
+
+    def test_timestamp_is_parseable_utc(self):
+        stamp = provenance_stamp()
+        parsed = datetime.fromisoformat(stamp["created_utc"])
+        assert parsed.utcoffset() is not None
+        assert parsed.utcoffset().total_seconds() == 0

@@ -1,0 +1,22 @@
+"""Fixtures for the scenario-harness tests.
+
+The load generator and harness record into the process-global metrics
+registry (and the harness resets it per paradigm); every test starts
+and leaves with a clean slate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Disable observability and empty the metrics registry around each test."""
+    runtime.shutdown()
+    runtime.metrics_registry().reset()
+    yield
+    runtime.shutdown()
+    runtime.metrics_registry().reset()

@@ -1,0 +1,120 @@
+"""Unit tests for repro.scenarios.slo (verdicts over metric snapshots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.scenarios.slo import evaluate_slos, slo_prometheus_lines
+from repro.scenarios.spec import SLOSpec
+
+
+def _snapshot(*, latencies=(), requests=0, errors=0, duration=None):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("scenario.latency.total_seconds")
+    for value in latencies:
+        histogram.observe(value)
+    if requests:
+        registry.counter("scenario.requests").inc(requests)
+    if errors:
+        registry.counter("scenario.errors").inc(errors)
+    if duration is not None:
+        registry.gauge("scenario.duration_seconds").set(duration)
+    return registry.snapshot()
+
+
+class TestLatencyTargets:
+    def test_passes_under_limit(self):
+        report = evaluate_slos(
+            SLOSpec(latency_p95_ms=100.0), _snapshot(latencies=[0.01, 0.02, 0.05])
+        )
+        assert report.passed
+        (verdict,) = report.verdicts
+        assert verdict.target == "latency_p95_ms"
+        assert verdict.observed == pytest.approx(50.0)
+
+    def test_flips_to_fail_over_limit(self):
+        passing = evaluate_slos(SLOSpec(latency_p99_ms=500.0), _snapshot(latencies=[0.1]))
+        failing = evaluate_slos(SLOSpec(latency_p99_ms=50.0), _snapshot(latencies=[0.1]))
+        assert passing.passed
+        assert not failing.passed
+        assert failing.verdict == "fail"
+        assert failing.failures()[0].observed == pytest.approx(100.0)
+
+    def test_missing_series_fails(self):
+        report = evaluate_slos(SLOSpec(latency_p50_ms=10.0), _snapshot())
+        assert not report.passed
+        assert report.failures()[0].observed is None
+
+    def test_reads_timers_too(self):
+        registry = MetricsRegistry()
+        registry.timer("serve.http.request_seconds").observe(0.2)
+        report = evaluate_slos(
+            SLOSpec(latency_p50_ms=500.0),
+            registry.snapshot(),
+            latency="serve.http.request_seconds",
+        )
+        assert report.passed
+
+
+class TestThroughputTarget:
+    def test_uses_explicit_duration(self):
+        snapshot = _snapshot(requests=100)
+        passing = evaluate_slos(
+            SLOSpec(min_throughput_rps=5.0), snapshot, duration_seconds=10.0
+        )
+        failing = evaluate_slos(
+            SLOSpec(min_throughput_rps=50.0), snapshot, duration_seconds=10.0
+        )
+        assert passing.passed
+        assert passing.verdicts[0].observed == pytest.approx(10.0)
+        assert not failing.passed
+
+    def test_falls_back_to_duration_gauge(self):
+        report = evaluate_slos(
+            SLOSpec(min_throughput_rps=5.0), _snapshot(requests=100, duration=10.0)
+        )
+        assert report.verdicts[0].observed == pytest.approx(10.0)
+
+    def test_missing_duration_fails(self):
+        report = evaluate_slos(SLOSpec(min_throughput_rps=1.0), _snapshot(requests=100))
+        assert not report.passed
+        assert report.verdicts[0].observed is None
+
+
+class TestErrorRateTarget:
+    def test_flips_on_rate(self):
+        snapshot = _snapshot(requests=10, errors=2)
+        assert evaluate_slos(SLOSpec(max_error_rate=0.5), snapshot).passed
+        assert not evaluate_slos(SLOSpec(max_error_rate=0.1), snapshot).passed
+
+    def test_zero_errors_with_absent_counter(self):
+        report = evaluate_slos(SLOSpec(max_error_rate=0.0), _snapshot(requests=10))
+        assert report.passed
+        assert report.verdicts[0].observed == 0.0
+
+    def test_no_requests_fails(self):
+        report = evaluate_slos(SLOSpec(max_error_rate=0.5), _snapshot())
+        assert not report.passed
+
+
+class TestReportShape:
+    def test_to_dict(self):
+        report = evaluate_slos(
+            SLOSpec(latency_p95_ms=1000.0, max_error_rate=0.0),
+            _snapshot(latencies=[0.1], requests=1),
+        )
+        payload = report.to_dict()
+        assert payload["verdict"] == "pass"
+        assert payload["passed"] is True
+        assert {entry["target"] for entry in payload["targets"]} == {
+            "latency_p95_ms",
+            "max_error_rate",
+        }
+
+    def test_prometheus_lines(self):
+        report = evaluate_slos(SLOSpec(latency_p50_ms=10.0), _snapshot())
+        text = slo_prometheus_lines(report)
+        assert "repro_slo_passed 0" in text.splitlines()
+        assert 'repro_slo_target_passed{target="latency_p50_ms"} 0' in text.splitlines()
+        assert text.endswith("\n")

@@ -86,6 +86,44 @@ class TestOperationalEndpoints:
         assert "serve.cache.hits" in counters or "serve.cache.misses" in counters
         assert snapshot["timers"]["serve.http.request_seconds"]["count"] >= 3
 
+    def test_metrics_exposes_gauges(self, client):
+        info = client.create_cohort([1.0, 2.0, 3.0, 4.0], 2)
+        client.advance_rounds(info["cohort"], 1)
+        gauges = client.metrics()["gauges"]
+        assert gauges["serve.sessions.active"]["value"] == 1
+        assert gauges["serve.scheduler.queue_depth"]["value"] == 0
+        assert gauges["serve.scheduler.queue_depth"]["max"] >= 1
+
+    def test_metrics_prometheus_format(self, server, client):
+        info = client.create_cohort([1.0, 2.0, 3.0, 4.0], 2)
+        client.advance_rounds(info["cohort"], 1)
+        with urllib.request.urlopen(server.url + "/metrics?format=prometheus") as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_http_requests counter" in lines
+        assert "# TYPE repro_serve_sessions_active gauge" in lines
+        assert "# TYPE repro_serve_http_request_seconds summary" in lines
+        assert any(
+            line.startswith('repro_serve_http_request_seconds{quantile="0.99"}')
+            for line in lines
+        )
+
+    def test_metrics_unknown_format_is_400(self, server):
+        with pytest.raises(urllib.request.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/metrics?format=xml")
+        assert excinfo.value.code == 400
+
+    def test_request_histogram_retention_is_bounded(self, client):
+        """Regression: a long-lived server must not retain unbounded
+        per-request latency samples."""
+        from repro.obs import runtime
+        from repro.serve.config import REQUEST_HISTOGRAM_KEEP
+
+        client.healthz()
+        timer = runtime.metrics_registry().timer("serve.http.request_seconds")
+        assert timer.keep == REQUEST_HISTOGRAM_KEEP
+
 
 class TestErrorEnvelopes:
     def test_unknown_cohort_is_typed_404(self, client):

@@ -172,6 +172,65 @@ class TestIntrospection:
         snapshot = runtime.metrics_registry().snapshot()
         assert snapshot["counters"]["serve.cohorts.evicted"]["value"] == 1
 
+    def test_sessions_active_gauge_tracks_lifecycle(self, service, skills):
+        gauge = runtime.metrics_registry().gauge("serve.sessions.active")
+        a = service.create_cohort(payload(skills))["cohort"]
+        b = service.create_cohort(payload(skills))["cohort"]
+        assert gauge.value == 2
+        service.delete_cohort(a)
+        assert gauge.value == 1
+        service.delete_cohort(b)
+        assert gauge.value == 0
+        assert gauge.max == 2
+
+    def test_sessions_active_gauge_drops_on_eviction(self, skills):
+        clock = FakeClock()
+        with GroupingService(ServeConfig(workers=0, session_ttl=5.0), clock=clock) as svc:
+            svc.create_cohort(payload(skills))
+            clock.now = 6.0
+            svc.store.evict_expired()
+            assert runtime.metrics_registry().gauge("serve.sessions.active").value == 0
+
+
+class TestSLOVerdicts:
+    def test_snapshot_has_no_slo_block_by_default(self, service, skills):
+        assert "slo" not in service.metrics_snapshot()
+
+    def test_snapshot_carries_slo_verdicts_when_configured(self, skills):
+        config = ServeConfig(workers=0, slo={"latency_p95_ms": 60_000.0, "max_error_rate": 0.5})
+        with GroupingService(config) as svc:
+            # No HTTP traffic flowed, so the latency series is absent and
+            # its verdict must FAIL; flip the limit, not the traffic.
+            block = svc.metrics_snapshot()["slo"]
+            assert block["verdict"] == "fail"
+            targets = {entry["target"]: entry for entry in block["targets"]}
+            assert targets["latency_p95_ms"]["observed"] is None
+            assert not targets["latency_p95_ms"]["passed"]
+
+    def test_snapshot_slo_passes_with_observed_traffic(self, skills):
+        config = ServeConfig(workers=0, slo={"latency_p95_ms": 60_000.0})
+        with GroupingService(config) as svc:
+            registry = runtime.metrics_registry()
+            registry.timer("serve.http.request_seconds").observe(0.01)
+            registry.counter("serve.http.requests").inc()
+            assert svc.metrics_snapshot()["slo"]["verdict"] == "pass"
+
+    def test_invalid_slo_target_rejected_at_startup(self):
+        with pytest.raises(ValueError, match="unknown SLO fields"):
+            GroupingService(ServeConfig(workers=0, slo={"latency_p42_ms": 10.0}))
+
+    def test_metrics_prometheus_includes_slo_gauges(self, skills):
+        config = ServeConfig(workers=0, slo={"max_error_rate": 1.0})
+        with GroupingService(config) as svc:
+            registry = runtime.metrics_registry()
+            registry.counter("serve.http.requests").inc()
+            text = svc.metrics_prometheus()
+        assert "repro_slo_passed 1" in text.splitlines()
+        assert 'repro_slo_target_passed{target="max_error_rate"} 1' in text.splitlines()
+
+    def test_metrics_prometheus_without_slo_has_no_verdict_lines(self, service, skills):
+        assert "repro_slo_passed" not in service.metrics_prometheus()
+
 
 class TestLifecycle:
     def test_closed_service_refuses_work(self, skills):

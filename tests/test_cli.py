@@ -68,6 +68,31 @@ class TestParser:
         assert args.cache_size == 0
         assert args.contracts is True
 
+    def test_serve_slo_flags_accumulate(self):
+        args = build_parser().parse_args(
+            ["serve", "--slo", "latency_p95_ms=250", "--slo", "max_error_rate=0.01"]
+        )
+        assert args.slo == ["latency_p95_ms=250", "max_error_rate=0.01"]
+
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_run_defaults(self):
+        args = build_parser().parse_args(["scenario", "run", "smoke"])
+        assert args.scenario_command == "run"
+        assert args.scenario == "smoke"
+        assert args.paradigm == "inprocess"
+        assert args.artifact_dir is None
+
+    def test_scenario_compare_flags(self):
+        args = build_parser().parse_args(
+            ["scenario", "compare", "smoke", "--paradigms", "inprocess,http", "--artifact-dir", "out"]
+        )
+        assert args.scenario_command == "compare"
+        assert args.paradigms == "inprocess,http"
+        assert args.artifact_dir == "out"
+
 
 class TestCommands:
     def test_toy(self, capsys):
@@ -348,3 +373,65 @@ class TestCommands:
         payload = load_json(out_file)
         assert payload["spec"]["n"] == 30
         assert "dygroups" in payload["outcomes"]
+
+
+class TestScenarioCommand:
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        from repro.obs import runtime
+
+        runtime.metrics_registry().reset()
+        yield
+        runtime.metrics_registry().reset()
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output
+        assert "fig05b-rate" in output
+        assert "saturation-probe" in output
+
+    def test_scenario_run_from_spec_file(self, capsys, tmp_path):
+        from repro.scenarios.spec import ArrivalSpec, PopulationSpec, ScenarioSpec, SLOSpec
+
+        spec = ScenarioSpec(
+            name="cli-tiny",
+            arrival=ArrivalSpec(kind="closed-loop", concurrency=2),
+            population=PopulationSpec(n=6, k=3, cohorts=2, skill_seed=4),
+            rounds=2,
+            seed=1,
+            slo=SLOSpec(latency_p95_ms=30_000.0, max_error_rate=0.0),
+        )
+        spec_file = tmp_path / "tiny.json"
+        spec_file.write_text(spec.to_json())
+        code = main(
+            ["scenario", "run", str(spec_file), "--artifact-dir", str(tmp_path)]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "scenario cli-tiny" in output
+        assert "verdict: pass" in output
+        artifact = tmp_path / "BENCH_scenario_cli-tiny.json"
+        assert artifact.is_file()
+
+    def test_scenario_run_slo_failure_exits_1(self, capsys, tmp_path):
+        from repro.scenarios.spec import PopulationSpec, ScenarioSpec, SLOSpec
+
+        spec = ScenarioSpec(
+            name="doomed",
+            population=PopulationSpec(n=6, k=3, cohorts=1, skill_seed=4),
+            rounds=1,
+            slo=SLOSpec(min_throughput_rps=1e9),
+        )
+        spec_file = tmp_path / "doomed.json"
+        spec_file.write_text(spec.to_json())
+        assert main(["scenario", "run", str(spec_file)]) == 1
+        assert "SLO FAIL" in capsys.readouterr().out
+
+    def test_scenario_unknown_name_exits_2(self, capsys):
+        assert main(["scenario", "run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenario_compare_unknown_paradigm_exits_2(self, capsys):
+        assert main(["scenario", "compare", "smoke", "--paradigms", "grpc"]) == 2
+        assert "unknown paradigm" in capsys.readouterr().err
