@@ -5,14 +5,21 @@ what the test suite can sample:
 
 * the **AST lint engine** (:mod:`~repro.analysis.engine`) checks the
   source *by construction* — seeded-RNG threading, validation routing,
-  API hygiene — via the ``DYG1xx``/``DYG2xx``/``DYG3xx`` rule families
+  API hygiene, lock discipline — via the
+  ``DYG1xx``/``DYG2xx``/``DYG3xx``/``DYG4xx`` rule families
   (``dygroups lint``, and the self-lint test in CI);
 * the **runtime contracts** (:mod:`~repro.analysis.contracts`) assert the
   paper's structural guarantees live inside the simulation loop when
   ``REPRO_CONTRACTS=1`` or ``dygroups --contracts`` is set, at zero cost
-  when off.
+  when off;
+* the **runtime lock sanitizer** (:mod:`~repro.analysis.sanitizer`)
+  instruments the serve/scenario locks when ``REPRO_SANITIZE=1`` or
+  ``dygroups --sanitize`` is set, catching cross-thread lock-order
+  inversions and held-lock blocking calls the AST cannot see, at zero
+  cost when off.
 
-See docs/static-analysis.md for the rule catalog and contracts guide.
+See docs/static-analysis.md for the rule catalog, contracts guide, and
+sanitizer guide.
 """
 
 from repro.analysis.base import Diagnostic, FileContext, Finding, Rule
@@ -30,6 +37,15 @@ from repro.analysis.contracts import (
 )
 from repro.analysis.engine import LintEngine, LintReport, lint_paths
 from repro.analysis.rules import ALL_RULES, rule_catalog
+from repro.analysis.sanitizer import (
+    SanitizedLock,
+    check_blocking,
+    disable_sanitizer,
+    enable_sanitizer,
+    sanitize_scope,
+    sanitizer_enabled,
+    summarize_reports,
+)
 
 __all__ = [
     # lint engine
@@ -53,4 +69,12 @@ __all__ = [
     "contracts_scope",
     "disable_contracts",
     "enable_contracts",
+    # runtime lock sanitizer
+    "SanitizedLock",
+    "check_blocking",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "sanitize_scope",
+    "sanitizer_enabled",
+    "summarize_reports",
 ]

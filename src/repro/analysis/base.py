@@ -9,7 +9,8 @@ Rule codes follow the ``DYG<family><nn>`` scheme:
 
 * ``DYG1xx`` — determinism (seeded-RNG threading, no wall-clock reads);
 * ``DYG2xx`` — contracts (eager validation routing, no parameter mutation);
-* ``DYG3xx`` — API hygiene (``__all__`` drift, float equality, bare except).
+* ``DYG3xx`` — API hygiene (``__all__`` drift, float equality, bare except);
+* ``DYG4xx`` — concurrency (lock guarding, ordering, blocking, forking).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ __all__ = [
     "Finding",
     "Rule",
     "WALLCLOCK_ALLOWLIST",
+    "test_path",
     "wallclock_exempt_path",
 ]
 
@@ -71,6 +73,20 @@ def wallclock_exempt_path(path: "str | Path") -> bool:
         ):
             return True
     return False
+
+
+def test_path(path: "str | Path") -> bool:
+    """Whether a module path is part of a test tree.
+
+    Tests assert exact values on purpose — ``DYG302`` float-equality and
+    ``DYG201`` validation-routing discipline are production-code rules,
+    so they exempt paths living under a ``tests/`` directory or named
+    ``test_*.py``/``conftest.py``.
+    """
+    parsed = Path(path)
+    if "tests" in parsed.parts:
+        return True
+    return parsed.name.startswith("test_") or parsed.name == "conftest.py"
 
 
 @dataclass(frozen=True)
@@ -133,6 +149,8 @@ class FileContext:
         wallclock_exempt: whether the module lives in a subsystem on the
             documented wall-clock allowlist (:data:`WALLCLOCK_ALLOWLIST`),
             where clock reads are the point rather than a bug.
+        test_path: whether the module is test code (:func:`test_path`),
+            where exact-value assertions are the point.
     """
 
     def __init__(self, path: "str | Path", source: str, tree: ast.Module) -> None:
@@ -140,6 +158,7 @@ class FileContext:
         self.source = source
         self.tree = tree
         self.wallclock_exempt = wallclock_exempt_path(self.path)
+        self.test_path = test_path(self.path)
         self._noqa: dict[int, frozenset[str] | None] = {}
         for number, line in enumerate(source.splitlines(), start=1):
             match = _NOQA_RE.search(line)
@@ -168,11 +187,13 @@ class Rule:
         code: unique rule code (``DYG101`` ...).
         name: short kebab-case rule name.
         summary: one-line description for the rule catalog.
+        fix: one-line fix guidance shown in the rule catalog.
     """
 
     code: str = ""
     name: str = ""
     summary: str = ""
+    fix: str = ""
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         """Yield raw findings for the module in ``ctx``."""

@@ -2,12 +2,19 @@
 
 Every rule class is registered in :data:`ALL_RULES`; the engine
 instantiates the selected subset per run.  Codes are grouped by family:
-``DYG1xx`` determinism, ``DYG2xx`` contracts, ``DYG3xx`` API hygiene.
+``DYG1xx`` determinism, ``DYG2xx`` contracts, ``DYG3xx`` API hygiene,
+``DYG4xx`` concurrency.
 """
 
 from __future__ import annotations
 
 from repro.analysis.base import Rule
+from repro.analysis.rules.concurrency import (
+    BlockingCallUnderLockRule,
+    LockOrderingCycleRule,
+    ProcessSpawnUnderLockRule,
+    UnguardedSharedStateRule,
+)
 from repro.analysis.rules.contracts_rules import ParameterMutationRule, ValidationRoutingRule
 from repro.analysis.rules.determinism import (
     NumpyGlobalRandomRule,
@@ -30,9 +37,13 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AllDriftRule,
     FloatEqualityRule,
     BareExceptRule,
+    UnguardedSharedStateRule,
+    LockOrderingCycleRule,
+    BlockingCallUnderLockRule,
+    ProcessSpawnUnderLockRule,
 )
 
 
-def rule_catalog() -> tuple[tuple[str, str, str], ...]:
-    """``(code, name, summary)`` for every registered rule, in code order."""
-    return tuple((rule.code, rule.name, rule.summary) for rule in ALL_RULES)
+def rule_catalog() -> tuple[tuple[str, str, str, str], ...]:
+    """``(code, name, summary, fix)`` for every registered rule, in code order."""
+    return tuple((rule.code, rule.name, rule.summary, rule.fix) for rule in ALL_RULES)

@@ -65,6 +65,7 @@ class StdlibRandomRule(Rule):
     code = "DYG101"
     name = "stdlib-global-random"
     summary = "call into the stdlib `random` module (process-global RNG)"
+    fix = "thread a seeded np.random.Generator through the call chain"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         imports = ImportMap.of(ctx.tree)
@@ -101,6 +102,7 @@ class NumpyGlobalRandomRule(Rule):
     code = "DYG102"
     name = "numpy-legacy-random"
     summary = "legacy `np.random.*` global-state API (use np.random.default_rng)"
+    fix = "use np.random.default_rng(seed) and pass the Generator explicitly"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         imports = ImportMap.of(ctx.tree)
@@ -148,6 +150,7 @@ class WallClockRule(Rule):
     code = "DYG103"
     name = "wall-clock-read"
     summary = "wall-clock read (time.time/datetime.now) outside obs/serve"
+    fix = "keep clock reads inside the allowlisted obs/serve/scenarios subsystems"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if ctx.wallclock_exempt:

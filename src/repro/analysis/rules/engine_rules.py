@@ -45,6 +45,7 @@ class ManualRoundStepRule(Rule):
     code = "DYG204"
     name = "manual-round-step"
     summary = "propose+update round step inlined outside repro.core/repro.engine"
+    fix = "drive rounds through repro.engine.RoundKernel instead of inlining the step"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if round_step_exempt_path(ctx.path):

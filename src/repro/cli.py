@@ -84,6 +84,13 @@ def _obs_parent() -> argparse.ArgumentParser:
         help="enable runtime invariant contracts (also via REPRO_CONTRACTS=1); "
         "results are bit-identical either way",
     )
+    correctness.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime lock sanitizer (also via REPRO_SANITIZE=1); "
+        "reports lock-order inversions and held-lock blocking calls as "
+        "sanitizer.* journal events; results are bit-identical either way",
+    )
     return parent
 
 
@@ -199,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", action="store_true", help="print the rule catalog and exit"
     )
+    lint.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding counts to the report",
+    )
 
     trace_cmd = sub.add_parser("trace", help="observability tooling over run journals")
     trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
@@ -206,6 +218,18 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="print a per-phase timing table from a journal"
     )
     trace_sum.add_argument("journal_file", help="an NDJSON journal written with --journal")
+
+    sanitize_cmd = sub.add_parser(
+        "sanitize", help="runtime lock-sanitizer tooling over run journals"
+    )
+    sanitize_sub = sanitize_cmd.add_subparsers(dest="sanitize_command", required=True)
+    sanitize_report = sanitize_sub.add_parser(
+        "report", help="summarize sanitizer.* events from a journal"
+    )
+    sanitize_report.add_argument(
+        "journal_file",
+        help="an NDJSON journal written with --journal under --sanitize/REPRO_SANITIZE=1",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the grouping service (HTTP JSON API)", parents=obs
@@ -502,12 +526,14 @@ def _command_list() -> int:
             print(f"                 {name} params: " + ", ".join(params))
     print("distributions: ", ", ".join(sorted(DISTRIBUTIONS)))
     print("journal events:", ", ".join(EVENTS))
-    print("lint rules:    ", ", ".join(code for code, _, _ in rule_catalog()),
+    print("lint rules:    ", ", ".join(code for code, *_ in rule_catalog()),
           "(`dygroups lint --rules` for the catalog)")
     print("observability:  --log-level LEVEL, --journal PATH, --trace "
           "(any subcommand); `dygroups trace summarize <journal.jsonl>`")
     print("correctness:    --contracts or REPRO_CONTRACTS=1 enables runtime "
-          "invariant checks; `dygroups lint [paths]` runs the static rules")
+          "invariant checks; `dygroups lint [paths]` runs the static rules; "
+          "--sanitize or REPRO_SANITIZE=1 enables the lock sanitizer "
+          "(`dygroups sanitize report <journal.jsonl>`)")
     return 0
 
 
@@ -519,8 +545,10 @@ def _command_lint(args: argparse.Namespace) -> int:
     from repro.obs import trace as _trace
 
     if args.rules:
-        for code, name, summary in rule_catalog():
+        for code, name, summary, fix in rule_catalog():
             print(f"{code}  {name:24} {summary}")
+            if fix:
+                print(f"{'':6}  {'fix:':24} {fix}")
         return 0
     paths = list(args.paths)
     if not paths:
@@ -552,12 +580,18 @@ def _command_lint(args: argparse.Namespace) -> int:
         print(diagnostic)
     if report.clean:
         print(f"{report.files_checked} file(s) checked — clean")
+        if args.statistics:
+            print("0 finding(s) by rule: none")
         return 0
     by_code = ", ".join(f"{code}×{n}" for code, n in report.counts_by_code().items())
     print(
         f"\n{len(report.diagnostics)} finding(s) in {report.files_checked} "
         f"file(s) checked ({by_code})"
     )
+    if args.statistics:
+        catalog = {code: name for code, name, *_ in rule_catalog()}
+        for code, count in sorted(report.counts_by_code().items()):
+            print(f"{count:6}  {code}  {catalog.get(code, 'parse-error')}")
     return 1
 
 
@@ -639,6 +673,33 @@ def _command_scenario(args: argparse.Namespace) -> int:
     return 0 if comparison.passed else 1
 
 
+def _command_sanitize(args: argparse.Namespace) -> int:
+    from repro.analysis.sanitizer import summarize_reports
+    from repro.obs.journal import read_journal
+
+    try:
+        records = read_journal(args.journal_file)
+    except FileNotFoundError:
+        print(f"journal not found: {args.journal_file}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"cannot read {args.journal_file}: {error}", file=sys.stderr)
+        return 2
+    summary = summarize_reports(records)
+    if summary["total"] == 0:
+        print(
+            f"{len(records)} journal record(s) scanned — no sanitizer reports "
+            "(run with --sanitize or REPRO_SANITIZE=1 to record them)"
+        )
+        return 0
+    for report in summary["reports"]:
+        thread = report.get("thread") or "?"
+        print(f"[{report['kind']}] ({thread}) {report['message']}")
+    by_kind = ", ".join(f"{kind}×{n}" for kind, n in summary["by_kind"].items())
+    print(f"\n{summary['total']} sanitizer report(s) ({by_kind})")
+    return 1
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from repro.obs.summarize import summarize_journal
 
@@ -676,10 +737,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _run(args: argparse.Namespace) -> int:
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "sanitize":
+        return _command_sanitize(args)
     if getattr(args, "contracts", False):
         from repro.analysis import contracts
 
         contracts.enable_contracts()
+    if getattr(args, "sanitize", False):
+        from repro.analysis import sanitizer
+
+        sanitizer.enable_sanitizer()
     observing = bool(
         getattr(args, "journal", None)
         or getattr(args, "trace", False)

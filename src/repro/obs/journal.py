@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import threading
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -66,6 +67,8 @@ EVENTS: tuple[str, ...] = (
     "cohort_round",
     "cohort_delete",
     "cohort_evict",
+    "sanitizer.order_inversion",
+    "sanitizer.blocking_call",
 )
 
 _RUN_COUNTER = itertools.count(1)
@@ -97,6 +100,12 @@ class Journal:
         self._seq = 0
         self._t0 = time.perf_counter()
         self._closed = False
+        # Serve emits from many HTTP worker threads into one journal; the
+        # lock keeps seq assignment and the stream write atomic per
+        # record.  A *plain* stdlib RLock, deliberately outside the
+        # sanitizer's view: the sanitizer itself reports through the
+        # journal, and close() re-enters emit().
+        self._lock = threading.RLock()
         if hasattr(sink, "write"):
             self.path: Path | None = None
             self._stream: IO[str] = sink  # type: ignore[assignment]
@@ -126,36 +135,39 @@ class Journal:
                 shadows one of the reserved record keys
                 (``ts``/``seq``/``run``/``event``).
         """
-        if self._closed:
-            raise ValueError("cannot emit to a closed journal")
         reserved = fields.keys() & {"ts", "seq", "run", "event"}
         if reserved:
             raise ValueError(f"journal fields shadow reserved keys: {sorted(reserved)}")
-        record: dict[str, Any] = {
-            "ts": round(time.perf_counter() - self._t0, 9),
-            "seq": self._seq,
-            "run": self.run_id,
-            "event": event,
-        }
-        record.update(fields)
-        self._seq += 1
-        self._stream.write(json.dumps(record, separators=(",", ":"), default=_jsonable) + "\n")
-        return record
+        with self._lock:
+            if self._closed:
+                raise ValueError("cannot emit to a closed journal")
+            record: dict[str, Any] = {
+                "ts": round(time.perf_counter() - self._t0, 9),
+                "seq": self._seq,
+                "run": self.run_id,
+                "event": event,
+            }
+            record.update(fields)
+            self._seq += 1
+            self._stream.write(json.dumps(record, separators=(",", ":"), default=_jsonable) + "\n")
+            return record
 
     def flush(self) -> None:
         """Flush the underlying stream (no-op after :meth:`close`)."""
-        if not self._closed:
-            self._stream.flush()
+        with self._lock:
+            if not self._closed:
+                self._stream.flush()
 
     def close(self) -> None:
         """Emit ``journal_close`` and release the stream (idempotent)."""
-        if self._closed:
-            return
-        self.emit("journal_close", records=self._seq + 1)
-        self._stream.flush()
-        if self._owns_stream:
-            self._stream.close()
-        self._closed = True
+        with self._lock:  # RLock: close() re-enters emit() under it
+            if self._closed:
+                return
+            self.emit("journal_close", records=self._seq + 1)
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+            self._closed = True
 
     def __enter__(self) -> "Journal":
         return self

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 import time
 from collections import deque
 from typing import Any, Iterator, Mapping
@@ -230,17 +231,23 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, "Counter | Gauge | Histogram"] = {}
+        # Get-or-create races when serve threads first touch a name
+        # concurrently; the lock makes registration atomic.  A *plain*
+        # stdlib lock, outside the sanitizer's view — the sanitizer
+        # increments sanitizer.* counters through this registry.
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind: type, **kwargs: Any) -> Any:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = kind(name, **kwargs)
-            self._instruments[name] = instrument
-        elif type(instrument) is not kind:
-            raise ValueError(
-                f"metric {name!r} is a {type(instrument).__name__}, not a {kind.__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, **kwargs)
+                self._instruments[name] = instrument
+            elif type(instrument) is not kind:
+                raise ValueError(
+                    f"metric {name!r} is a {type(instrument).__name__}, not a {kind.__name__}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         """Get or create the named counter."""
@@ -266,8 +273,10 @@ class MetricsRegistry:
             "timers": {},
             "histograms": {},
         }
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name in sorted(instruments):
+            instrument = instruments[name]
             if isinstance(instrument, Counter):
                 groups["counters"][name] = instrument.snapshot()
             elif isinstance(instrument, Gauge):
@@ -280,7 +289,8 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every instrument."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
     def __len__(self) -> int:
         return len(self._instruments)

@@ -40,11 +40,11 @@ import os
 import subprocess
 import sys
 import tempfile
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.analysis import sanitizer as _sanitize
 from repro.obs import runtime as _obs
 from repro.obs.provenance import provenance_stamp
 from repro.scenarios.loadgen import ArrivalSchedule, LoadResult, run_load
@@ -206,7 +206,7 @@ def _run_service_paradigm(spec: ScenarioSpec, client: Any, paradigm: str) -> Par
         for i in range(population.cohorts)
     ]
     records: dict[int, dict[int, tuple]] = {i: {} for i in range(population.cohorts)}
-    records_lock = threading.Lock()
+    records_lock = _sanitize.lock("scenario.harness.records")
 
     def send(index: int) -> None:
         # Round-robin across cohorts so bursts spread over sessions the

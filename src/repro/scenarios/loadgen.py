@@ -36,6 +36,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitize
 from repro.obs import runtime as _obs
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.config import REQUEST_HISTOGRAM_KEEP
@@ -177,9 +178,9 @@ def run_load(
     requests_counter = metrics.counter(f"{prefix}.requests")
     errors_counter = metrics.counter(f"{prefix}.errors")
     inflight = metrics.gauge(f"{prefix}.inflight")
-    cursor_lock = threading.Lock()
+    cursor_lock = _sanitize.lock("scenario.loadgen.cursor")
     cursor = iter(range(len(schedule)))
-    counts_lock = threading.Lock()
+    counts_lock = _sanitize.lock("scenario.loadgen.counts")
     totals = {"requests": 0, "errors": 0}
     start = clock()
 
@@ -193,6 +194,7 @@ def run_load(
             if schedule.open_loop:
                 delay = intended - clock()
                 if delay > 0:
+                    _sanitize.check_blocking("sleep(open-loop pacing)")
                     sleep(delay)
             sent = clock()
             # Closed loop has no schedule to fall behind: the intended
@@ -225,6 +227,7 @@ def run_load(
     ]
     for thread in threads:
         thread.start()
+    _sanitize.check_blocking("thread.join(loadgen)")
     for thread in threads:
         thread.join()
     duration = clock() - start

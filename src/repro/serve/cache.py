@@ -35,12 +35,12 @@ thread-safe and bounded (least-recently-used eviction).
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitize
 from repro.core.batch import rank_structure
 from repro.core.grouping import Grouping
 from repro.obs import runtime as _obs
@@ -78,7 +78,7 @@ class GroupingCache:
         if not isinstance(max_entries, int) or isinstance(max_entries, bool) or max_entries <= 0:
             raise ValueError(f"max_entries must be a positive int, got {max_entries!r}")
         self.max_entries = max_entries
-        self._lock = threading.Lock()
+        self._lock = _sanitize.lock("serve.cache")
         #: canonical (multiset) key → entry, in LRU order.
         self._entries: "OrderedDict[bytes, _Entry]" = OrderedDict()
         #: raw-array digest → canonical key (the exact-tier index).

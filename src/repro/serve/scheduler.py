@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.analysis import contracts as _contracts
+from repro.analysis import sanitizer as _sanitize
 from repro.core.batch import BATCH_MODES, propose_batch
 from repro.core.grouping import Grouping
 from repro.engine.stacked import apply_update_many, grouping_to_members
@@ -121,7 +122,7 @@ class BatchScheduler:
         self.queue_depth = queue_depth
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = _sanitize.lock("serve.scheduler.close")
         registry = _obs.metrics_registry()
         self._batches = registry.counter("serve.scheduler.batches")
         self._batch_size = registry.histogram(
@@ -191,6 +192,7 @@ class BatchScheduler:
             (plus everything :meth:`submit` raises)
         """
         future = self.submit(skills, k, mode)
+        _sanitize.check_blocking("future.result(propose)")
         try:
             return future.result(timeout=timeout)
         except FutureTimeoutError:
@@ -239,6 +241,7 @@ class BatchScheduler:
             (plus everything :meth:`submit_step` raises)
         """
         future = self.submit_step(session)
+        _sanitize.check_blocking("future.result(step)")
         try:
             return future.result(timeout=timeout)
         except FutureTimeoutError:
@@ -254,6 +257,7 @@ class BatchScheduler:
             self._closed = True
         for _ in self._workers:
             self._queue.put(_STOP)
+        _sanitize.check_blocking("worker.join(shutdown)")
         for worker in self._workers:
             worker.join(timeout=timeout)
 
@@ -267,6 +271,7 @@ class BatchScheduler:
 
     def _worker_loop(self) -> None:
         while True:
+            _sanitize.check_blocking("queue.get(worker)")
             item = self._queue.get()
             if item is _STOP:
                 return
@@ -368,7 +373,7 @@ class BatchScheduler:
         wave = sorted(wave, key=lambda request: request.session.id)
         sessions = [request.session for request in wave]
         for session in sessions:
-            session.lock.acquire()
+            session._lock.acquire()
         self._inflight_waves.inc()
         try:
             first = sessions[0]
@@ -408,4 +413,4 @@ class BatchScheduler:
         finally:
             self._inflight_waves.dec()
             for session in sessions:
-                session.lock.release()
+                session._lock.release()

@@ -25,7 +25,6 @@ violations surface as :class:`~repro.serve.errors.InvalidRequest`
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Any, Mapping
 
@@ -38,6 +37,7 @@ from repro._validation import (
     require_positive_int,
 )
 from repro.analysis import contracts as _contracts
+from repro.analysis import sanitizer as _sanitize
 from repro.core.batch import BATCH_MODES
 from repro.core.gain_functions import LinearGain
 from repro.core.grouping import Grouping
@@ -86,7 +86,7 @@ class GroupingService:
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self._closed = False
-        self._close_lock = threading.Lock()
+        self._close_lock = _sanitize.lock("serve.service.close")
         self._started = time.monotonic()
         registry = _obs.metrics_registry()
         self._cohorts_created = registry.counter("serve.cohorts.created")

@@ -2,9 +2,13 @@
 
 A :class:`CohortSession` is one live cohort: its immutable configuration
 (policy, mode, ``k``, learning rate, seed), its evolving state (current
-skills, the per-round generator, gains, optional history), and a lock
-that serializes round advancement — concurrent ``advance`` calls on the
-same cohort interleave safely and every round gets a unique index.
+skills, the per-round generator, gains, optional history), and a private
+``_lock`` that serializes round advancement — concurrent ``advance``
+calls on the same cohort interleave safely and every round gets a unique
+index.  Locks come from the :mod:`repro.analysis.sanitizer` factories:
+plain stdlib locks in production, instrumented wrappers under
+``REPRO_SANITIZE=1`` that check the scheduler's sorted-wave ordering
+discipline (session locks rank by session id) at test time.
 
 The :class:`SessionStore` is the thread-safe registry: create/get/delete
 by id, lazy TTL eviction on every access (plus an explicit
@@ -30,7 +34,6 @@ documented DYG103 allowlist for exactly this kind of read.
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from collections import deque
 from datetime import datetime, timezone
@@ -43,6 +46,7 @@ from repro.core.grouping import Grouping
 from repro.core.interactions import InteractionMode
 from repro.core.simulation import GroupingPolicy
 from repro.engine.kernel import ProposeFn, RoundKernel
+from repro.analysis import sanitizer as _sanitize
 from repro.serve.errors import CapacityExhausted, CohortNotFound, SessionExpired
 
 __all__ = ["CohortSession", "SessionStore"]
@@ -86,7 +90,9 @@ class CohortSession:
         self.rng = np.random.default_rng(seed)
         self.round_gains: list[float] = []
         self.skill_history: "list[np.ndarray] | None" = [skills.copy()] if record_history else None
-        self.lock = threading.Lock()
+        # Rank = session id: the scheduler's wave acquires session locks
+        # sorted by id, so ids double as the sanctioned lock ordering.
+        self._lock = _sanitize.lock("serve.session", rank=session_id)
         self.created_utc = datetime.now(timezone.utc).isoformat(timespec="seconds")
         # instrument=False: served rounds emit serve.* telemetry from the
         # service layer, never the offline engine's core.* events.
@@ -126,7 +132,7 @@ class CohortSession:
             ``{"round": t, "gain": g, "groups": [[...], ...]}`` where
             ``t`` is the 0-based index of the round just played.
         """
-        with self.lock:
+        with self._lock:
             outcome = self._kernel.step(
                 self.skills,
                 self.k,
@@ -139,7 +145,7 @@ class CohortSession:
     def record_round_locked(
         self, grouping: Grouping, updated: np.ndarray, gain: float
     ) -> dict[str, Any]:
-        """Record one computed round; the caller must hold ``self.lock``.
+        """Record one computed round; the caller must hold ``self._lock``.
 
         Shared tail of the two advancement paths: the inline kernel step
         above, and the scheduler's batched round step, which computes a
@@ -158,7 +164,7 @@ class CohortSession:
 
     def describe(self, *, include_history: bool = False) -> dict[str, Any]:
         """JSON-ready summary of the cohort and its trajectory."""
-        with self.lock:
+        with self._lock:
             payload: dict[str, Any] = {
                 "cohort": self.id,
                 "policy": self.policy_name,
@@ -213,7 +219,8 @@ class SessionStore:
         self.max_sessions = max_sessions
         self._clock = clock
         self._on_evict = on_evict
-        self._lock = threading.RLock()
+        # RLock: delete() re-enters get() under the same lock.
+        self._lock = _sanitize.rlock("serve.sessions.store")
         self._sessions: dict[str, CohortSession] = {}
         self._deadlines: dict[str, float] = {}
         self._evicted_ids: "deque[str]" = deque(maxlen=_EVICTED_MEMORY)

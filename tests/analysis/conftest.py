@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import contracts
+from repro.analysis import contracts, sanitizer
 
 
 @pytest.fixture(autouse=True)
@@ -16,3 +16,16 @@ def _restore_contracts_state():
         contracts.enable_contracts()
     else:
         contracts.disable_contracts()
+
+
+@pytest.fixture(autouse=True)
+def _restore_sanitizer_state():
+    """The sanitizer switch and its report/edge state are process-global;
+    leave every test as it found them."""
+    enabled = sanitizer.sanitizer_enabled()
+    yield
+    if enabled:
+        sanitizer.enable_sanitizer()
+    else:
+        sanitizer.disable_sanitizer()
+    sanitizer.reset()

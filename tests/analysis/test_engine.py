@@ -29,12 +29,16 @@ class TestRegistry:
         all_codes = [rule.code for rule in ALL_RULES]
         assert len(all_codes) == len(set(all_codes))
         families = {code[:4] for code in all_codes}
-        assert families == {"DYG1", "DYG2", "DYG3"}
+        assert families == {"DYG1", "DYG2", "DYG3", "DYG4"}
 
     def test_catalog_matches_registry(self):
         catalog = rule_catalog()
         assert [entry[0] for entry in catalog] == [rule.code for rule in ALL_RULES]
         assert all(entry[1] and entry[2] for entry in catalog)
+
+    def test_catalog_carries_fix_guidance(self):
+        for code, _name, _summary, fix in rule_catalog():
+            assert fix, f"{code} has no fix guidance"
 
 
 class TestSelection:

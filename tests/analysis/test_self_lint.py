@@ -29,3 +29,11 @@ def test_benchmarks_tree_is_clean():
     report = lint_paths([REPO_ROOT / "benchmarks"])
     assert report.files_checked > 0
     assert report.clean, f"self-lint failed:\n{_explain(report)}"
+
+
+def test_tests_tree_is_clean():
+    # Tests are linted too (with the test-path exemptions for DYG201 and
+    # DYG302); any suppression must be a reasoned per-line ``# noqa``.
+    report = lint_paths([REPO_ROOT / "tests"])
+    assert report.files_checked > 50
+    assert report.clean, f"self-lint failed:\n{_explain(report)}"

@@ -72,7 +72,7 @@ class TestSimulateBasics:
 
     def test_initial_skills_snapshot_isolated(self, toy_skills):
         result = simulate(_FixedPolicy(), toy_skills, k=3, alpha=1, mode="star", rate=0.5)
-        toy_skills[0] = 123.0
+        toy_skills[0] = 123.0  # noqa: DYG202 — mutation IS the test: snapshot must not alias
         assert result.initial_skills[0] == 0.1
 
     def test_record_history(self, toy_skills):

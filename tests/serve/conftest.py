@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis import sanitizer
 from repro.obs import runtime
 
 
@@ -21,6 +22,18 @@ def clean_obs_state():
     yield
     runtime.shutdown()
     runtime.metrics_registry().reset()
+
+
+@pytest.fixture(autouse=True)
+def no_sanitizer_reports():
+    """Under ``REPRO_SANITIZE=1`` (the CI sanitize job), every serve test
+    doubles as a lock-discipline assertion: zero reports, per test."""
+    sanitizer.reset()
+    yield
+    assert sanitizer.reports() == (), (
+        "lock sanitizer reported violations:\n"
+        + "\n".join(str(r) for r in sanitizer.reports())
+    )
 
 
 @pytest.fixture
