@@ -1,0 +1,144 @@
+"""Matchmaking admission throughput — concurrent joiners vs time-to-match.
+
+Not a paper figure: this bench characterizes the :mod:`repro.matchmaking`
+streaming-admission layer.  For 1, 8, and 64 concurrent joiner threads
+pushing a fixed arrival pool through ``POST /v1/join`` (in-process
+client, so the numbers measure the condenser, not sockets), it reports
+join-call latency, time-to-match p50/p95 (from the matchmaker's own
+``matchmaking.time_to_match_seconds`` histogram), and matched cohorts
+per second, archived as ``BENCH_matchmaking.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.serve.client import InProcessClient
+from repro.serve.config import ServeConfig
+from repro.serve.service import GroupingService
+
+from benchmarks._util import FULL, emit, metrics_snapshot
+
+#: Concurrent joiner threads per workload level.
+LEVELS = (1, 8, 64)
+
+#: Cohorts condensed per level (spec below fills at N_SPEC joins each).
+WAVES = 40 if FULL else 8
+
+#: Condensable cohort shape: 2 groups of 4, fill-triggered.
+N_SPEC, K_SPEC = 8, 2
+
+
+def _match_histogram() -> tuple[int, list[float]]:
+    """(count, retained values) of the global time-to-match histogram."""
+    payload = (
+        metrics_snapshot()
+        .get("histograms", {})
+        .get("matchmaking.time_to_match_seconds", {})
+    )
+    return payload.get("count", 0), payload.get("values", [])
+
+
+def _run_level(joiners: int) -> dict[str, float]:
+    """Push WAVES*N_SPEC arrivals through `joiners` threads; return stats."""
+    total_joins = WAVES * N_SPEC
+    skills = np.random.default_rng(7).uniform(1.0, 10.0, size=total_joins)
+    join_latencies: list[float] = []
+    lock = threading.Lock()
+    count_before, _ = _match_histogram()
+
+    service = GroupingService(
+        ServeConfig(
+            workers=0,
+            max_cohorts=max(256, WAVES + 1),
+            matchmaking={
+                "specs": [
+                    {"n": N_SPEC, "k": K_SPEC, "deadline_seconds": 600.0}
+                ]
+            },
+        )
+    )
+    try:
+        client = InProcessClient(service)
+
+        def loop(worker: int) -> None:
+            local: list[float] = []
+            for index in range(worker, total_joins, joiners):
+                begin = time.perf_counter()
+                client.join(float(skills[index]))
+                local.append(time.perf_counter() - begin)
+            with lock:
+                join_latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=loop, args=(w,)) for w in range(joiners)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        snapshot = client.matchmaking()
+    finally:
+        service.close()
+
+    count_after, retained = _match_histogram()
+    matched_new = count_after - count_before
+    # This level's time-to-match series is the tail the run appended.
+    series = np.asarray(retained[len(retained) - matched_new :] or [0.0])
+    ordered = sorted(join_latencies)
+    return {
+        "joiners": joiners,
+        "joins": total_joins,
+        "cohorts": snapshot["condensed"],
+        "wall_seconds": wall,
+        "joins_per_second": total_joins / wall,
+        "matched_cohorts_per_second": snapshot["condensed"] / wall,
+        "join_p50_ms": 1e3 * ordered[len(ordered) // 2],
+        "join_p95_ms": 1e3 * ordered[int(len(ordered) * 0.95)],
+        "time_to_match_p50_ms": 1e3 * float(np.percentile(series, 50)),
+        "time_to_match_p95_ms": 1e3 * float(np.percentile(series, 95)),
+        "matched": matched_new,
+    }
+
+
+def bench_matchmaking(benchmark):
+    baseline = benchmark.pedantic(_run_level, args=(1,), iterations=1, rounds=1)
+    results = [baseline] + [_run_level(joiners) for joiners in LEVELS[1:]]
+
+    lines = [
+        f"streaming admission: {WAVES} waves of n={N_SPEC}, k={K_SPEC} "
+        "(fill-triggered condensation, in-process client)",
+        "",
+        f"{'joiners':>8} {'joins/s':>10} {'cohorts/s':>10} "
+        f"{'match p50 ms':>13} {'match p95 ms':>13} {'join p95 ms':>12}",
+    ]
+    for stats in results:
+        lines.append(
+            f"{stats['joiners']:>8} {stats['joins_per_second']:>10.1f} "
+            f"{stats['matched_cohorts_per_second']:>10.2f} "
+            f"{stats['time_to_match_p50_ms']:>13.2f} "
+            f"{stats['time_to_match_p95_ms']:>13.2f} "
+            f"{stats['join_p95_ms']:>12.2f}"
+        )
+    emit(
+        "matchmaking",
+        "\n".join(lines),
+        config={
+            "waves": WAVES,
+            "n": N_SPEC,
+            "k": K_SPEC,
+            "levels": list(LEVELS),
+            "results": results,
+        },
+    )
+
+    # Every arrival must have been condensed into a cohort — the pool is
+    # an exact multiple of the spec size and deadlines never fire.
+    for stats in results:
+        assert stats["matched"] == stats["joins"], stats
+        assert stats["cohorts"] == WAVES, stats

@@ -55,9 +55,16 @@ _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE
 #:   accounting are clock measurement by definition; arrival schedules
 #:   themselves are precomputed from seeds and never read the clock.
 #:
+#: * ``matchmaking`` — join timestamps, wait-time accounting, and
+#:   condenser deadlines are clock-driven by design; the cohorts a wave
+#:   condenses into stay seed-deterministic (spec seed + cohort index),
+#:   so no clock read feeds grouping results.
+#:
 #: Everything else under ``src/`` stays banned: simulation code that
 #: branches on the clock is non-reproducible by construction.
-WALLCLOCK_ALLOWLIST = frozenset({"obs", "serve", "scenarios", "experiments/parallel.py"})
+WALLCLOCK_ALLOWLIST = frozenset(
+    {"obs", "serve", "scenarios", "matchmaking", "experiments/parallel.py"}
+)
 
 
 def wallclock_exempt_path(path: "str | Path") -> bool:

@@ -17,7 +17,11 @@ Subcommands:
 * ``serve`` — the grouping service: a long-running HTTP JSON API over
   the session store, grouping memo, and micro-batching scheduler of
   :mod:`repro.serve` (see docs/serving.md); ``--slo TARGET=LIMIT``
-  surfaces live SLO verdicts on ``GET /metrics``;
+  surfaces live SLO verdicts on ``GET /metrics``; ``--matchmaking``
+  (with optional repeatable ``--matchmaking-spec k=v,...``) enables the
+  streaming admission layer (see docs/matchmaking.md);
+* ``join`` — join a running server's matchmaking queue as one
+  participant and poll until matched/expired (exit 0 only on a match);
 * ``scenario`` — declared workloads (``run`` / ``compare`` / ``list``):
   seeded open-loop load generation, SLO verdicts, and cross-paradigm
   bit-identity checks over the scenario catalog (see SCENARIOS.md);
@@ -261,6 +265,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="an SLO target evaluated live on GET /metrics, e.g. "
         "--slo latency_p95_ms=250 --slo max_error_rate=0.01 (repeatable)",
+    )
+    serve.add_argument(
+        "--matchmaking",
+        action="store_true",
+        help="enable the streaming admission layer (POST /v1/join; "
+        "see docs/matchmaking.md)",
+    )
+    serve.add_argument(
+        "--matchmaking-spec",
+        action="append",
+        metavar="KEY=VAL,...",
+        default=None,
+        help="a GroupSpec as comma-separated fields, e.g. "
+        "--matchmaking-spec name=novice,n=20,k=4,deadline_seconds=15 "
+        "(repeatable; implies --matchmaking)",
+    )
+
+    join = sub.add_parser(
+        "join", help="join a running server's matchmaking queue", parents=obs
+    )
+    join.add_argument(
+        "--url",
+        default="http://127.0.0.1:8750",
+        help="server base URL (default %(default)s)",
+    )
+    join.add_argument(
+        "--skill", type=float, required=True, help="this participant's skill level"
+    )
+    join.add_argument(
+        "--participant", default=None, help="participant id (default: server-assigned)"
+    )
+    join.add_argument("--spec", default=None, help="group-spec tag to queue under")
+    join.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="seconds to wait for a match before giving up (default %(default)s)",
+    )
+    join.add_argument(
+        "--poll", type=float, default=0.25,
+        help="status-poll interval in seconds (default %(default)s)",
+    )
+    join.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="enqueue and exit immediately without polling for a match",
     )
 
     scenario = sub.add_parser(
@@ -611,6 +659,16 @@ def _command_serve(args: argparse.Namespace) -> int:
             except ValueError:
                 print(f"bad --slo value {item!r}; expected TARGET=LIMIT", file=sys.stderr)
                 return 2
+    matchmaking: "dict[str, object] | None" = None
+    if args.matchmaking or args.matchmaking_spec:
+        specs = []
+        for item in args.matchmaking_spec or []:
+            try:
+                specs.append(_parse_matchmaking_spec(item))
+            except ValueError as error:
+                print(f"bad --matchmaking-spec {item!r}: {error}", file=sys.stderr)
+                return 2
+        matchmaking = {"specs": specs} if specs else {}
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -619,8 +677,79 @@ def _command_serve(args: argparse.Namespace) -> int:
         session_ttl=args.session_ttl,
         queue_depth=args.queue_depth,
         slo=slo,
+        matchmaking=matchmaking,
     )
     return run_server(config)
+
+
+def _parse_matchmaking_spec(item: str) -> dict[str, object]:
+    """Parse one ``--matchmaking-spec`` value (``k=v,k=v``) into a mapping.
+
+    Values coerce int, then float, then stay strings; field names and
+    ranges are validated downstream by ``GroupSpec.from_dict``.
+    """
+    fields: dict[str, object] = {}
+    for pair in item.split(","):
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(f"expected KEY=VAL, got {pair!r}")
+        raw = raw.strip()
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        fields[key] = value
+    return fields
+
+
+def _command_join(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve.client import HttpClient
+    from repro.serve.errors import ServeError
+
+    client = HttpClient(args.url, timeout=max(args.timeout, 5.0))
+    try:
+        joined = client.join(args.skill, participant=args.participant, spec=args.spec)
+    except ServeError as error:
+        print(f"dygroups join: {error} [{error.code}]", file=sys.stderr)
+        return 1
+    participant = joined["participant"]
+    print(
+        f"dygroups join: {participant} queued under spec {joined['spec']!r} "
+        f"(status {joined['status']})"
+    )
+    if args.no_wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    status = joined
+    while status["status"] == "waiting":
+        if time.monotonic() >= deadline:
+            print(
+                f"dygroups join: {participant} still waiting after {args.timeout:g}s",
+                file=sys.stderr,
+            )
+            return 1
+        time.sleep(max(args.poll, 0.01))
+        try:
+            status = client.participant_status(participant)
+        except ServeError as error:
+            print(f"dygroups join: {error} [{error.code}]", file=sys.stderr)
+            return 1
+    if status["status"] == "matched":
+        print(
+            f"dygroups join: {participant} matched into cohort {status['cohort']} "
+            f"as member {status['member']} "
+            f"(waited {status['wait_seconds']:.3f}s)"
+        )
+        return 0
+    print(f"dygroups join: {participant} resolved {status['status']}", file=sys.stderr)
+    return 1
 
 
 def _command_scenario(args: argparse.Namespace) -> int:
@@ -808,6 +937,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_lint(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "join":
+        return _command_join(args)
     if args.command == "scenario":
         return _command_scenario(args)
     if args.command == "list":

@@ -1,0 +1,28 @@
+"""repro.matchmaking — the streaming admission layer.
+
+Condenses individual arrivals (``POST /v1/join``) into real cohort
+sessions on the grouping service:
+
+* :mod:`repro.matchmaking.spec` — quota-bounded :class:`GroupSpec`
+  shapes (target size, fill window, deadline, cohort quota);
+* :mod:`repro.matchmaking.queue` — the thread-safe
+  :class:`JoinQueue` of waiting/resolved :class:`Participant` records;
+* :mod:`repro.matchmaking.matchmaker` — the deadline-driven
+  :class:`Matchmaker` with rank-window (skill-compatible) admission.
+
+Matched cohorts ride the unchanged session/kernel path and reproduce
+``POST /v1/cohorts`` — and offline ``simulate()`` — bit for bit on the
+same skill multiset and seed (see docs/matchmaking.md).
+"""
+
+from repro.matchmaking.matchmaker import Matchmaker
+from repro.matchmaking.queue import JoinQueue, Participant
+from repro.matchmaking.spec import DEFAULT_SPEC_NAME, GroupSpec
+
+__all__ = [
+    "DEFAULT_SPEC_NAME",
+    "GroupSpec",
+    "JoinQueue",
+    "Matchmaker",
+    "Participant",
+]

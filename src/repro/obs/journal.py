@@ -67,6 +67,10 @@ EVENTS: tuple[str, ...] = (
     "cohort_round",
     "cohort_delete",
     "cohort_evict",
+    "participant_join",
+    "participant_leave",
+    "participant_expire",
+    "cohort_condense",
     "sanitizer.order_inversion",
     "sanitizer.blocking_call",
 )

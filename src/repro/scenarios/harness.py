@@ -12,6 +12,15 @@ ways, all backed by the same round kernel:
 * ``cli`` — one ``dygroups simulate`` subprocess per cohort, groupings
   read back from the ``--save`` trajectory JSON (the offline engine).
 
+Scenarios with ``individual`` arrivals run through the serve paradigms
+only (``inprocess``/``http``): participants join the matchmaking queue
+one at a time, the condenser forms the cohorts, and the harness then
+advances rounds on the condensed sessions.  Each condensed cohort is
+additionally verified against an offline ``simulate()`` replay of its
+recorded skills and seed, so the streaming admission path carries the
+same bit-identity guarantee as direct cohort creation (see
+docs/matchmaking.md).
+
 :func:`compare_scenario` drives the same scenario through each paradigm
 under the same seeded arrival schedule and asserts the produced
 groupings are **bit-identical** — the serving layer's central
@@ -40,13 +49,18 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.analysis import sanitizer as _sanitize
+from repro.core.simulation import simulate
 from repro.obs import runtime as _obs
 from repro.obs.provenance import provenance_stamp
+from repro.registry import build_policy
 from repro.scenarios.loadgen import ArrivalSchedule, LoadResult, run_load
 from repro.scenarios.slo import SLOReport, evaluate_slos
 from repro.scenarios.spec import ScenarioSpec
@@ -249,6 +263,156 @@ def _run_http(spec: ScenarioSpec) -> ParadigmRun:
         server.close()
 
 
+def _matchmaking_serve_config(spec: ScenarioSpec) -> ServeConfig:
+    """The serve config of an ``individual`` scenario: one matchmaking
+    spec shaped like the population, quota-bound to its cohort count."""
+    overrides = dict(spec.serve) if spec.serve is not None else {}
+    if spec.slo is not None and "slo" not in overrides:
+        overrides["slo"] = spec.slo.to_dict()
+    population = spec.population
+    overrides.setdefault(
+        "matchmaking",
+        {
+            "specs": [
+                {
+                    "n": population.n,
+                    "k": population.k,
+                    "policy": spec.policy,
+                    "mode": population.mode,
+                    "rate": population.rate,
+                    "seed": spec.seed,
+                    "max_cohorts": population.cohorts,
+                }
+            ]
+        },
+    )
+    return ServeConfig(**overrides)
+
+
+def _individual_skill_stream(spec: ScenarioSpec) -> np.ndarray:
+    """The seeded arrival-order skill stream of an individual scenario.
+
+    Concatenates every cohort's seeded skill draw and shuffles the pool
+    with the scenario seed, so participants of different "intended"
+    cohorts interleave the way independent arrivals would — which
+    cohorts actually condense together is the matchmaker's decision.
+    """
+    population = spec.population
+    pool = np.concatenate(
+        [population.skills(i) for i in range(population.cohorts)]
+    )
+    order = np.random.default_rng(spec.seed).permutation(pool.size)
+    return pool[order]
+
+
+def _run_individual_paradigm(spec: ScenarioSpec, client: Any, paradigm: str) -> ParadigmRun:
+    population = spec.population
+    skills = _individual_skill_stream(spec)
+
+    # Phase 1: every participant joins individually on the arrival
+    # schedule; the service condenses cohorts as waves fill.
+    def send_join(index: int) -> None:
+        client.join(float(skills[index]), participant=f"p{index:05d}")
+
+    schedule = ArrivalSchedule.from_spec(spec.arrival, spec.total_requests, seed=spec.seed)
+    join_load = run_load(send_join, schedule, concurrency=spec.arrival.concurrency)
+
+    # Wait out any deadline-driven stragglers (fill-triggered waves
+    # condense synchronously, so this normally returns immediately).
+    deadline = time.monotonic() + 60.0
+    while True:
+        snapshot = client.matchmaking()
+        if snapshot["waiting"] == 0:
+            break
+        if time.monotonic() >= deadline:
+            raise ParadigmMismatch(
+                f"[{paradigm}] matchmaking left {snapshot['waiting']} of "
+                f"{spec.total_requests} participants unmatched"
+            )
+        time.sleep(0.05)
+    cohort_ids = [
+        cohort
+        for name in sorted(snapshot["specs"])
+        for cohort in snapshot["specs"][name]["cohorts"]
+    ]
+    if len(cohort_ids) != population.cohorts:
+        raise ParadigmMismatch(
+            f"[{paradigm}] matchmaking condensed {len(cohort_ids)} cohorts, "
+            f"expected {population.cohorts}"
+        )
+    # Initial describes, captured before any round mutates the skills.
+    initial = [client.get_cohort(cohort_id) for cohort_id in cohort_ids]
+
+    # Phase 2: advance rounds on the condensed cohorts (closed loop —
+    # the arrival schedule modelled joins, not rounds).
+    records: dict[int, dict[int, tuple]] = {i: {} for i in range(population.cohorts)}
+    records_lock = _sanitize.lock("scenario.harness.records")
+
+    def send_round(index: int) -> None:
+        cohort = index % population.cohorts
+        response = client.advance_rounds(cohort_ids[cohort], 1)
+        with records_lock:
+            for record in response["played"]:
+                records[cohort][int(record["round"])] = _canonical_grouping(record["groups"])
+
+    round_schedule = ArrivalSchedule.closed_loop(population.cohorts * spec.rounds)
+    round_load = run_load(send_round, round_schedule, concurrency=spec.arrival.concurrency)
+
+    # Every condensed cohort must replay bit-identically offline: same
+    # recorded skills + seed through simulate() gives the same groupings.
+    for cohort_index, info in enumerate(initial):
+        result = simulate(
+            build_policy(spec.policy, mode=population.mode, rate=population.rate),
+            np.asarray(info["skills"], dtype=np.float64),
+            k=population.k,
+            alpha=spec.rounds,
+            mode=population.mode,
+            rate=population.rate,
+            seed=int(info["seed"]),
+        )
+        for round_index, groups in records[cohort_index].items():
+            expected = _canonical_grouping(result.groupings[round_index])
+            if groups != expected:
+                raise ParadigmMismatch(
+                    f"[{paradigm}] condensed cohort {info['cohort']} diverges from "
+                    f"offline simulate() at round {round_index}: served {groups}, "
+                    f"offline {expected}"
+                )
+
+    load = LoadResult(
+        requests=join_load.requests + round_load.requests,
+        errors=join_load.errors + round_load.errors,
+        duration_seconds=join_load.duration_seconds + round_load.duration_seconds,
+    )
+    return ParadigmRun(
+        paradigm=paradigm,
+        groupings=records,
+        load=load,
+        snapshot=_obs.metrics_registry().snapshot(),
+    )
+
+
+def _run_individual_inprocess(spec: ScenarioSpec) -> ParadigmRun:
+    service = GroupingService(_matchmaking_serve_config(spec))
+    try:
+        return _run_individual_paradigm(spec, InProcessClient(service), "inprocess")
+    finally:
+        service.close()
+
+
+def _run_individual_http(spec: ScenarioSpec) -> ParadigmRun:
+    service = GroupingService(_matchmaking_serve_config(spec))
+    try:
+        server = start_server(service, port=0)
+    except OSError:
+        service.close()
+        raise
+    try:
+        return _run_individual_paradigm(spec, HttpClient(server.url), "http")
+    finally:
+        server.close()
+
+
 def _cli_environment() -> dict[str, str]:
     env = dict(os.environ)
     src_root = str(Path(__file__).resolve().parents[2])
@@ -326,6 +490,18 @@ def run_paradigm(spec: ScenarioSpec, paradigm: str) -> ParadigmRun:
     runners = {"inprocess": _run_inprocess, "http": _run_http, "cli": _run_cli}
     if paradigm not in runners:
         raise ValueError(f"unknown paradigm {paradigm!r}; expected one of {PARADIGMS}")
+    if spec.arrival.kind == "individual":
+        individual_runners = {
+            "inprocess": _run_individual_inprocess,
+            "http": _run_individual_http,
+        }
+        if paradigm not in individual_runners:
+            raise ValueError(
+                f"paradigm {paradigm!r} does not support individual arrivals; "
+                f"expected one of {tuple(individual_runners)} "
+                "(the cli paradigm has no matchmaking queue to join)"
+            )
+        runners = dict(individual_runners)
     _obs.metrics_registry().reset()
     return runners[paradigm](spec)
 

@@ -99,7 +99,9 @@ class ArrivalSchedule:
     @classmethod
     def from_spec(cls, arrival: ArrivalSpec, count: int, *, seed: int) -> "ArrivalSchedule":
         """Build the schedule an :class:`ArrivalSpec` describes."""
-        if arrival.kind == "poisson":
+        # Individual arrivals pace exactly like Poisson traffic; only
+        # what each arrival *sends* differs (a join, not a round).
+        if arrival.kind in ("poisson", "individual"):
             assert arrival.rate is not None
             return cls.poisson(count, rate=arrival.rate, seed=seed)
         if arrival.kind == "burst":

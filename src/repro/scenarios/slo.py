@@ -109,6 +109,7 @@ def evaluate_slos(
     errors: Sequence[str] = ("scenario.errors",),
     duration_seconds: "float | None" = None,
     duration_gauge: str = "scenario.duration_seconds",
+    match_latency: str = "matchmaking.time_to_match_seconds",
 ) -> SLOReport:
     """Judge ``slo``'s targets against a registry snapshot.
 
@@ -123,6 +124,8 @@ def evaluate_slos(
         duration_seconds: wall duration for the throughput target;
             when ``None`` it is read from ``duration_gauge``.
         duration_gauge: gauge name holding the run duration in seconds.
+        match_latency: histogram name holding matchmaking queue-to-
+            cohort wait **seconds** (the ``time_to_match_*`` targets).
     """
     verdicts: list[SLOVerdict] = []
     targets = slo.targets()
@@ -139,6 +142,21 @@ def evaluate_slos(
         observed: "float | None" = None
         if series is not None and series.get("count", 0) > 0:
             observed = 1000.0 * float(series[key])
+        verdicts.append(
+            SLOVerdict(field, limit, observed, observed is not None and observed <= limit)
+        )
+
+    match_series = _latency_series(snapshot, match_latency)
+    for field, key in (
+        ("time_to_match_p50_ms", "p50"),
+        ("time_to_match_p95_ms", "p95"),
+    ):
+        if field not in targets:
+            continue
+        limit = targets[field]
+        observed = None
+        if match_series is not None and match_series.get("count", 0) > 0:
+            observed = 1000.0 * float(match_series[key])
         verdicts.append(
             SLOVerdict(field, limit, observed, observed is not None and observed <= limit)
         )

@@ -9,11 +9,12 @@ rounds each cohort plays, and what service levels the run must meet
 in files, CI configs, and ``BENCH_scenario_<name>.json`` artifacts,
 not in code.
 
-The built-in :data:`CATALOG` holds three starter scenarios (see
+The built-in :data:`CATALOG` holds four starter scenarios (see
 SCENARIOS.md): ``smoke`` for CI, ``fig05b-rate`` replaying the paper's
-fig05b grid point as Poisson traffic, and ``saturation-probe``
+fig05b grid point as Poisson traffic, ``saturation-probe``
 deliberately overrunning a narrow scheduler queue to observe
-backpressure.
+backpressure, and ``streaming-smoke`` driving individual arrivals
+through the matchmaking layer (see docs/matchmaking.md).
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ __all__ = [
 ]
 
 #: Supported traffic shapes.
-ARRIVAL_KINDS = ("closed-loop", "poisson", "burst")
+ARRIVAL_KINDS = ("closed-loop", "poisson", "burst", "individual")
 
 
 def _require_positive_number(value: Any, *, name: str) -> float:
@@ -62,9 +63,13 @@ class ArrivalSpec:
         kind: ``"closed-loop"`` (each sender issues its next request when
             the previous response returns), ``"poisson"`` (open-loop,
             exponential inter-arrival times at ``rate`` requests/second),
-            or ``"burst"`` (open-loop, ``burst_size`` simultaneous
-            arrivals every ``burst_interval`` seconds).
-        rate: mean requests/second (``poisson`` only).
+            ``"burst"`` (open-loop, ``burst_size`` simultaneous
+            arrivals every ``burst_interval`` seconds), or
+            ``"individual"`` (open-loop Poisson arrivals of *single
+            participants* joining the matchmaking queue instead of
+            whole-cohort requests; requires the serve-side matchmaking
+            layer — see docs/matchmaking.md).
+        rate: mean requests/second (``poisson`` and ``individual``).
         burst_size: arrivals per burst (``burst`` only).
         burst_interval: seconds between bursts (``burst`` only).
         concurrency: sender threads.  Closed-loop this *is* the client
@@ -82,9 +87,9 @@ class ArrivalSpec:
         if self.kind not in ARRIVAL_KINDS:
             raise ValueError(f"arrival kind must be one of {ARRIVAL_KINDS}, got {self.kind!r}")
         require_positive_int(self.concurrency, name="concurrency")
-        if self.kind == "poisson":
+        if self.kind in ("poisson", "individual"):
             if self.rate is None:
-                raise ValueError("poisson arrivals require rate= (requests/second)")
+                raise ValueError(f"{self.kind} arrivals require rate= (requests/second)")
             _require_positive_number(self.rate, name="rate")
         if self.kind == "burst":
             if self.burst_size is None or self.burst_interval is None:
@@ -191,6 +196,8 @@ _SLO_FIELDS = (
     "latency_p99_ms",
     "min_throughput_rps",
     "max_error_rate",
+    "time_to_match_p50_ms",
+    "time_to_match_p95_ms",
 )
 
 
@@ -201,8 +208,11 @@ class SLOSpec:
     Latency targets are upper bounds in milliseconds on the respective
     percentile of the total request latency; ``min_throughput_rps`` is a
     lower bound on sustained requests/second; ``max_error_rate`` an
-    upper bound on ``errors / requests``.  Every field is optional but
-    at least one target must be set.
+    upper bound on ``errors / requests``; the ``time_to_match_*``
+    targets are upper bounds in milliseconds on the respective
+    percentile of matchmaking queue-to-cohort wait time (individual
+    arrivals only — absent otherwise, and an absent observation fails).
+    Every field is optional but at least one target must be set.
     """
 
     latency_p50_ms: "float | None" = None
@@ -210,11 +220,20 @@ class SLOSpec:
     latency_p99_ms: "float | None" = None
     min_throughput_rps: "float | None" = None
     max_error_rate: "float | None" = None
+    time_to_match_p50_ms: "float | None" = None
+    time_to_match_p95_ms: "float | None" = None
 
     def __post_init__(self) -> None:
         if all(getattr(self, name) is None for name in _SLO_FIELDS):
             raise ValueError(f"an SLO block must set at least one of {_SLO_FIELDS}")
-        for name in ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms", "min_throughput_rps"):
+        for name in (
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "min_throughput_rps",
+            "time_to_match_p50_ms",
+            "time_to_match_p95_ms",
+        ):
             value = getattr(self, name)
             if value is not None:
                 _require_positive_number(value, name=name)
@@ -286,7 +305,14 @@ class ScenarioSpec:
 
     @property
     def total_requests(self) -> int:
-        """Round-advance requests the scenario issues."""
+        """Load-generated requests the scenario issues.
+
+        Round-advance requests for cohort workloads; for ``individual``
+        arrivals, one join per participant (``cohorts * n`` — the
+        round-advance phase after condensation is driven separately).
+        """
+        if self.arrival.kind == "individual":
+            return self.population.cohorts * self.population.n
         return self.population.cohorts * self.rounds
 
     def to_dict(self) -> dict[str, Any]:
@@ -377,6 +403,20 @@ CATALOG: dict[str, ScenarioSpec] = {
         # service stops answering at all.
         slo=SLOSpec(latency_p99_ms=10_000.0, max_error_rate=0.9),
         serve={"workers": 1, "queue_depth": 4},
+    ),
+    # Individual arrivals through the matchmaking layer: 36 seeded
+    # participants join one at a time; the condenser forms 3 cohorts of
+    # 12 which then play 2 rounds each.  concurrency=1 keeps the join
+    # order equal to the arrival schedule, so condensation waves — and
+    # the resulting groupings — are bit-identical across paradigms.
+    "streaming-smoke": ScenarioSpec(
+        name="streaming-smoke",
+        arrival=ArrivalSpec(kind="individual", rate=300.0, concurrency=1),
+        population=PopulationSpec(n=12, k=4, cohorts=3, distribution="lognormal", skill_seed=29),
+        policy="dygroups",
+        rounds=2,
+        seed=7,
+        slo=SLOSpec(time_to_match_p95_ms=30_000.0, max_error_rate=0.0),
     ),
 }
 

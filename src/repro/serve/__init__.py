@@ -23,7 +23,10 @@ from repro.serve.config import ServeConfig
 from repro.serve.errors import (
     CapacityExhausted,
     CohortNotFound,
+    DuplicateJoin,
     InvalidRequest,
+    MatchmakingDisabled,
+    ParticipantNotFound,
     RequestTimeout,
     SchedulerSaturated,
     ServeError,
@@ -40,12 +43,15 @@ __all__ = [
     "CapacityExhausted",
     "CohortNotFound",
     "CohortSession",
+    "DuplicateJoin",
     "GroupingCache",
     "GroupingHTTPServer",
     "GroupingService",
     "HttpClient",
     "InProcessClient",
     "InvalidRequest",
+    "MatchmakingDisabled",
+    "ParticipantNotFound",
     "RequestTimeout",
     "SchedulerSaturated",
     "ServeConfig",

@@ -1,6 +1,6 @@
 """Clients for the grouping service: in-process and over-the-wire.
 
-Both clients expose the same five operations with the same payloads and
+Both clients expose the same operations with the same payloads and
 raise the same typed :mod:`repro.serve.errors` exceptions, so tests and
 benchmarks can swap transports freely:
 
@@ -45,6 +45,17 @@ def _cohort_payload(
     }
 
 
+def _join_payload(
+    skill: float, *, participant: "str | None", spec: "str | None"
+) -> dict[str, Any]:
+    payload: dict[str, Any] = {"skill": float(skill)}
+    if participant is not None:
+        payload["participant"] = participant
+    if spec is not None:
+        payload["spec"] = spec
+    return payload
+
+
 class InProcessClient:
     """Client facade over a live :class:`GroupingService` in this process."""
 
@@ -86,6 +97,28 @@ class InProcessClient:
     def delete_cohort(self, cohort_id: str) -> dict[str, Any]:
         """Remove a cohort; returns its final summary."""
         return self.service.delete_cohort(cohort_id)
+
+    def join(
+        self,
+        skill: float,
+        *,
+        participant: "str | None" = None,
+        spec: "str | None" = None,
+    ) -> dict[str, Any]:
+        """Join the matchmaking queue; returns the participant payload."""
+        return self.service.join(_join_payload(skill, participant=participant, spec=spec))
+
+    def participant_status(self, participant_id: str) -> dict[str, Any]:
+        """Status of a queued participant (waiting/matched/expired/left)."""
+        return self.service.participant_status(participant_id)
+
+    def leave_queue(self, participant_id: str) -> dict[str, Any]:
+        """Withdraw a waiting participant; idempotent on resolved ones."""
+        return self.service.leave_queue(participant_id)
+
+    def matchmaking(self) -> dict[str, Any]:
+        """Matchmaking snapshot: queue depths, specs, condensed cohorts."""
+        return self.service.matchmaking_snapshot()
 
     def healthz(self) -> dict[str, Any]:
         """Service liveness payload."""
@@ -167,6 +200,30 @@ class HttpClient:
     def delete_cohort(self, cohort_id: str) -> dict[str, Any]:
         """Remove a cohort; returns its final summary."""
         return self._request("DELETE", f"/v1/cohorts/{cohort_id}")
+
+    def join(
+        self,
+        skill: float,
+        *,
+        participant: "str | None" = None,
+        spec: "str | None" = None,
+    ) -> dict[str, Any]:
+        """Join the matchmaking queue; returns the participant payload."""
+        return self._request(
+            "POST", "/v1/join", _join_payload(skill, participant=participant, spec=spec)
+        )
+
+    def participant_status(self, participant_id: str) -> dict[str, Any]:
+        """Status of a queued participant (waiting/matched/expired/left)."""
+        return self._request("GET", f"/v1/participants/{participant_id}")
+
+    def leave_queue(self, participant_id: str) -> dict[str, Any]:
+        """Withdraw a waiting participant; idempotent on resolved ones."""
+        return self._request("DELETE", f"/v1/participants/{participant_id}")
+
+    def matchmaking(self) -> dict[str, Any]:
+        """Matchmaking snapshot: queue depths, specs, condensed cohorts."""
+        return self._request("GET", "/v1/matchmaking")
 
     def healthz(self) -> dict[str, Any]:
         """Server liveness payload."""

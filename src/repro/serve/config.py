@@ -9,7 +9,7 @@ invocation fails at startup with an actionable message, not mid-request.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro._validation import require_positive_int
 
@@ -51,6 +51,15 @@ class ServeConfig:
             evaluates the targets against the live registry and serves
             the verdict block; parsed and fully validated by the
             service at startup.
+        matchmaking: optional matchmaking-layer configuration; ``None``
+            (the default) leaves the layer off and its endpoints answer
+            ``404 matchmaking_disabled``.  Keys: ``"specs"`` — a list of
+            :class:`repro.matchmaking.spec.GroupSpec` field mappings
+            (default: one spec with all defaults) — and
+            ``"tick_interval"`` — the condenser-thread period in
+            seconds (``None`` disables the thread; tests drive
+            ``Matchmaker.tick`` directly).  Parsed and fully validated
+            by the service at startup.
     """
 
     host: str = "127.0.0.1"
@@ -63,6 +72,7 @@ class ServeConfig:
     batch_max: int = 32
     request_timeout: float = 30.0
     slo: "Mapping[str, float] | None" = None
+    matchmaking: "Mapping[str, Any] | None" = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.port, int) or isinstance(self.port, bool) or not 0 <= self.port <= 65535:
@@ -82,3 +92,7 @@ class ServeConfig:
             raise ValueError(f"host must be a non-empty string, got {self.host!r}")
         if self.slo is not None and not isinstance(self.slo, Mapping):
             raise ValueError(f"slo must be a mapping of SLO targets, got {self.slo!r}")
+        if self.matchmaking is not None and not isinstance(self.matchmaking, Mapping):
+            raise ValueError(
+                f"matchmaking must be a configuration mapping, got {self.matchmaking!r}"
+            )

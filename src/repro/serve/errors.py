@@ -23,6 +23,9 @@ __all__ = [
     "CapacityExhausted",
     "RequestTimeout",
     "ServiceClosed",
+    "ParticipantNotFound",
+    "DuplicateJoin",
+    "MatchmakingDisabled",
     "error_from_envelope",
 ]
 
@@ -92,6 +95,28 @@ class ServiceClosed(ServeError):
     code = "service_closed"
 
 
+class ParticipantNotFound(ServeError):
+    """No participant is registered under the requested id (or it aged
+    out of the queue's bounded resolved memory)."""
+
+    status = 404
+    code = "participant_not_found"
+
+
+class DuplicateJoin(ServeError):
+    """The participant id is already registered in the join queue."""
+
+    status = 409
+    code = "duplicate_join"
+
+
+class MatchmakingDisabled(ServeError):
+    """The service was started without the matchmaking layer."""
+
+    status = 404
+    code = "matchmaking_disabled"
+
+
 _BY_CODE: dict[str, type[ServeError]] = {
     cls.code: cls
     for cls in (
@@ -103,6 +128,9 @@ _BY_CODE: dict[str, type[ServeError]] = {
         CapacityExhausted,
         RequestTimeout,
         ServiceClosed,
+        ParticipantNotFound,
+        DuplicateJoin,
+        MatchmakingDisabled,
     )
 }
 

@@ -10,10 +10,21 @@ POST      ``/v1/cohorts``                 create a cohort (skills, k, mode, ...)
 GET       ``/v1/cohorts/{id}``            inspect a cohort and its trajectory
 POST      ``/v1/cohorts/{id}/rounds``     advance rounds (body ``{"rounds": m}``)
 DELETE    ``/v1/cohorts/{id}``            remove a cohort
+POST      ``/v1/join``                    join the matchmaking queue (202)
+GET       ``/v1/participants/{id}``       participant status (waiting/matched/…)
+DELETE    ``/v1/participants/{id}``       leave the matchmaking queue
+GET       ``/v1/matchmaking``             queue depths, specs, condensed cohorts
 GET       ``/healthz``                    liveness + cache stats
 GET       ``/metrics``                    metrics-registry snapshot (JSON)
 GET       ``/metrics?format=prometheus``  same registry, Prometheus text format
 ========  ==============================  =======================================
+
+The ``/v1/join`` family requires ``dygroups serve --matchmaking``
+(``ServeConfig.matchmaking``); without it those routes answer ``404
+matchmaking_disabled``.  A successful join responds ``202 Accepted`` —
+the participant is queued, not yet grouped — unless the join itself
+condensed a full cohort, in which case the body already reports
+``matched`` (still 202: the resource to poll is the participant).
 
 When the service was configured with SLO targets (``ServeConfig.slo``),
 both ``/metrics`` formats carry the verdict block next to the raw
@@ -58,6 +69,7 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 
 _COHORT_PATH = re.compile(r"^/v1/cohorts/(?P<id>[A-Za-z0-9_.-]+)$")
 _ROUNDS_PATH = re.compile(r"^/v1/cohorts/(?P<id>[A-Za-z0-9_.-]+)/rounds$")
+_PARTICIPANT_PATH = re.compile(r"^/v1/participants/(?P<id>[A-Za-z0-9_.-]+)$")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -154,6 +166,27 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "POST" and path == "/v1/cohorts":
             payload = self._read_body()
             self._respond(201, self.service.create_cohort(payload))
+            return
+        if method == "POST" and path == "/v1/join":
+            payload = self._read_body()
+            self._respond(202, self.service.join(payload))
+            return
+        if method == "GET" and path == "/v1/matchmaking":
+            self._respond(200, self.service.matchmaking_snapshot())
+            return
+        participant_match = _PARTICIPANT_PATH.match(path)
+        if participant_match is not None:
+            participant_id = participant_match.group("id")
+            if method == "GET":
+                self._respond(200, self.service.participant_status(participant_id))
+                return
+            if method == "DELETE":
+                self._respond(200, self.service.leave_queue(participant_id))
+                return
+            self._respond(
+                405,
+                {"error": {"code": "method_not_allowed", "message": f"{method} not allowed here"}},
+            )
             return
         rounds_match = _ROUNDS_PATH.match(path)
         if rounds_match is not None and method == "POST":

@@ -2,9 +2,14 @@
 
 :class:`GroupingService` is the transport-agnostic application layer —
 the HTTP front-end (:mod:`repro.serve.http`) and the in-process client
-(:mod:`repro.serve.client`) both call the same five operations with the
-same JSON-shaped payloads, so validation, routing, metrics, and journal
-events live in exactly one place.
+(:mod:`repro.serve.client`) both call the same operations with the same
+JSON-shaped payloads, so validation, routing, metrics, and journal
+events live in exactly one place.  When
+:attr:`~repro.serve.config.ServeConfig.matchmaking` is configured the
+service also fronts a :class:`repro.matchmaking.Matchmaker` — the
+streaming admission layer condensing individual joins into cohorts
+through this very ``create_cohort`` path (off by default; its endpoints
+answer ``404 matchmaking_disabled``).
 
 Round routing: the deterministic DyGroups groupers take the fast path —
 full batched round steps through the micro-batching scheduler when
@@ -50,7 +55,7 @@ from repro.scenarios.slo import SLOReport, evaluate_slos, slo_prometheus_lines
 from repro.scenarios.spec import SLOSpec
 from repro.serve.cache import GroupingCache
 from repro.serve.config import ServeConfig
-from repro.serve.errors import InvalidRequest, ServiceClosed
+from repro.serve.errors import InvalidRequest, MatchmakingDisabled, ServiceClosed
 from repro.serve.scheduler import BatchScheduler
 from repro.serve.sessions import CohortSession, SessionStore
 
@@ -112,6 +117,34 @@ class GroupingService:
             if self.config.workers > 0
             else None
         )
+        self.matchmaker = (
+            self._build_matchmaker(self.config.matchmaking, clock)
+            if self.config.matchmaking is not None
+            else None
+        )
+
+    def _build_matchmaker(self, payload: Mapping[str, Any], clock: Any) -> Any:
+        """Construct the matchmaking layer from ``ServeConfig.matchmaking``.
+
+        Imported lazily: :mod:`repro.matchmaking` builds on the serve
+        errors/config modules, so a top-level import here would cycle.
+        """
+        from repro.matchmaking.matchmaker import DEFAULT_TICK_INTERVAL, Matchmaker
+        from repro.matchmaking.spec import GroupSpec
+
+        options = dict(payload)
+        specs_payload = options.pop("specs", None)
+        tick_interval = options.pop("tick_interval", DEFAULT_TICK_INTERVAL)
+        if options:
+            raise ValueError(f"unknown matchmaking fields: {sorted(options)}")
+        if specs_payload is None:
+            specs_payload = [{}]
+        if isinstance(specs_payload, (str, bytes)) or not isinstance(specs_payload, (list, tuple)):
+            raise ValueError(
+                f"matchmaking specs must be a list of group-spec mappings, got {specs_payload!r}"
+            )
+        specs = [GroupSpec.from_dict(item) for item in specs_payload]
+        return Matchmaker(self, specs, clock=clock, tick_interval=tick_interval)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -126,6 +159,8 @@ class GroupingService:
             if self._closed:
                 return
             self._closed = True
+        if self.matchmaker is not None:
+            self.matchmaker.close()
         if self.scheduler is not None:
             self.scheduler.close()
         self.store.clear()
@@ -279,6 +314,42 @@ class GroupingService:
             state.journal.emit("cohort_delete", cohort=cohort_id, rounds=session.rounds)
         return session.describe()
 
+    # -- matchmaking -------------------------------------------------------
+
+    def _matchmaker_required(self) -> Any:
+        if self.matchmaker is None:
+            raise MatchmakingDisabled(
+                "this service was started without matchmaking; "
+                "restart with `dygroups serve --matchmaking`"
+            )
+        return self.matchmaker
+
+    def join(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Admit one participant into the join queue (``POST /v1/join``).
+
+        Raises:
+            MatchmakingDisabled: the layer is off for this service.
+            InvalidRequest / DuplicateJoin / CapacityExhausted: from the
+                matchmaker's admission path.
+        """
+        self._require_open()
+        return self._matchmaker_required().join(payload)
+
+    def participant_status(self, participant_id: str) -> dict[str, Any]:
+        """One participant's lifecycle state (``waiting | matched | expired | left``)."""
+        self._require_open()
+        return self._matchmaker_required().status(participant_id)
+
+    def leave_queue(self, participant_id: str) -> dict[str, Any]:
+        """Remove a waiting participant from the queue (``DELETE``)."""
+        self._require_open()
+        return self._matchmaker_required().leave(participant_id)
+
+    def matchmaking_snapshot(self) -> dict[str, Any]:
+        """Queue depths, spec states, and condensed cohorts (``GET /v1/matchmaking``)."""
+        self._require_open()
+        return self._matchmaker_required().snapshot()
+
     def healthz(self) -> dict[str, Any]:
         """Liveness payload: status, uptime, live cohorts, cache stats."""
         payload: dict[str, Any] = {
@@ -289,6 +360,11 @@ class GroupingService:
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
+        if self.matchmaker is not None:
+            payload["matchmaking"] = {
+                "waiting": self.matchmaker.queue.depth(),
+                "specs": sorted(self.matchmaker.specs),
+            }
         return payload
 
     def metrics_snapshot(self) -> dict[str, Any]:

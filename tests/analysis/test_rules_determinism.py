@@ -125,7 +125,7 @@ class TestWallClockServeCarveOut:
         from repro.analysis.base import WALLCLOCK_ALLOWLIST
 
         assert WALLCLOCK_ALLOWLIST == frozenset(
-            {"obs", "serve", "scenarios", "experiments/parallel.py"}
+            {"obs", "serve", "scenarios", "matchmaking", "experiments/parallel.py"}
         )
 
     def test_parallel_executor_module_exempt(self):

@@ -1,0 +1,54 @@
+"""Fixtures for the matchmaking-layer tests.
+
+The matchmaker registers counters/gauges in the process-global metrics
+registry; every test starts and leaves with a clean slate.  Under
+``REPRO_SANITIZE=1`` (the CI sanitize job) every test also doubles as a
+lock-discipline assertion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Disable observability and empty the metrics registry around each test."""
+    runtime.shutdown()
+    runtime.metrics_registry().reset()
+    yield
+    runtime.shutdown()
+    runtime.metrics_registry().reset()
+
+
+@pytest.fixture(autouse=True)
+def no_sanitizer_reports():
+    """Zero sanitizer reports per test when the runtime sanitizer is on."""
+    sanitizer.reset()
+    yield
+    assert sanitizer.reports() == (), (
+        "lock sanitizer reported violations:\n"
+        + "\n".join(str(r) for r in sanitizer.reports())
+    )
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock for deadline-driven tests."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    """A fresh fake clock starting at t=100."""
+    return FakeClock()

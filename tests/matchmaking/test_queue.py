@@ -1,0 +1,142 @@
+"""JoinQueue storage semantics: lifecycle, lookups, bounded memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matchmaking.queue import JoinQueue
+from repro.serve.errors import DuplicateJoin, ParticipantNotFound
+
+
+def make_queue(**kwargs) -> JoinQueue:
+    queue = JoinQueue(**kwargs)
+    queue.register_spec("default")
+    return queue
+
+
+class TestJoin:
+    def test_auto_ids_are_sequential_and_unique(self):
+        queue = make_queue()
+        first = queue.join(None, skill=1.0, spec="default", now=0.0)
+        second = queue.join(None, skill=2.0, spec="default", now=0.0)
+        assert first.id == "p000001"
+        assert second.id == "p000002"
+
+    def test_auto_id_skips_caller_collisions(self):
+        queue = make_queue()
+        queue.join("p000001", skill=1.0, spec="default", now=0.0)
+        auto = queue.join(None, skill=2.0, spec="default", now=0.0)
+        assert auto.id == "p000002"
+
+    def test_duplicate_id_raises(self):
+        queue = make_queue()
+        queue.join("alice", skill=1.0, spec="default", now=0.0)
+        with pytest.raises(DuplicateJoin, match="alice"):
+            queue.join("alice", skill=2.0, spec="default", now=0.0)
+
+    def test_resolved_id_still_counts_as_duplicate(self):
+        queue = make_queue()
+        queue.join("alice", skill=1.0, spec="default", now=0.0)
+        queue.leave("alice", now=1.0)
+        with pytest.raises(DuplicateJoin, match="left"):
+            queue.join("alice", skill=2.0, spec="default", now=2.0)
+
+    def test_depth_counts_waiting_across_specs(self):
+        queue = make_queue()
+        queue.register_spec("other")
+        queue.join("a", skill=1.0, spec="default", now=0.0)
+        queue.join("b", skill=1.0, spec="other", now=0.0)
+        assert queue.depth() == 2
+        assert queue.pending_count("default") == 1
+
+
+class TestDescribe:
+    def test_unknown_id_raises(self):
+        queue = make_queue()
+        with pytest.raises(ParticipantNotFound):
+            queue.describe("ghost", 0.0)
+
+    def test_waiting_payload_has_position_and_wait(self):
+        queue = make_queue()
+        queue.join("a", skill=3.0, spec="default", now=10.0)
+        queue.join("b", skill=1.0, spec="default", now=11.0)
+        payload = queue.describe("b", 14.0)
+        assert payload["status"] == "waiting"
+        assert payload["position"] == 1
+        assert payload["wait_seconds"] == pytest.approx(3.0)
+
+    def test_matched_payload_reports_cohort_and_member(self):
+        queue = make_queue()
+        a = queue.join("a", skill=3.0, spec="default", now=0.0)
+        b = queue.join("b", skill=1.0, spec="default", now=0.0)
+        queue.resolve_matched([b, a], "c000009", now=5.0)
+        payload = queue.describe("a", 9.0)
+        assert payload["status"] == "matched"
+        assert payload["cohort"] == "c000009"
+        assert payload["member"] == 1  # member index follows resolve order
+        assert "position" not in payload
+        # Wait time froze at resolution, not at the describe call.
+        assert payload["wait_seconds"] == pytest.approx(5.0)
+
+
+class TestResolution:
+    def test_resolve_matched_empties_the_pool(self):
+        queue = make_queue()
+        members = [
+            queue.join(f"m{i}", skill=float(i + 1), spec="default", now=0.0)
+            for i in range(3)
+        ]
+        queue.resolve_matched(members, "c000001", now=1.0)
+        assert queue.pending_count("default") == 0
+        assert all(m.status == "matched" for m in members)
+
+    def test_expire_spec_resolves_every_waiter(self):
+        queue = make_queue()
+        queue.join("a", skill=1.0, spec="default", now=0.0)
+        queue.join("b", skill=2.0, spec="default", now=0.0)
+        expired = queue.expire_spec("default", now=4.0)
+        assert [p.id for p in expired] == ["a", "b"]
+        assert queue.describe("a", 9.0)["status"] == "expired"
+        assert queue.depth() == 0
+
+    def test_leave_removes_waiting_participant(self):
+        queue = make_queue()
+        queue.join("a", skill=1.0, spec="default", now=0.0)
+        participant, removed = queue.leave("a", now=2.0)
+        assert removed is True
+        assert participant.status == "left"
+        assert queue.depth() == 0
+
+    def test_leave_is_idempotent_on_resolved(self):
+        queue = make_queue()
+        queue.join("a", skill=1.0, spec="default", now=0.0)
+        queue.leave("a", now=2.0)
+        participant, removed = queue.leave("a", now=3.0)
+        assert removed is False
+        assert participant.status == "left"
+        assert participant.resolved_at == pytest.approx(2.0)
+
+
+class TestResolvedMemory:
+    def test_resolved_participants_age_out(self):
+        queue = make_queue(resolved_memory=2)
+        for name in ("a", "b", "c"):
+            queue.join(name, skill=1.0, spec="default", now=0.0)
+            queue.leave(name, now=1.0)
+        # "a" was the oldest resolved record and aged out at the third.
+        with pytest.raises(ParticipantNotFound):
+            queue.describe("a", 2.0)
+        assert queue.describe("b", 2.0)["status"] == "left"
+        assert queue.describe("c", 2.0)["status"] == "left"
+
+    def test_waiting_participants_never_age_out(self):
+        queue = make_queue(resolved_memory=1)
+        queue.join("waiting", skill=1.0, spec="default", now=0.0)
+        for name in ("a", "b", "c"):
+            queue.join(name, skill=1.0, spec="default", now=0.0)
+            queue.leave(name, now=1.0)
+        assert queue.describe("waiting", 2.0)["status"] == "waiting"
+
+    def test_bad_memory_bound_rejected(self):
+        with pytest.raises(ValueError):
+            JoinQueue(resolved_memory=0)
