@@ -2,7 +2,7 @@
 
 Not a paper figure: this bench characterizes the :mod:`repro.serve`
 subsystem added for production-style deployment.  A closed-loop load
-generator (``CLIENTS`` threads, each running ``create → advance×R →
+generator (client threads, each running ``create → advance×R →
 inspect`` loops against one :class:`~repro.serve.service.GroupingService`
 through the in-process client) reports requests/second, p50/p95 request
 latency, and the grouping-memo hit rate, archived as
@@ -10,23 +10,41 @@ latency, and the grouping-memo hit rate, archived as
 the numbers measure the service (sessions + cache + scheduler), not
 socket syscalls.
 
-Three workloads:
+Workloads:
 
 * ``replay`` — every client replays the same cohort configuration, the
   memo's best case (exact-tier hits dominate after warmup);
-* ``unique`` — every cohort gets distinct skills, the worst case (all
-  misses; measures the scheduler + session overhead ceiling).  With
-  workers, advance requests ride the scheduler's *batched round steps*:
-  concurrent same-shape cohorts are stepped as one stacked
-  ``propose_batch → apply_update_many`` wave;
-* ``inline`` — the ``unique`` load with ``workers=0``, so every round
-  steps through the scalar kernel one cohort at a time.  The
-  ``unique`` vs ``inline`` pair is the before/after of round-step
-  batching, archived under ``config.batched_round_step``.
+* ``adaptive`` — distinct skills per cohort (all cache misses) through
+  the **adaptive** scheduler: a round step is stacked into a batched
+  ``propose_batch → apply_update_many`` wave only when a same-shape
+  cohort is in flight at the same moment; a lone step falls through to
+  the inline kernel (``serve.scheduler.step_inline_fallthrough``);
+* ``legacy`` — the same load with ``adaptive_batch=False``:
+  unconditional queue-and-batch, the semantics that archived the 0.60×
+  regression row under ``config.batched_round_step``;
+* ``inline`` — the same load with ``workers=0``, every round stepped
+  through the scalar kernel on the caller thread (the before side);
+* ``inline_heavy`` / ``adaptive_heavy`` — the same pair under heavy
+  fan-in (``HEAVY_CLIENTS`` threads), where same-shape overlap is
+  common and waves actually stack.
+
+On a multi-core host the heavy tier is where batching pulls ahead (the
+wave kernel releases the GIL into one vectorized update while client
+threads keep queueing).  On a single core the scheduler's parallelism
+gate keeps waves OFF entirely — the wave's serial handoff costs double
+the per-round price there, so every step falls through to the inline
+kernel — and the honest target is *parity with inline*, which is
+exactly the win over the archived 0.60× unconditional-batching
+regression (``legacy`` still queues unconditionally, gate or no gate).
+
+The adaptive-vs-inline pairs are the before/after of round-step
+batching, archived under ``config.batched_round_step`` (4-client tier)
+and ``config.adaptive_batching`` (both tiers + the legacy row).
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from math import fsum
@@ -42,8 +60,14 @@ from benchmarks._util import FULL, emit, metrics_snapshot
 #: Closed-loop client threads.
 CLIENTS = 8 if FULL else 4
 
+#: Client threads for the heavy fan-in tier.
+HEAVY_CLIENTS = 64
+
 #: Cohort create→advance→inspect loops per client.
 LOOPS = 60 if FULL else 12
+
+#: Loops per client in the heavy tier (64× the threads, so fewer loops).
+HEAVY_LOOPS = 6 if FULL else 2
 
 #: Rounds advanced per cohort loop.
 ROUNDS = 6
@@ -52,32 +76,42 @@ ROUNDS = 6
 N, K = 120, 10
 
 
-def _step_batch_counters() -> tuple[int, float, int]:
-    """(batches, summed batch size, recorded batches) from the metrics registry."""
+def _scheduler_counters() -> tuple[int, float, int, int]:
+    """(batches, summed batch size, recorded batches, inline fall-throughs)."""
     snapshot = metrics_snapshot()
-    batches = (
-        snapshot.get("counters", {})
-        .get("serve.scheduler.step_batches", {})
-        .get("value", 0)
+    counters = snapshot.get("counters", {})
+    batches = counters.get("serve.scheduler.step_batches", {}).get("value", 0)
+    fallthrough = (
+        counters.get("serve.scheduler.step_inline_fallthrough", {}).get("value", 0)
     )
     sizes = snapshot.get("histograms", {}).get("serve.scheduler.step_batch_size", {})
-    return batches, sizes.get("total", 0.0), sizes.get("count", 0)
+    return batches, sizes.get("total", 0.0), sizes.get("count", 0), fallthrough
 
 
-def _run_workload(unique_skills: bool, *, workers: int = 4) -> dict[str, float]:
+def _run_workload(
+    unique_skills: bool,
+    *,
+    workers: int = 4,
+    adaptive: bool = True,
+    clients: int = CLIENTS,
+    loops: int = LOOPS,
+) -> dict[str, float]:
     """Drive the closed loop and return throughput/latency/hit-rate stats."""
     base = np.random.default_rng(42).uniform(1.0, 10.0, size=N)
     latencies: list[float] = []
     lock = threading.Lock()
-    batches_before, size_total_before, size_count_before = _step_batch_counters()
+    batches_before, size_total_before, size_count_before, fall_before = (
+        _scheduler_counters()
+    )
 
-    with GroupingService(ServeConfig(workers=workers, cache_size=512)) as service:
+    config = ServeConfig(workers=workers, cache_size=512, adaptive_batch=adaptive)
+    with GroupingService(config) as service:
         client = InProcessClient(service)
 
         def loop(worker: int) -> None:
             rng = np.random.default_rng(worker)
             local: list[float] = []
-            for i in range(LOOPS):
+            for i in range(loops):
                 skills = (
                     rng.uniform(1.0, 10.0, size=N) if unique_skills else base
                 ).tolist()
@@ -90,7 +124,7 @@ def _run_workload(unique_skills: bool, *, workers: int = 4) -> dict[str, float]:
             with lock:
                 latencies.extend(local)
 
-        threads = [threading.Thread(target=loop, args=(w,)) for w in range(CLIENTS)]
+        threads = [threading.Thread(target=loop, args=(w,)) for w in range(clients)]
         wall_start = time.perf_counter()
         for thread in threads:
             thread.start()
@@ -102,10 +136,14 @@ def _run_workload(unique_skills: bool, *, workers: int = 4) -> dict[str, float]:
     ordered = sorted(latencies)
     requests = len(latencies) * 4  # create + advance + inspect + delete
     probes = cache_stats["hits"] + cache_stats["misses"]
-    batches_after, size_total_after, size_count_after = _step_batch_counters()
+    batches_after, size_total_after, size_count_after, fall_after = (
+        _scheduler_counters()
+    )
     step_batches = batches_after - batches_before
     recorded = size_count_after - size_count_before
     return {
+        "clients": clients,
+        "loops": loops,
         "requests": requests,
         "wall_seconds": wall,
         "req_per_second": requests / wall,
@@ -117,6 +155,7 @@ def _run_workload(unique_skills: bool, *, workers: int = 4) -> dict[str, float]:
         "step_batch_mean": (
             (size_total_after - size_total_before) / recorded if recorded else 0.0
         ),
+        "inline_fallthrough": fall_after - fall_before,
     }
 
 
@@ -124,51 +163,87 @@ def bench_serve_throughput(benchmark):
     replay = benchmark.pedantic(
         _run_workload, args=(False,), iterations=1, rounds=1
     )
-    unique = _run_workload(True)
+    adaptive = _run_workload(True)
+    legacy = _run_workload(True, adaptive=False)
     inline = _run_workload(True, workers=0)
+    inline_heavy = _run_workload(True, workers=0, clients=HEAVY_CLIENTS, loops=HEAVY_LOOPS)
+    adaptive_heavy = _run_workload(True, clients=HEAVY_CLIENTS, loops=HEAVY_LOOPS)
 
+    rows = (
+        ("replay", replay),
+        ("adaptive", adaptive),
+        ("legacy", legacy),
+        ("inline", inline),
+        ("inline_heavy", inline_heavy),
+        ("adaptive_heavy", adaptive_heavy),
+    )
     lines = [
-        f"closed-loop load: {CLIENTS} clients x {LOOPS} loops "
-        f"(n={N}, k={K}, {ROUNDS} rounds/cohort)",
+        f"closed-loop load: n={N}, k={K}, {ROUNDS} rounds/cohort; "
+        f"standard tier {CLIENTS} clients x {LOOPS} loops, "
+        f"heavy tier {HEAVY_CLIENTS} clients x {HEAVY_LOOPS} loops",
         "",
-        f"{'workload':<10} {'req/s':>10} {'p50 ms':>10} {'p95 ms':>10} "
-        f"{'hit rate':>10} {'steps/batch':>12}",
+        f"{'workload':<15} {'clients':>7} {'req/s':>10} {'p50 ms':>10} {'p95 ms':>10} "
+        f"{'hit rate':>9} {'batches':>8} {'inline':>7}",
     ]
-    for name, stats in (("replay", replay), ("unique", unique), ("inline", inline)):
+    for name, stats in rows:
         lines.append(
-            f"{name:<10} {stats['req_per_second']:>10.1f} {stats['loop_p50_ms']:>10.2f} "
-            f"{stats['loop_p95_ms']:>10.2f} {stats['cache_hit_rate']:>10.2%} "
-            f"{stats['step_batch_mean']:>12.2f}"
+            f"{name:<15} {stats['clients']:>7d} {stats['req_per_second']:>10.1f} "
+            f"{stats['loop_p50_ms']:>10.2f} {stats['loop_p95_ms']:>10.2f} "
+            f"{stats['cache_hit_rate']:>9.2%} {stats['step_batches']:>8d} "
+            f"{stats['inline_fallthrough']:>7d}"
         )
-    speedup = unique["req_per_second"] / inline["req_per_second"]
+    speedup = adaptive["req_per_second"] / inline["req_per_second"]
+    heavy_speedup = adaptive_heavy["req_per_second"] / inline_heavy["req_per_second"]
     lines += [
         "",
-        f"batched round steps (unique vs inline): {speedup:.2f}x req/s "
-        f"({unique['step_batches']} step batches, "
-        f"mean {unique['step_batch_mean']:.2f} cohorts/wave)",
+        f"adaptive round steps vs inline: {speedup:.2f}x req/s at {CLIENTS} clients "
+        f"({adaptive['step_batches']} waves, "
+        f"{adaptive['inline_fallthrough']} inline fall-throughs), "
+        f"{heavy_speedup:.2f}x at {HEAVY_CLIENTS} clients "
+        f"({adaptive_heavy['step_batches']} waves, "
+        f"mean {adaptive_heavy['step_batch_mean']:.2f} cohorts/wave)",
+        f"legacy unconditional batching: "
+        f"{legacy['req_per_second'] / inline['req_per_second']:.2f}x req/s "
+        f"({legacy['step_batches']} waves)",
     ]
     emit(
         "serve_throughput",
         "\n".join(lines),
         config={
             "clients": CLIENTS,
+            "heavy_clients": HEAVY_CLIENTS,
             "loops": LOOPS,
+            "heavy_loops": HEAVY_LOOPS,
             "rounds": ROUNDS,
             "n": N,
             "k": K,
             "replay": replay,
-            "unique": unique,
+            "adaptive": adaptive,
+            "legacy": legacy,
             "inline": inline,
+            "inline_heavy": inline_heavy,
+            "adaptive_heavy": adaptive_heavy,
             # Before/after of scheduler round-step batching on the same
             # cache-miss load: "before" steps every cohort through the
-            # scalar kernel inline, "after" stacks concurrent same-shape
-            # cohorts into propose_batch → apply_update_many waves.
+            # scalar kernel inline, "after" stacks same-shape cohorts
+            # into propose_batch → apply_update_many waves when — and
+            # only when — a same-shape backlog exists at drain time.
             "batched_round_step": {
                 "before_req_per_second": inline["req_per_second"],
-                "after_req_per_second": unique["req_per_second"],
+                "after_req_per_second": adaptive["req_per_second"],
                 "speedup": speedup,
-                "step_batches": unique["step_batches"],
-                "step_batch_mean": unique["step_batch_mean"],
+                "step_batches": adaptive["step_batches"],
+                "step_batch_mean": adaptive["step_batch_mean"],
+                "inline_fallthrough": adaptive["inline_fallthrough"],
+            },
+            "adaptive_batching": {
+                "standard_speedup": speedup,
+                "heavy_speedup": heavy_speedup,
+                "legacy_speedup": (
+                    legacy["req_per_second"] / inline["req_per_second"]
+                ),
+                "heavy_step_batches": adaptive_heavy["step_batches"],
+                "heavy_step_batch_mean": adaptive_heavy["step_batch_mean"],
             },
         },
     )
@@ -177,9 +252,36 @@ def bench_serve_throughput(benchmark):
     # trajectory is cached, every later cohort replays it bit for bit.
     assert replay["cache_hit_rate"] > 0.5, "replay workload should be cache-dominated"
     # The unique workload computes every proposal fresh.
-    assert unique["cache_hit_rate"] < 0.1
+    assert adaptive["cache_hit_rate"] < 0.1
     assert replay["requests"] == CLIENTS * LOOPS * 4
-    # Round-step batching must actually engage under workers, and the
-    # workerless baseline must bypass it entirely.
-    assert unique["step_batches"] > 0, "scheduler should batch round steps"
-    assert inline["step_batches"] == 0
+    # Unconditional (legacy) batching must still engage under workers,
+    # and the workerless baseline must bypass the scheduler entirely.
+    assert legacy["step_batches"] > 0, "legacy scheduler should batch round steps"
+    assert legacy["inline_fallthrough"] == 0
+    assert inline["step_batches"] == 0 and inline["inline_fallthrough"] == 0
+    # The adaptive scheduler must answer lone steps inline; waves are
+    # gated on real parallelism (min(workers, cpu_count) > 1), so the
+    # heavy tier stacks waves exactly when the host can amortize them.
+    assert adaptive["inline_fallthrough"] > 0
+    if min(4, os.cpu_count() or 1) > 1:
+        assert adaptive_heavy["step_batches"] > 0, (
+            "heavy fan-in should produce batched waves on a multi-core host"
+        )
+    else:
+        assert adaptive_heavy["step_batches"] == 0, (
+            "the parallelism gate should keep waves off on a single core"
+        )
+    if os.environ.get("REPRO_BENCH_SMOKE", "0") != "1":
+        # The performance contract: adaptive batching must win back the
+        # archived 0.60x regression.  Parity with inline at both tiers —
+        # the 0.8 floor absorbs closed-loop load-generator noise on a
+        # shared single-core container (run-to-run spread is +/-25%) —
+        # and a clear win over the unconditional legacy scheduler that
+        # archived the regression row.
+        assert speedup >= 0.8, f"adaptive vs inline at {CLIENTS} clients: {speedup:.2f}x"
+        assert heavy_speedup >= 0.8, (
+            f"adaptive vs inline at {HEAVY_CLIENTS} clients: {heavy_speedup:.2f}x"
+        )
+        assert adaptive["req_per_second"] > legacy["req_per_second"], (
+            "adaptive batching should beat unconditional legacy batching"
+        )

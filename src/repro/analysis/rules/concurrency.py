@@ -24,10 +24,12 @@ same way ``DYG1xx`` proves seeded-RNG threading:
   ``subprocess``, ``time.sleep``, socket/HTTP waits, ``future.result``
   inside a lock-guarded ``with`` body stall every contending thread;
 * ``DYG404`` — process spawn while holding a lock: ``os.fork``,
-  ``multiprocessing.Process``/``Pool``/``get_context``, or a
-  ``ProcessPoolExecutor`` constructed in a lock-guarded region — a
-  forked child inherits held locks mid-state and deadlocks on first
-  contact (the exact bug class a persistent warm worker pool invites).
+  ``multiprocessing.Process``/``Pool``/``get_context``, a
+  ``ProcessPoolExecutor``, or the warm worker pool
+  (:class:`repro.experiments.parallel.WorkerPool` / ``shared_pool`` —
+  which fork at construction/first use) created in a lock-guarded
+  region — a forked child inherits held locks mid-state and deadlocks
+  on first contact.
 
 What the AST cannot see — acquisition orders threaded through
 callbacks, futures, and worker loops — is covered at test time by the
@@ -67,6 +69,14 @@ _BLOCKING_MODULE_CALLS = {
 
 #: ``multiprocessing`` spawn entry points (DYG404).
 _MP_SPAWNS = frozenset({"Process", "Pool", "get_context"})
+
+#: Warm-worker-pool entry points (DYG404): the pool forks its workers at
+#: construction / first ensure, so building or fetching one under a lock
+#: is exactly an under-lock fork.
+_POOL_SPAWNS = frozenset({"WorkerPool", "shared_pool"})
+
+#: Module that owns the warm worker pool.
+_POOL_MODULE = "repro.experiments.parallel"
 
 
 def _lockish(name: str) -> bool:
@@ -423,6 +433,8 @@ def _spawn_description(call: ast.Call, imports: ImportMap) -> "str | None":
             return f"multiprocessing.{func.attr}()"
         if func.attr == "ProcessPoolExecutor":
             return "ProcessPoolExecutor(...)"
+        if func.attr in _POOL_SPAWNS:
+            return f"{func.attr}(...)"
     if isinstance(func, ast.Name):
         if func.id in imports.member_aliases("concurrent.futures", "ProcessPoolExecutor"):
             return "ProcessPoolExecutor(...)"
@@ -432,4 +444,7 @@ def _spawn_description(call: ast.Call, imports: ImportMap) -> "str | None":
         for member in ("fork", "forkpty"):
             if func.id in imports.member_aliases("os", member):
                 return f"os.{member}()"
+        for member in _POOL_SPAWNS:
+            if func.id in imports.member_aliases(_POOL_MODULE, member):
+                return f"{member}(...)"
     return None

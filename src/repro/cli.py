@@ -43,14 +43,17 @@ docs/static-analysis.md.
 
 The spec-driven subcommands (``run``, ``sweep``, ``grid``) additionally
 accept the performance knobs ``--engine {auto,scalar,vectorized}``
-(stacked-trial vectorized simulation) and ``--workers N`` (process
-parallelism; ``REPRO_WORKERS`` sets the default) — both bit-identical to
-the scalar serial path; see docs/performance.md.
+(stacked-trial vectorized simulation), ``--workers N`` (process
+parallelism; ``REPRO_WORKERS`` sets the default), and ``--pool
+{keep,per-call}`` (warm-worker-pool policy; ``REPRO_POOL`` sets the
+default) — all bit-identical to the scalar serial path; see
+docs/performance.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -259,6 +262,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded propose-queue depth (requests beyond it get 429)",
     )
     serve.add_argument(
+        "--batch-min", type=int, default=4,
+        help="smallest same-shape backlog worth stacking into one wave "
+        "when adaptive batching is on; smaller backlogs fall through "
+        "to the inline kernel (int >= 2)",
+    )
+    serve.add_argument(
+        "--no-adaptive-batch",
+        action="store_true",
+        help="always enqueue round steps for worker batching, even with "
+        "no same-configuration backlog to stack them with (the default "
+        "adaptive mode falls through to the inline kernel in that case; "
+        "both paths are bit-identical)",
+    )
+    serve.add_argument(
         "--slo",
         action="append",
         metavar="TARGET=LIMIT",
@@ -389,6 +406,15 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="process-parallel worker count; 0 defers to REPRO_WORKERS "
         "(unset means serial); results are bit-identical to serial",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=("keep", "per-call"),
+        default=None,
+        help="worker-pool policy: 'keep' (default) reuses one warm pool "
+        "of forked workers across every parallel call in the process; "
+        "'per-call' spawns and tears down a pool per invocation "
+        "(defers to REPRO_POOL when unset)",
     )
 
 
@@ -676,6 +702,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         session_ttl=args.session_ttl,
         queue_depth=args.queue_depth,
+        batch_min=args.batch_min,
+        adaptive_batch=not args.no_adaptive_batch,
         slo=slo,
         matchmaking=matchmaking,
     )
@@ -876,6 +904,13 @@ def _run(args: argparse.Namespace) -> int:
         from repro.analysis import sanitizer
 
         sanitizer.enable_sanitizer()
+    if getattr(args, "pool", None):
+        from repro.experiments.parallel import POOL_ENV
+
+        # The pool policy is process-scoped configuration (like
+        # REPRO_WORKERS): setting the variable makes every parallel call
+        # this process makes — direct or nested — honor the flag.
+        os.environ[POOL_ENV] = args.pool
     observing = bool(
         getattr(args, "journal", None)
         or getattr(args, "trace", False)

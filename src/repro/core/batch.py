@@ -43,11 +43,13 @@ from repro.core.grouping import Grouping
 
 __all__ = [
     "BATCH_MODES",
+    "SharedMatrix",
     "as_skills_matrix",
     "descending_orders",
     "flat_rank_listing",
     "propose_batch",
     "rank_structure",
+    "shared_memory_available",
 ]
 
 #: Modes with a vectorizable rank-space grouper.
@@ -151,6 +153,150 @@ def as_skills_matrix(skills: np.ndarray, *, name: str = "skills") -> np.ndarray:
     return matrix
 
 
+class SharedMatrix:
+    """A 2-D ``float64`` matrix backed by a named shared-memory segment.
+
+    The zero-pickle transport for stacked trial matrices: the process
+    that owns the data copies it **once** into a
+    :class:`multiprocessing.shared_memory.SharedMemory` segment
+    (:meth:`create`), ships only the ``(name, shape)`` descriptor
+    (:attr:`meta`) to other processes, and each of them maps the same
+    physical pages read-only with :meth:`attach` — no per-chunk pickling
+    of the skill arrays, regardless of how many chunks revisit the same
+    grid point.
+
+    Lifecycle contract: exactly one process — the creator — calls
+    :meth:`unlink` (after every reader is done with the rows it sliced);
+    every process, creator and readers alike, calls :meth:`close` on its
+    own handle.  Attached views are marked read-only, so a reader that
+    needs a private working buffer must copy (``simulate`` /
+    ``simulate_many`` already copy their inputs).
+
+    On Python < 3.13 an attached segment would be re-registered with the
+    ``multiprocessing`` resource tracker and double-unlinked at reader
+    exit; :meth:`attach` deregisters it so ownership stays with the
+    creator.
+    """
+
+    __slots__ = ("_shm", "shape", "owner")
+
+    def __init__(self, shm: object, shape: "tuple[int, int]", *, owner: bool) -> None:
+        self._shm = shm
+        self.shape = shape
+        self.owner = owner
+
+    @classmethod
+    def create(cls, matrix: np.ndarray) -> "SharedMatrix":
+        """Copy ``matrix`` into a fresh shared segment owned by the caller.
+
+        Raises:
+            ValueError: for a non-2-D matrix.
+            OSError: when the platform cannot allocate shared memory.
+        """
+        from multiprocessing import shared_memory
+
+        source = np.ascontiguousarray(matrix, dtype=np.float64)
+        if source.ndim != 2:
+            raise ValueError(f"matrix must be two-dimensional, got shape {source.shape}")
+        shm = shared_memory.SharedMemory(create=True, size=max(1, source.nbytes))
+        view = np.ndarray(source.shape, dtype=np.float64, buffer=shm.buf)
+        view[...] = source
+        return cls(shm, (int(source.shape[0]), int(source.shape[1])), owner=True)
+
+    @property
+    def meta(self) -> "tuple[str, tuple[int, int]]":
+        """The picklable ``(segment name, shape)`` descriptor readers attach with."""
+        return (self._shm.name, self.shape)  # type: ignore[attr-defined]
+
+    @classmethod
+    def attach(cls, meta: "tuple[str, tuple[int, int]]") -> "SharedMatrix":
+        """Map an existing segment (by descriptor) as a non-owning reader."""
+        from multiprocessing import shared_memory
+
+        name, shape = meta
+        try:
+            # Python >= 3.13: never hand the segment to this process's
+            # resource tracker — the creator owns unlinking.
+            shm = shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+        except TypeError:
+            # Python < 3.13 registers even plain attaches with the
+            # resource tracker, which would double-unlink at reader exit
+            # (and, with several readers of one segment, spam tracker
+            # KeyErrors).  Suppress the registration for the duration of
+            # the attach; readers are single-threaded at attach time.
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+
+            def _skip(path: str, rtype: str) -> None:  # pragma: no cover - trivial shim
+                if rtype != "shared_memory":
+                    original(path, rtype)
+
+            resource_tracker.register = _skip  # type: ignore[assignment]
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original  # type: ignore[assignment]
+        return cls(shm, (int(shape[0]), int(shape[1])), owner=False)
+
+    def array(self) -> np.ndarray:
+        """A read-only ``(rows, cols)`` float64 view over the shared pages."""
+        view = np.ndarray(self.shape, dtype=np.float64, buffer=self._shm.buf)  # type: ignore[attr-defined]
+        view.setflags(write=False)
+        return view
+
+    def close(self) -> None:
+        """Unmap this process's view (idempotent; does not free the segment)."""
+        try:
+            self._shm.close()  # type: ignore[attr-defined]
+        except BufferError:  # pragma: no cover - a live numpy view pins the buffer
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment (owner only; idempotent)."""
+        if not self.owner:
+            return
+        try:
+            self._shm.unlink()  # type: ignore[attr-defined]
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedMatrix":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "reader"
+        return f"SharedMatrix(name={self._shm.name!r}, shape={self.shape}, {role})"  # type: ignore[attr-defined]
+
+
+@lru_cache(maxsize=1)
+def shared_memory_available() -> bool:
+    """Whether this platform can round-trip a shared-memory segment.
+
+    Probed once per process (create → attach → unlink a 1-byte segment);
+    the parallel executor falls back to pickling skill matrices when the
+    probe fails (e.g. no ``/dev/shm`` in a locked-down container).
+    """
+    try:
+        probe = SharedMatrix.create(np.ones((1, 1)))
+    except Exception:
+        return False
+    try:
+        reader = SharedMatrix.attach(probe.meta)
+        ok = bool(reader.array()[0, 0] == 1.0)  # noqa: DYG302 - exact round-trip guard
+        reader.close()
+        return ok
+    except Exception:
+        return False
+    finally:
+        probe.close()
+        probe.unlink()
+
+
 def propose_batch(skills: np.ndarray, k: int, mode: str) -> list[Grouping]:
     """Run the DyGroups-Local grouper over a batch of skill vectors.
 
@@ -175,4 +321,6 @@ def propose_batch(skills: np.ndarray, k: int, mode: str) -> list[Grouping]:
     # One stable argsort for the whole batch — the vectorized hot path.
     orders = descending_orders(matrix)
     members = orders[:, listing].reshape(matrix.shape[0], k, n // k)
-    return [Grouping(row) for row in members]
+    # Rows are permutations of 0..n-1 (rank listing ∘ sort order), so the
+    # trusted constructor can skip the partition checks.
+    return [Grouping.from_members(row) for row in members]

@@ -123,6 +123,31 @@ class Grouping:
         size = require_divisible_groups(n, k)
         return cls(order[i * size : (i + 1) * size] for i in range(k))
 
+    @classmethod
+    def from_members(cls, members: np.ndarray) -> "Grouping":
+        """Build a grouping from a ``(k, size)`` member-index matrix.
+
+        Trusted fast path for the grouping kernels: the caller guarantees
+        ``members`` is an integer matrix whose entries are a permutation
+        of ``0 … n−1`` (rank listings indexed through a sort order are
+        permutations by construction), so the partition checks of the
+        validating constructor are skipped.  Hot in ``propose_batch`` and
+        the serve-layer grouping memo, where constructor validation used
+        to dominate the per-proposal cost.
+        """
+        k, size = members.shape
+        n = k * size
+        groups = tuple(
+            tuple.__new__(Group, row) for row in members.tolist()
+        )
+        grouping = object.__new__(cls)
+        grouping._groups = groups
+        grouping._n = n
+        assignment = np.empty(n, dtype=np.intp)
+        assignment[members.ravel()] = np.repeat(np.arange(k, dtype=np.intp), size)
+        grouping._assignment = assignment
+        return grouping
+
     # -- accessors ---------------------------------------------------------
 
     @property

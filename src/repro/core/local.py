@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._validation import as_skill_array, require_divisible_groups
+from repro.core.batch import flat_rank_listing
 from repro.core.grouping import Grouping
 from repro.core.skills import descending_order
 
@@ -49,14 +50,11 @@ def dygroups_star_local(skills: np.ndarray, k: int) -> Grouping:
     array = as_skill_array(skills)
     size = require_divisible_groups(len(array), k)
     order = descending_order(array)
-    teachers = order[:k]
-    rest = order[k:]
-    members_per_group = size - 1
-    groups = []
-    for i in range(k):
-        block = rest[i * members_per_group : (i + 1) * members_per_group]
-        groups.append(np.concatenate(([teachers[i]], block)))
-    return Grouping(groups)
+    # The cached rank listing IS Algorithm 2 (teacher i + the i-th
+    # descending block); indexed through the sort order it yields a
+    # permutation of 0..n-1, so the trusted constructor applies.
+    listing = flat_rank_listing(len(array), k, "star")
+    return Grouping.from_members(order[listing].reshape(k, size))
 
 
 def dygroups_clique_local(skills: np.ndarray, k: int) -> Grouping:
@@ -77,6 +75,9 @@ def dygroups_clique_local(skills: np.ndarray, k: int) -> Grouping:
         [[0.3, 0.6, 0.9], [0.2, 0.5, 0.8], [0.1, 0.4, 0.7]]
     """
     array = as_skill_array(skills)
-    require_divisible_groups(len(array), k)
+    size = require_divisible_groups(len(array), k)
     order = descending_order(array)
-    return Grouping(order[i::k] for i in range(k))
+    # Same trusted path as the star grouper: the clique rank listing is
+    # the round-robin deal, so order[listing] partitions 0..n-1 exactly.
+    listing = flat_rank_listing(len(array), k, "clique")
+    return Grouping.from_members(order[listing].reshape(k, size))

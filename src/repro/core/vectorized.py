@@ -41,7 +41,13 @@ from typing import Sequence
 import numpy as np
 
 from repro._validation import require_divisible_groups, require_positive_int
-from repro.core.batch import as_skills_matrix, descending_orders, flat_rank_listing
+from repro.core.batch import (
+    SharedMatrix,
+    as_skills_matrix,
+    descending_orders,
+    flat_rank_listing,
+    shared_memory_available,
+)
 from repro.core.gain_functions import GainFunction, LinearGain
 from repro.core.interactions import InteractionMode, get_mode
 from repro.core.simulation import GroupingPolicy, SimulationResult, simulate
@@ -58,7 +64,9 @@ from repro.obs import trace as _trace
 __all__ = [
     "ENGINES",
     "BatchSimulationResult",
+    "SharedMatrix",
     "VectorizedPolicy",
+    "shared_memory_available",
     "simulate_many",
     "update_clique_many",
     "update_star_many",

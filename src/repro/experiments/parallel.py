@@ -1,4 +1,4 @@
-"""Process-parallel executor for specs and sweeps.
+"""Process-parallel executor: warm worker pool, streamed chunks, shared memory.
 
 Every run of a spec derives all of its randomness from ``spec.seed + i``
 and nothing else, and the stacked-trial kernels of
@@ -9,47 +9,95 @@ outcomes.  This module owns that fan-out:
 
 * :func:`resolve_workers` — the ``workers`` knob (argument → spec field →
   ``REPRO_WORKERS`` environment variable → serial);
+* :class:`WorkerPool` — a **persistent warm pool**: the worker processes
+  fork once (at first use, timed into ``parallel.pool.warmup_seconds``)
+  and stay resident across every ``run_spec_parallel`` /
+  ``sweep_outcomes_parallel`` call that borrows the pool, so sweeps after
+  the first pay zero spawn cost.  Usable as a context manager, or
+  implicitly through the process-wide shared pool (:func:`shared_pool`,
+  selected by the ``keep`` pool policy — the default);
+* :func:`resolve_pool_policy` — the ``--pool`` knob (argument →
+  ``REPRO_POOL`` environment variable → ``keep``).  ``keep`` reuses the
+  shared pool across calls; ``per-call`` restores the old
+  spawn-per-invocation behaviour (useful to bound resident processes);
 * :func:`run_spec_parallel` / :func:`sweep_outcomes_parallel` — the
   parallel twins of :func:`repro.experiments.runner.run_spec` and
   :func:`repro.experiments.sweep.sweep_outcomes`.  Callers normally reach
   them implicitly through ``workers=N`` on the serial entry points.
 
+Work is **streamed**, not pre-split: the unit list is cut into
+``workers × stream_factor`` contiguous chunks (``REPRO_STREAM_FACTOR``,
+default 4) that idle workers pull as they finish, so an unlucky slow
+chunk no longer serializes the whole sweep behind one worker.
+
+Skill arrays travel through **shared memory**, not pickles: the parent
+draws every run's initial skills (the identical
+:func:`~repro.experiments.runner.draw_skills` calls the serial path
+makes), stacks them per grid point into
+:class:`repro.core.batch.SharedMatrix` segments, and ships only
+``(name, shape)`` descriptors with each chunk; workers map the same
+physical pages read-only.  Platforms without shared memory (and
+``REPRO_SHM=0``) fall back to workers re-drawing their own rows —
+bit-identical either way, since both sides run the same draw.
+
 Determinism contract: units are ordered (grid point, run index), split
-into contiguous chunks, executed with the exact same per-run seeds as
-serial execution, and merged in chunk order — so every accumulator list
-the outcome assembly sees is identical to the serial one.  Gains are
-therefore exactly equal; only wall-clock timing fields differ (they
-measure real, now-concurrent work).
+into contiguous chunks, executed with the exact same per-run seeds and
+initial skills as serial execution, and merged in chunk submission order
+— so every accumulator list the outcome assembly sees is identical to
+the serial one.  Gains are therefore exactly equal; only wall-clock
+timing fields differ (they measure real, now-concurrent work).
 
 Observability: forked workers inherit the parent's wiring, so each worker
 first calls :func:`repro.obs.runtime.detach` (dropping the parent's
 journal file descriptor without closing it), resets its inherited metrics
-registry, and re-enables metrics-only collection.  The parent journals
-``parallel_start`` / ``parallel_chunk`` / ``parallel_end`` events and
-merges every worker's metrics snapshot in chunk order — deterministic,
-unlike live cross-process emission.
+registry, and re-enables metrics-only collection; each chunk resets the
+worker registry again so its snapshot covers exactly that chunk even on a
+long-lived warm pool.  The parent journals ``pool_start`` /
+``pool_stop`` (pool lifecycle) and ``parallel_start`` /
+``parallel_chunk`` / ``parallel_end`` events, merges every worker's
+metrics snapshot in chunk order — deterministic, unlike live
+cross-process emission — and maintains ``parallel.pool.*`` gauges and
+counters (chunk-queue depth, per-worker chunk counts, warmup seconds).
+
+Concurrency discipline: the pool forks at construction/first-use and
+**never under a lock** — :func:`repro.analysis.sanitizer.check_blocking`
+markers guard the spawn and every blocking wait, and lint rule DYG404
+knows ``WorkerPool(...)`` / ``shared_pool(...)`` are process spawns.
 """
 
 from __future__ import annotations
 
+import atexit
 import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from datetime import datetime, timezone
-from typing import Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitize
+from repro.core.batch import SharedMatrix, shared_memory_available
 from repro.experiments import runner as _runner
 from repro.experiments.spec import ExperimentSpec
 from repro.obs import runtime as _obs
 from repro.obs import trace as _trace
 
 __all__ = [
+    "POOL_ENV",
+    "POOL_POLICIES",
+    "SHM_ENV",
+    "STREAM_FACTOR_ENV",
     "WORKERS_ENV",
+    "WorkerPool",
+    "WorkerPoolError",
+    "resolve_pool_policy",
     "resolve_workers",
     "run_spec_parallel",
+    "shared_pool",
+    "shutdown_shared_pool",
     "sweep_outcomes_parallel",
 ]
 
@@ -57,6 +105,22 @@ _log = logging.getLogger("repro.experiments.parallel")
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable selecting the pool policy (``keep`` / ``per-call``).
+POOL_ENV = "REPRO_POOL"
+
+#: Environment variable overriding the chunk-streaming factor.
+STREAM_FACTOR_ENV = "REPRO_STREAM_FACTOR"
+
+#: Environment variable gating shared-memory skill transfer (``0`` disables).
+SHM_ENV = "REPRO_SHM"
+
+#: Valid pool policies: reuse the process-wide warm pool, or spawn per call.
+POOL_POLICIES: tuple[str, ...] = ("keep", "per-call")
+
+#: Default oversubscription: chunks per worker slot, so idle workers can
+#: stream ahead instead of waiting on one pre-assigned slice.
+DEFAULT_STREAM_FACTOR = 4
 
 
 def resolve_workers(workers: "int | None" = None) -> int:
@@ -84,52 +148,119 @@ def resolve_workers(workers: "int | None" = None) -> int:
     return max(1, workers)
 
 
+def resolve_pool_policy(policy: "str | None" = None) -> str:
+    """Resolve the pool policy (argument → :data:`POOL_ENV` → ``keep``).
+
+    Raises:
+        ValueError: for a policy outside :data:`POOL_POLICIES`.
+    """
+    if policy is None:
+        policy = os.environ.get(POOL_ENV, "").strip() or "keep"
+    if policy not in POOL_POLICIES:
+        raise ValueError(f"pool policy must be one of {POOL_POLICIES}, got {policy!r}")
+    return policy
+
+
+def _resolve_stream_factor(stream_factor: "int | None" = None) -> int:
+    """The chunks-per-worker oversubscription factor (argument → env → 4)."""
+    if stream_factor is None:
+        raw = os.environ.get(STREAM_FACTOR_ENV, "").strip()
+        if not raw:
+            return DEFAULT_STREAM_FACTOR
+        try:
+            stream_factor = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{STREAM_FACTOR_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if isinstance(stream_factor, bool) or not isinstance(stream_factor, int) or stream_factor < 1:
+        raise ValueError(f"stream_factor must be a positive int, got {stream_factor!r}")
+    return stream_factor
+
+
+def _resolve_use_shm(use_shared_memory: "bool | None" = None) -> bool:
+    """Whether skill matrices travel via shared memory (arg → env → probe)."""
+    if use_shared_memory is None:
+        if os.environ.get(SHM_ENV, "").strip() == "0":
+            return False
+        return shared_memory_available()
+    return bool(use_shared_memory) and shared_memory_available()
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker process died mid-chunk (the pool was abandoned and will respawn)."""
+
+
 def _worker_init() -> None:
-    """Per-worker-process setup (runs once, before any chunk).
+    """Per-worker-process setup (runs once, at fork).
 
     Forked children inherit the parent's observability state — including
     an open journal file descriptor — and its metrics counts.  Detach the
     wiring (without closing the parent's sinks), drop the inherited
     counts, and re-enable metrics-only collection so each worker's
-    snapshot reports exactly its own chunks' work.
+    snapshots report exactly its own chunks' work.
     """
     _obs.detach()
     _obs.metrics_registry().reset()
     _obs.enable_metrics()
 
 
+def _warmup_worker() -> int:
+    """Warmup no-op: forces the process to exist and reports its pid."""
+    return os.getpid()
+
+
 def _run_units_chunk(
-    payload: "tuple[tuple[ExperimentSpec, ...], tuple[tuple[int, int], ...], bool]",
-) -> "tuple[list[tuple[int, _runner._RunsData]], dict]":
+    payload: "tuple[tuple[ExperimentSpec, ...], tuple[tuple[int, int], ...], bool, tuple]",
+) -> "tuple[int, list[tuple[int, _runner._RunsData]], dict]":
     """Execute one contiguous chunk of (spec index, run index) units.
 
     Consecutive units of the same spec are executed as one stacked
     :func:`~repro.experiments.runner._execute_runs` call, so a chunk
-    covering a whole grid point still vectorizes across its runs.
-    Returns the per-spec accumulators in unit order plus the worker's
-    metrics snapshot.
+    covering a whole grid point still vectorizes across its runs.  When
+    the payload carries shared-memory descriptors, the spec's initial
+    skills are sliced from the parent's segment instead of re-drawn.
+    Returns the worker pid, the per-spec accumulators in unit order, and
+    the worker's metrics snapshot for this chunk (the registry is reset
+    on entry — a warm worker survives many chunks).
     """
-    specs, units, keep_results = payload
+    specs, units, keep_results, shm_metas = payload
+    _obs.metrics_registry().reset()
     results: list[tuple[int, _runner._RunsData]] = []
-    start = 0
-    while start < len(units):
-        spec_index = units[start][0]
-        stop = start
-        while stop < len(units) and units[stop][0] == spec_index:
-            stop += 1
-        run_indices = [run for _, run in units[start:stop]]
-        results.append(
-            (
-                spec_index,
-                _runner._execute_runs(specs[spec_index], run_indices, keep_results=keep_results),
+    attached: "dict[int, SharedMatrix]" = {}
+    try:
+        start = 0
+        while start < len(units):
+            spec_index = units[start][0]
+            stop = start
+            while stop < len(units) and units[stop][0] == spec_index:
+                stop += 1
+            run_indices = [run for _, run in units[start:stop]]
+            skills_matrix = None
+            if shm_metas[spec_index] is not None:
+                if spec_index not in attached:
+                    attached[spec_index] = SharedMatrix.attach(shm_metas[spec_index])
+                skills_matrix = attached[spec_index].array()[run_indices]
+            results.append(
+                (
+                    spec_index,
+                    _runner._execute_runs(
+                        specs[spec_index],
+                        run_indices,
+                        keep_results=keep_results,
+                        skills_matrix=skills_matrix,
+                    ),
+                )
             )
-        )
-        start = stop
-    return results, _obs.metrics_registry().snapshot()
+            start = stop
+    finally:
+        for handle in attached.values():
+            handle.close()
+    return os.getpid(), results, _obs.metrics_registry().snapshot()
 
 
 def _merge_metrics_snapshot(snapshot: dict) -> None:
-    """Fold one worker's metrics snapshot into the parent registry.
+    """Fold one worker chunk's metrics snapshot into the parent registry.
 
     Called in chunk order (never concurrently), so merged counts and
     retained timer series are deterministic given the chunking.
@@ -156,17 +287,257 @@ def _merge_metrics_snapshot(snapshot: dict) -> None:
             histogram.observe(value)
 
 
+class WorkerPool:
+    """A persistent warm pool of forked worker processes.
+
+    The processes fork once, at first use (:meth:`ensure`), and stay
+    resident until :meth:`close` — so every sweep after the first runs
+    against already-warm workers instead of paying spawn + import cost
+    per call.  Chunks are *streamed*: :meth:`map_chunks` submits every
+    payload up front and idle workers pull the next one as they finish,
+    while the caller collects results in submission order (keeping the
+    merge deterministic).
+
+    Not thread-safe by design: the fork must never happen under a lock
+    (lint rule DYG404 enforces this for callers too), so the pool takes
+    none — one driving thread owns a pool.  Use the process-wide
+    :func:`shared_pool` for the common ``keep`` policy.
+
+    Args:
+        workers: worker-process count (``None``/0 defer to
+            :data:`WORKERS_ENV`).
+        stream_factor: contiguous chunks per worker slot
+            (:data:`STREAM_FACTOR_ENV`, default 4).
+        use_shared_memory: ship skill matrices via
+            :class:`~repro.core.batch.SharedMatrix` descriptors instead
+            of letting workers re-draw them (``None`` probes the
+            platform; ``REPRO_SHM=0`` forces off).
+    """
+
+    def __init__(
+        self,
+        workers: "int | None" = None,
+        *,
+        stream_factor: "int | None" = None,
+        use_shared_memory: "bool | None" = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.stream_factor = _resolve_stream_factor(stream_factor)
+        self.use_shared_memory = _resolve_use_shm(use_shared_memory)
+        self._executor: "ProcessPoolExecutor | None" = None
+        self._chunks_served = 0
+        self._worker_slots: dict[int, int] = {}
+
+    @property
+    def started(self) -> bool:
+        """Whether the worker processes are currently alive."""
+        return self._executor is not None
+
+    @property
+    def chunks_served(self) -> int:
+        """Chunks completed by the current worker generation."""
+        return self._chunks_served
+
+    def ensure(self) -> ProcessPoolExecutor:
+        """Fork and warm the workers if needed; returns the live executor.
+
+        The spawn is a blocking operation and must never run under a
+        sanitized lock — the ``check_blocking`` marker reports exactly
+        that under ``REPRO_SANITIZE=1``.  Warmup (fork + a no-op task per
+        worker slot) is timed into ``parallel.pool.warmup_seconds`` and
+        journaled as ``pool_start``.
+        """
+        if self._executor is not None:
+            return self._executor
+        _sanitize.check_blocking("pool.spawn(warmup)")
+        started = time.perf_counter()
+        executor = ProcessPoolExecutor(max_workers=self.workers, initializer=_worker_init)
+        # One no-op per worker slot forces every process to fork now (the
+        # stdlib pool spawns lazily, one process per pending submission),
+        # so chunk timings never include spawn cost.
+        futures = [executor.submit(_warmup_worker) for _ in range(self.workers)]
+        pids = sorted({future.result() for future in futures})
+        elapsed = time.perf_counter() - started
+        self._executor = executor
+        self._chunks_served = 0
+        self._worker_slots = {pid: slot for slot, pid in enumerate(pids)}
+        # Resolved at use, not cached at construction: the bench harness
+        # resets the registry between rows, and a warm pool outlives rows.
+        _obs.metrics_registry().timer("parallel.pool.warmup_seconds").observe(elapsed)
+        obs = _obs.state()
+        if obs is not None and obs.journal is not None:
+            obs.journal.emit(
+                "pool_start",
+                workers=self.workers,
+                processes=len(pids),
+                warmup_seconds=round(elapsed, 9),
+                shared_memory=self.use_shared_memory,
+                utc=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            )
+        _log.info(
+            "worker pool warm: workers=%d processes=%d warmup=%.3fs shm=%s",
+            self.workers, len(pids), elapsed, self.use_shared_memory,
+        )
+        return self._executor
+
+    def _slot_for(self, pid: int) -> int:
+        """The stable slot index of a worker pid (late pids get new slots)."""
+        if pid not in self._worker_slots:
+            self._worker_slots[pid] = len(self._worker_slots)
+        return self._worker_slots[pid]
+
+    def map_chunks(
+        self, fn: "Callable[[Any], Any]", payloads: "Sequence[Any]"
+    ) -> "Iterator[Any]":
+        """Stream ``payloads`` through the warm workers; yield in order.
+
+        Every payload is submitted up front (idle workers pull the next
+        chunk the moment they finish one) and results are yielded in
+        submission order, so a chunk-ordered merge stays deterministic.
+        The ``parallel.pool.queue_depth`` gauge tracks chunks submitted
+        but not yet collected.
+
+        Raises:
+            WorkerPoolError: a worker process died; the pool is abandoned
+                (the next use forks a fresh one) and no result is lost
+                silently.
+        """
+        executor = self.ensure()
+        queue_gauge = _obs.metrics_registry().gauge("parallel.pool.queue_depth")
+        futures = [executor.submit(fn, payload) for payload in payloads]
+        queue_gauge.inc(len(futures))
+        collected = 0
+        try:
+            for future in futures:
+                _sanitize.check_blocking("pool.result(chunk)")
+                try:
+                    result = future.result()
+                except BrokenProcessPool as error:
+                    raise WorkerPoolError(
+                        f"a worker process died executing chunk {collected}; "
+                        f"the pool was abandoned and will respawn on next use"
+                    ) from error
+                collected += 1
+                queue_gauge.dec()
+                self._chunks_served += 1
+                yield result
+        except BaseException:
+            queue_gauge.dec(len(futures) - collected)
+            self._abandon()
+            raise
+
+    def account_chunk(self, pid: int) -> None:
+        """Count one completed chunk against the worker that ran it."""
+        obs = _obs.state()
+        if obs is not None:
+            slot = self._slot_for(pid)
+            obs.metrics.counter(f"parallel.pool.worker_chunks.w{slot}").inc()
+
+    def _abandon(self) -> None:
+        """Tear down a (possibly broken) executor without journal ceremony."""
+        executor, self._executor = self._executor, None
+        self._worker_slots = {}
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        if _shared_pool is self:
+            _clear_shared_pool()
+
+    def close(self) -> None:
+        """Stop the worker processes (idempotent; the pool can be re-ensured)."""
+        if self._executor is None:
+            return
+        executor, self._executor = self._executor, None
+        self._worker_slots = {}
+        _sanitize.check_blocking("pool.shutdown(close)")
+        executor.shutdown(wait=True)
+        obs = _obs.state()
+        if obs is not None and obs.journal is not None and not obs.journal.closed:
+            obs.journal.emit("pool_stop", workers=self.workers, chunks=self._chunks_served)
+        _log.info("worker pool closed: workers=%d chunks=%d", self.workers, self._chunks_served)
+
+    def __enter__(self) -> "WorkerPool":
+        self.ensure()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "warm" if self.started else "cold"
+        return (
+            f"WorkerPool(workers={self.workers}, {state}, "
+            f"stream_factor={self.stream_factor}, shm={self.use_shared_memory})"
+        )
+
+
+#: The process-wide warm pool the ``keep`` policy reuses across calls.
+_shared_pool: "WorkerPool | None" = None
+
+
+def _clear_shared_pool() -> None:
+    global _shared_pool
+    _shared_pool = None
+
+
+def shared_pool(workers: "int | None" = None) -> WorkerPool:
+    """The process-wide warm pool, (re)built to match ``workers``.
+
+    A pool sized differently from the request is closed and replaced —
+    the worker count is a per-sweep decision, not a per-pool one.
+    """
+    global _shared_pool
+    count = resolve_workers(workers)
+    pool = _shared_pool
+    if pool is not None and pool.workers != count:
+        pool.close()
+        pool = None
+    if pool is None:
+        pool = WorkerPool(count)
+        _shared_pool = pool
+    return pool
+
+
+def shutdown_shared_pool() -> None:
+    """Close the process-wide warm pool, if one exists (idempotent)."""
+    global _shared_pool
+    pool, _shared_pool = _shared_pool, None
+    if pool is not None:
+        pool.close()
+
+
+atexit.register(shutdown_shared_pool)
+
+
 def _parallel_execute(
-    specs: Sequence[ExperimentSpec], *, workers: int, keep_results: bool = False
+    specs: Sequence[ExperimentSpec],
+    *,
+    workers: int,
+    keep_results: bool = False,
+    pool: "WorkerPool | None" = None,
 ) -> "list[_runner._RunsData]":
-    """Fan the (spec × run) work list out over worker processes.
+    """Fan the (spec × run) work list out over warm worker processes.
 
     Units are ordered (spec index, run index) and split into contiguous
-    chunks — one per worker slot, at most one per unit — then merged in
-    chunk order, reproducing the serial accumulator lists exactly.
+    chunks — ``stream_factor`` per worker slot, at most one per unit —
+    streamed to idle workers, then merged in submission order,
+    reproducing the serial accumulator lists exactly.
+
+    Pool selection: an explicit ``pool`` is borrowed (and left warm);
+    otherwise the resolved pool policy picks the process-wide shared
+    pool (``keep``) or a throwaway one (``per-call``).
     """
+    owned: "WorkerPool | None" = None
+    if pool is None:
+        if resolve_pool_policy() == "keep":
+            pool = shared_pool(workers)
+        else:
+            pool = owned = WorkerPool(workers)
+    elif pool.workers != workers:
+        raise ValueError(
+            f"borrowed pool has {pool.workers} workers but {workers} were requested"
+        )
     units = [(si, ri) for si, spec in enumerate(specs) for ri in range(spec.runs)]
-    chunk_count = min(len(units), workers)
+    chunk_count = min(len(units), workers * pool.stream_factor)
     bounds = np.array_split(np.arange(len(units)), chunk_count)
     chunks = [tuple(units[int(b[0]) : int(b[-1]) + 1]) for b in bounds if b.size]
     obs = _obs.state()
@@ -177,27 +548,49 @@ def _parallel_execute(
             workers=workers,
             chunks=len(chunks),
             units=len(units),
+            shared_memory=pool.use_shared_memory,
             utc=datetime.now(timezone.utc).isoformat(timespec="seconds"),
         )
     _log.info(
-        "parallel execute: specs=%d units=%d workers=%d chunks=%d",
-        len(specs), len(units), workers, len(chunks),
+        "parallel execute: specs=%d units=%d workers=%d chunks=%d shm=%s",
+        len(specs), len(units), workers, len(chunks), pool.use_shared_memory,
     )
     merged = [_runner._RunsData.empty(spec.algorithms) for spec in specs]
     started = time.perf_counter()
-    payloads = [(tuple(specs), chunk, keep_results) for chunk in chunks]
-    with _trace.span("experiments.parallel", workers=workers, chunks=len(chunks)):
-        with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
-            # map() yields in submission order even when chunks finish out
-            # of order, so the merge below is deterministic.
-            for index, (chunk_results, snapshot) in enumerate(
-                pool.map(_run_units_chunk, payloads)
+    # The parent draws every run's initial skills — the identical
+    # draw_skills calls serial execution makes — and shares them once per
+    # grid point; chunks then carry (name, shape) descriptors instead of
+    # pickled arrays.  Any spec whose segment cannot be created falls
+    # back to workers re-drawing (same bits either way).
+    shared: "list[SharedMatrix | None]" = [None] * len(specs)
+    if pool.use_shared_memory:
+        for index, spec in enumerate(specs):
+            try:
+                shared[index] = SharedMatrix.create(
+                    np.stack([_runner.draw_skills(spec, i) for i in range(spec.runs)])
+                )
+            except Exception:  # pragma: no cover - platform-dependent
+                shared[index] = None
+    shm_metas = tuple(handle.meta if handle is not None else None for handle in shared)
+    try:
+        payloads = [(tuple(specs), chunk, keep_results, shm_metas) for chunk in chunks]
+        with _trace.span("experiments.parallel", workers=workers, chunks=len(chunks)):
+            for index, (pid, chunk_results, snapshot) in enumerate(
+                pool.map_chunks(_run_units_chunk, payloads)
             ):
                 for spec_index, data in chunk_results:
                     merged[spec_index].extend(data)
                 _merge_metrics_snapshot(snapshot)
+                pool.account_chunk(pid)
                 if journal is not None:
                     journal.emit("parallel_chunk", index=index, units=len(chunks[index]))
+    finally:
+        for handle in shared:
+            if handle is not None:
+                handle.close()
+                handle.unlink()
+        if owned is not None:
+            owned.close()
     if journal is not None:
         journal.emit(
             "parallel_end",
@@ -214,13 +607,15 @@ def run_spec_parallel(
     *,
     keep_results: bool = False,
     workers: "int | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> "_runner.SpecOutcome | tuple":
     """Parallel :func:`~repro.experiments.runner.run_spec`.
 
-    Chunks the spec's runs over worker processes; per-run seeds are
+    Chunks the spec's runs over warm worker processes; per-run seeds are
     unchanged (``spec.seed + i``), so the outcome's gain fields are
     bit-identical to serial execution.  Timing fields measure the real
-    (concurrent) work and will differ.
+    (concurrent) work and will differ.  An explicit ``pool`` is borrowed
+    and left warm for the next call.
     """
     count = resolve_workers(workers if workers is not None else spec.workers)
     if count <= 1 or spec.runs <= 1:
@@ -231,7 +626,7 @@ def run_spec_parallel(
         spec.n, spec.runs, count, spec.engine,
     )
     _runner._emit_spec_start(spec)
-    data = _parallel_execute([spec], workers=count, keep_results=keep_results)[0]
+    data = _parallel_execute([spec], workers=count, keep_results=keep_results, pool=pool)[0]
     outcomes = _runner._assemble_outcomes(spec, data)
     _runner._emit_spec_end(outcomes)
     outcome = _runner.SpecOutcome(spec=spec, outcomes=outcomes)
@@ -246,12 +641,14 @@ def sweep_outcomes_parallel(
     values: Sequence[float],
     *,
     workers: "int | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> "list[_runner.SpecOutcome]":
     """Parallel :func:`~repro.experiments.sweep.sweep_outcomes`.
 
-    Chunks the full (grid point × run) cross product over worker
+    Streams the full (grid point × run) cross product over warm worker
     processes and reassembles per-point outcomes in grid order; gain
-    fields are bit-identical to the serial sweep.
+    fields are bit-identical to the serial sweep.  An explicit ``pool``
+    is borrowed and left warm for the next call.
 
     Raises:
         ValueError: for an unsweepable parameter or an empty grid.
@@ -272,7 +669,7 @@ def sweep_outcomes_parallel(
         "sweep_outcomes_parallel: parameter=%s points=%d workers=%d",
         parameter, len(point_specs), count,
     )
-    merged = _parallel_execute(point_specs, workers=count)
+    merged = _parallel_execute(point_specs, workers=count, pool=pool)
     obs = _obs.state()
     journal = obs.journal if obs is not None else None
     outcomes: list[_runner.SpecOutcome] = []

@@ -144,7 +144,11 @@ class _RunsData:
 
 
 def _execute_runs(
-    spec: ExperimentSpec, run_indices: Sequence[int], *, keep_results: bool = False
+    spec: ExperimentSpec,
+    run_indices: Sequence[int],
+    *,
+    keep_results: bool = False,
+    skills_matrix: "np.ndarray | None" = None,
 ) -> _RunsData:
     """Execute the given runs of ``spec`` for every algorithm.
 
@@ -154,11 +158,22 @@ def _execute_runs(
     run index (all randomness derives from ``spec.seed + i`` and the
     batched kernels are row-independent), so any chunking of the index
     set concatenates back to the identical totals.
+
+    ``skills_matrix`` optionally supplies the initial skills — row ``j``
+    for run ``run_indices[j]`` — in place of per-run :func:`draw_skills`
+    calls.  The parallel executor passes shared-memory views whose rows
+    the parent drew with the exact same ``draw_skills``, so outcomes are
+    unchanged bit for bit; rows may be read-only (both engines copy
+    their inputs before mutating).
     """
     indices = list(run_indices)
     data = _RunsData.empty(spec.algorithms)
     if not indices:
         return data
+    if skills_matrix is not None and len(skills_matrix) != len(indices):
+        raise ValueError(
+            f"skills_matrix has {len(skills_matrix)} rows for {len(indices)} run indices"
+        )
     obs = _obs.state()
     # One engine decision per algorithm, through the same select_engine
     # every driver uses: vectorizable entries stack all runs into one
@@ -180,11 +195,13 @@ def _execute_runs(
         (stacked_algos if engine_name == "vectorized" else scalar_algos).append(entry)
     if scalar_algos:
         _execute_runs_scalar(
-            spec, scalar_algos, indices, data, keep_results=keep_results, obs=obs
+            spec, scalar_algos, indices, data,
+            keep_results=keep_results, obs=obs, skills_matrix=skills_matrix,
         )
     if stacked_algos:
         _execute_runs_stacked(
-            spec, stacked_algos, indices, data, keep_results=keep_results, obs=obs
+            spec, stacked_algos, indices, data,
+            keep_results=keep_results, obs=obs, skills_matrix=skills_matrix,
         )
     return data
 
@@ -197,11 +214,15 @@ def _execute_runs_scalar(
     *,
     keep_results: bool,
     obs: "_obs.ObsState | None",
+    skills_matrix: "np.ndarray | None" = None,
 ) -> None:
     """Run-major scalar loop (non-vectorizable or forced-scalar entries)."""
     timers = {name: Timer(f"run.{name}") for name in algorithms}
-    for run_index in indices:
-        skills = draw_skills(spec, run_index)
+    for j, run_index in enumerate(indices):
+        if skills_matrix is not None:
+            skills = np.array(skills_matrix[j], dtype=np.float64, copy=True)
+        else:
+            skills = draw_skills(spec, run_index)
         for name in algorithms:
             policy = _policy_for(spec, name)
             with _trace.span(f"experiments.run:{name}", run_index=run_index):
@@ -241,13 +262,15 @@ def _execute_runs_stacked(
     *,
     keep_results: bool,
     obs: "_obs.ObsState | None",
+    skills_matrix: "np.ndarray | None" = None,
 ) -> None:
     """Algorithm-major stacked path (vectorizable entries).
 
     All runs of one algorithm go through a single
     :func:`~repro.core.vectorized.simulate_many` call.
     """
-    skills_matrix = np.stack([draw_skills(spec, i) for i in indices])
+    if skills_matrix is None:
+        skills_matrix = np.stack([draw_skills(spec, i) for i in indices])
     seeds = [spec.seed + i for i in indices]
     for name in algorithms:
         policy = _policy_for(spec, name)

@@ -58,6 +58,8 @@ EVENTS: tuple[str, ...] = (
     "parallel_start",
     "parallel_chunk",
     "parallel_end",
+    "pool_start",
+    "pool_stop",
     "span",
     "lint",
     "serve_start",

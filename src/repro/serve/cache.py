@@ -19,8 +19,8 @@ Lookups take two tiers:
    construction — one hash and one dict probe;
 2. **rank tier** — same multiset, different permutation: the grouping is
    re-labeled through the query's own stable argsort via
-   :func:`repro.core.batch.rank_structure`, which reproduces the scalar
-   grouper bit for bit (property-tested in
+   :func:`repro.core.batch.flat_rank_listing`, which reproduces the
+   scalar grouper bit for bit (property-tested in
    ``tests/properties/test_serve_properties.py``).
 
 :meth:`GroupingCache.propose_batch` is the scheduler's entry point: it
@@ -41,7 +41,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.analysis import sanitizer as _sanitize
-from repro.core.batch import rank_structure
+from repro.core.batch import flat_rank_listing
 from repro.core.grouping import Grouping
 from repro.obs import runtime as _obs
 
@@ -178,8 +178,12 @@ class GroupingCache:
     ) -> Grouping:
         """Build the grouping from ``order``, count rank-hit/miss, store."""
         canonical_key = _digest(header, array[order].tobytes())
-        structure = rank_structure(array.size, k, mode)
-        grouping = Grouping(order[list(ranks)] for ranks in structure)
+        listing = flat_rank_listing(array.size, k, mode)
+        # order[listing] is a permutation of 0..n-1, so the trusted
+        # constructor can skip the partition checks (hot on every miss).
+        grouping = Grouping.from_members(
+            order[listing].reshape(k, array.size // k)
+        )
         with self._lock:
             previous = self._entries.get(canonical_key)
             if previous is not None:

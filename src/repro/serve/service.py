@@ -113,6 +113,8 @@ class GroupingService:
                 workers=self.config.workers,
                 queue_depth=self.config.queue_depth,
                 batch_max=self.config.batch_max,
+                batch_min=self.config.batch_min,
+                adaptive=self.config.adaptive_batch,
             )
             if self.config.workers > 0
             else None
@@ -271,11 +273,13 @@ class GroupingService:
                 # Batched round steps: the scheduler advances this cohort
                 # together with any concurrently queued same-(n, k, mode,
                 # rate) cohorts in one stacked update.
+                # One multi-round request amortizes the queue handoff
+                # over all rounds and keeps the wave stacked round after
+                # round (each round reads the previous round's skills).
                 timeout = self.config.request_timeout
-                for _ in range(rounds):
-                    record = self.scheduler.step(session, timeout=timeout)
-                    self._rounds_advanced.inc()
-                    played.append(record)
+                records = self.scheduler.step_rounds(session, rounds, timeout=timeout)
+                self._rounds_advanced.inc(rounds)
+                played.extend(records)
             else:
                 propose = self._propose_fn(session)
                 for _ in range(rounds):

@@ -139,3 +139,32 @@ class TestGroupingConstructors:
     def test_repr_round_trips_structure(self):
         grouping = Grouping([[0, 1], [2, 3]])
         assert "Grouping" in repr(grouping)
+
+
+class TestFromMembers:
+    def test_equals_validating_constructor(self):
+        rng = np.random.default_rng(9)
+        for k, size in [(1, 3), (2, 2), (3, 4), (5, 2)]:
+            members = rng.permutation(k * size).reshape(k, size)
+            trusted = Grouping.from_members(members)
+            validated = Grouping(members.tolist())
+            assert trusted == validated
+            assert [list(g) for g in trusted] == [list(g) for g in validated]
+            assert trusted.assignment.tolist() == validated.assignment.tolist()
+
+    def test_member_order_inside_groups_is_preserved(self):
+        members = np.array([[3, 0, 5], [1, 4, 2]])
+        grouping = Grouping.from_members(members)
+        assert list(grouping[0]) == [3, 0, 5]
+        assert list(grouping[1]) == [1, 4, 2]
+
+    def test_groups_are_real_group_tuples(self):
+        grouping = Grouping.from_members(np.array([[1, 0], [2, 3]]))
+        for group in grouping:
+            assert isinstance(group, Group)
+            assert group.indices().dtype == np.intp
+
+    def test_shape_and_accessors(self):
+        grouping = Grouping.from_members(np.arange(12).reshape(4, 3))
+        assert (grouping.n, grouping.k, grouping.group_size) == (12, 4, 3)
+        assert grouping.group_of(7) == 2

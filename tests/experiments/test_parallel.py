@@ -11,12 +11,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.batch import shared_memory_available
 from repro.experiments.parallel import (
+    POOL_ENV,
     WORKERS_ENV,
+    WorkerPool,
+    WorkerPoolError,
+    resolve_pool_policy,
     resolve_workers,
     run_spec_parallel,
+    shared_pool,
+    shutdown_shared_pool,
     sweep_outcomes_parallel,
 )
+from repro.obs import runtime
+from repro.obs.journal import read_journal
 from repro.experiments.runner import run_spec
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import sweep_outcomes
@@ -156,3 +165,102 @@ class TestSweepParallel:
             sweep_outcomes_parallel(spec, "runs", [1, 2], workers=2)
         with pytest.raises(ValueError, match="non-empty"):
             sweep_outcomes_parallel(spec, "k", [], workers=2)
+
+
+def _crash_chunk(payload):
+    """Module-level so the executor can pickle it; kills the worker."""
+    import os as _os
+
+    _os._exit(13)
+
+
+class TestWorkerPool:
+    def test_pool_is_reused_across_calls(self, spec):
+        serial = run_spec(spec)
+        with WorkerPool(2) as pool:
+            first = run_spec_parallel(spec, workers=2, pool=pool)
+            executor = pool.ensure()
+            second = run_spec_parallel(spec, workers=2, pool=pool)
+            assert pool.ensure() is executor, "a borrowed pool must stay warm"
+            assert pool.chunks_served > 0
+        assert_gains_equal(serial, first)
+        assert_gains_equal(serial, second)
+        assert not pool.started, "context exit must close the workers"
+
+    def test_pool_serves_sweeps_and_specs_alike(self, spec):
+        with WorkerPool(2) as pool:
+            parallel = sweep_outcomes_parallel(spec, "k", [2, 4], workers=2, pool=pool)
+        serial = sweep_outcomes(spec, "k", [2, 4])
+        for left, right in zip(serial, parallel):
+            assert_gains_equal(left, right)
+
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="POSIX shared memory unavailable"
+    )
+    def test_shared_memory_on_and_off_are_bit_identical(self, spec):
+        serial = run_spec(spec)
+        with WorkerPool(2, use_shared_memory=True) as shm_pool:
+            via_shm = run_spec_parallel(spec, workers=2, pool=shm_pool)
+        with WorkerPool(2, use_shared_memory=False) as plain_pool:
+            via_pickle = run_spec_parallel(spec, workers=2, pool=plain_pool)
+        assert_gains_equal(serial, via_shm)
+        assert_gains_equal(serial, via_pickle)
+
+    def test_worker_crash_raises_and_pool_respawns(self, spec):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerPoolError, match="worker process died"):
+                list(pool.map_chunks(_crash_chunk, [None, None]))
+            assert not pool.started, "a broken pool must be abandoned"
+            # The next use forks a fresh pool and serves correct results.
+            reborn = run_spec_parallel(spec, workers=2, pool=pool)
+        assert_gains_equal(run_spec(spec), reborn)
+
+    def test_warmup_timer_and_journal_lifecycle(self, spec, tmp_path):
+        path = tmp_path / "pool.jsonl"
+        with runtime.observed(journal=path):
+            with WorkerPool(2) as pool:
+                run_spec_parallel(spec, workers=2, pool=pool)
+            registry = runtime.metrics_registry()
+            snapshot = registry.snapshot()
+        timers = {**snapshot.get("timers", {}), **snapshot.get("histograms", {})}
+        assert any("parallel.pool.warmup_seconds" in name for name in timers), (
+            f"warmup timer missing from {sorted(timers)}"
+        )
+        events = [record["event"] for record in read_journal(path)]
+        assert "pool_start" in events
+        assert "pool_stop" in events
+
+    def test_queue_depth_gauge_returns_to_zero(self, spec):
+        with WorkerPool(2) as pool:
+            run_spec_parallel(spec, workers=2, pool=pool)
+            from repro.obs import runtime as _rt
+
+            gauge = _rt.metrics_registry().gauge("parallel.pool.queue_depth")
+            assert gauge.value == 0
+
+
+class TestPoolPolicy:
+    def test_explicit_policy_wins(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "per-call")
+        assert resolve_pool_policy("keep") == "keep"
+
+    def test_env_fills_in(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "per-call")
+        assert resolve_pool_policy() == "per-call"
+        monkeypatch.delenv(POOL_ENV)
+        assert resolve_pool_policy() == "keep"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="pool policy"):
+            resolve_pool_policy("recycle")
+
+    def test_shared_pool_is_process_wide_and_resizes(self):
+        try:
+            first = shared_pool(2)
+            assert shared_pool(2) is first
+            resized = shared_pool(3)
+            assert resized is not first
+            assert resized.workers == 3
+        finally:
+            shutdown_shared_pool()
+        assert not resized.started

@@ -121,3 +121,27 @@ def test_served_trajectories_equal_offline_simulate(instance):
         skills, k=k, alpha=alpha, mode=mode, rate=0.5, seed=seed,
     )
     assert np.array_equal(final, reference.final_skills)
+
+
+@given(instance=cohort_instances())
+@settings(max_examples=15, deadline=None)
+def test_adaptive_legacy_and_inline_scheduling_agree(instance):
+    """The scheduling decision is invisible: adaptive fall-through (the
+    single-core default), legacy unconditional batching, and the
+    worker-less inline route play bit-identical trajectories."""
+    skills, k, mode, seed, alpha = instance
+    payload = {"skills": skills.tolist(), "k": k, "mode": mode, "seed": seed}
+    trajectories = []
+    for config in (
+        ServeConfig(workers=0, cache_size=16),
+        ServeConfig(workers=2, cache_size=16, adaptive_batch=True),
+        ServeConfig(workers=2, cache_size=16, adaptive_batch=False),
+    ):
+        with GroupingService(config) as service:
+            cohort = service.create_cohort(payload)["cohort"]
+            played = service.advance_rounds(cohort, alpha)["played"]
+            final = service.get_cohort(cohort)["skills"]
+        trajectories.append(([r["gain"] for r in played], final))
+    inline, adaptive, legacy = trajectories
+    assert adaptive == inline
+    assert legacy == inline

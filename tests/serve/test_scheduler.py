@@ -10,8 +10,10 @@ import pytest
 from repro.core.local import dygroups_clique_local, dygroups_star_local
 from repro.obs import runtime
 from repro.serve.cache import GroupingCache
+from repro.serve.config import ServeConfig
 from repro.serve.errors import RequestTimeout, SchedulerSaturated, ServiceClosed
 from repro.serve.scheduler import BatchScheduler
+from repro.serve.service import GroupingService
 
 
 def groups_of(grouping):
@@ -78,6 +80,10 @@ class _StallingCache:
         assert self.release.wait(timeout=10.0), "stalling cache never released"
         return GroupingCache().propose_batch(arrays, k, mode)
 
+    def propose(self, skills, k, mode):
+        # The drain-time inline fall-through path; never stalls.
+        return GroupingCache().propose(skills, k, mode)
+
 
 class TestBackpressure:
     def test_saturation_rejects_not_queues(self, skills):
@@ -130,3 +136,148 @@ class TestLifecycle:
             BatchScheduler(workers=1, queue_depth=0)
         with pytest.raises(ValueError):
             BatchScheduler(workers=1, batch_max=0)
+
+
+def _counter(name):
+    return runtime.metrics_registry().counter(name).value
+
+
+def _service_with_cohorts(count, *, n=12, k=3, mode="star", seed=11):
+    """A worker-less service holding ``count`` identically-seeded cohorts.
+
+    Identical payloads mean identical trajectories, so any cohort doubles
+    as the bit-identity reference for any other.
+    """
+    service = GroupingService(ServeConfig(workers=0, cache_size=0))
+    rng = np.random.default_rng(31)
+    skills = rng.uniform(1.0, 9.0, size=n).tolist()
+    ids = [
+        service.create_cohort({"skills": skills, "k": k, "mode": mode, "seed": seed})["cohort"]
+        for _ in range(count)
+    ]
+    return service, [service.store.get(cid) for cid in ids]
+
+
+class TestAdaptiveSteps:
+    def test_lone_step_falls_through_inline(self):
+        service, (subject, reference) = _service_with_cohorts(2)
+        with service:
+            falls = _counter("serve.scheduler.step_inline_fallthrough")
+            waves = _counter("serve.scheduler.step_batches")
+            with BatchScheduler(workers=1, adaptive=True, parallelism=4) as scheduler:
+                records = scheduler.step_rounds(subject, 3)
+            assert _counter("serve.scheduler.step_inline_fallthrough") - falls == 3
+            assert _counter("serve.scheduler.step_batches") - waves == 0
+            expected = [reference.advance_round() for _ in range(3)]
+            assert [r["gain"] for r in records] == [r["gain"] for r in expected]
+            assert [r["groups"] for r in records] == [r["groups"] for r in expected]
+
+    def test_single_core_gate_forces_inline(self):
+        service, sessions = _service_with_cohorts(5)
+        reference = sessions[-1]
+        with service:
+            waves = _counter("serve.scheduler.step_batches")
+            with BatchScheduler(
+                workers=2, adaptive=True, batch_min=2, parallelism=1
+            ) as scheduler:
+                barrier = threading.Barrier(4)
+                results: dict[int, list] = {}
+
+                def drive(i):
+                    barrier.wait(timeout=10.0)
+                    results[i] = scheduler.step_rounds(sessions[i], 2)
+
+                threads = [threading.Thread(target=drive, args=(i,)) for i in range(4)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            assert _counter("serve.scheduler.step_batches") - waves == 0, (
+                "parallelism=1 must keep every step off the wave path"
+            )
+            expected = [reference.advance_round() for _ in range(2)]
+            for records in results.values():
+                assert [r["gain"] for r in records] == [r["gain"] for r in expected]
+
+    def test_wave_is_bit_identical_to_inline(self, skills):
+        service, sessions = _service_with_cohorts(4)
+        reference = sessions[-1]
+        stall = _StallingCache()
+        with service:
+            waves = _counter("serve.scheduler.step_batches")
+            scheduler = BatchScheduler(
+                stall, workers=1, adaptive=True, batch_min=2, parallelism=4
+            )
+            try:
+                # Park the lone worker on a propose request, enqueue three
+                # same-configuration multi-round steps behind it, then let
+                # the drain stack them into one wave.
+                parked = scheduler.submit(skills, 3, "star")
+                assert stall.entered.wait(timeout=10.0)
+                futures = [scheduler.submit_step(s, 2) for s in sessions[:3]]
+                stall.release.set()
+                parked.result(timeout=10.0)
+                waved = [f.result(timeout=10.0) for f in futures]
+            finally:
+                scheduler.close()
+            assert _counter("serve.scheduler.step_batches") - waves == 1
+            expected = [reference.advance_round() for _ in range(2)]
+            for records in waved:
+                assert [r["gain"] for r in records] == [r["gain"] for r in expected]
+                assert [r["groups"] for r in records] == [r["groups"] for r in expected]
+
+    def test_undersized_wave_falls_through_at_drain(self, skills):
+        service, (subject, reference) = _service_with_cohorts(2)
+        stall = _StallingCache()
+        with service:
+            falls = _counter("serve.scheduler.step_inline_fallthrough")
+            waves = _counter("serve.scheduler.step_batches")
+            scheduler = BatchScheduler(
+                stall, workers=1, adaptive=True, batch_min=2, parallelism=4
+            )
+            try:
+                parked = scheduler.submit(skills, 3, "star")
+                assert stall.entered.wait(timeout=10.0)
+                lone = scheduler.submit_step(subject, 2)
+                stall.release.set()
+                parked.result(timeout=10.0)
+                records = lone.result(timeout=10.0)
+            finally:
+                scheduler.close()
+            assert _counter("serve.scheduler.step_batches") - waves == 0
+            assert _counter("serve.scheduler.step_inline_fallthrough") - falls == 2
+            expected = [reference.advance_round() for _ in range(2)]
+            assert [r["gain"] for r in records] == [r["gain"] for r in expected]
+
+    def test_legacy_mode_always_queues(self):
+        service, (subject, reference) = _service_with_cohorts(2)
+        with service:
+            falls = _counter("serve.scheduler.step_inline_fallthrough")
+            waves = _counter("serve.scheduler.step_batches")
+            with BatchScheduler(workers=1, adaptive=False, parallelism=1) as scheduler:
+                records = scheduler.step_rounds(subject, 3)
+            # Legacy queues each round separately and never falls through,
+            # even on a single core — the pre-adaptive contract.
+            assert _counter("serve.scheduler.step_batches") - waves == 3
+            assert _counter("serve.scheduler.step_inline_fallthrough") - falls == 0
+            expected = [reference.advance_round() for _ in range(3)]
+            assert [r["gain"] for r in records] == [r["gain"] for r in expected]
+
+    def test_step_rounds_validation(self):
+        service, (subject,) = _service_with_cohorts(1)
+        with service:
+            with BatchScheduler(workers=1) as scheduler:
+                with pytest.raises(ValueError, match="rounds"):
+                    scheduler.step_rounds(subject, 0)
+                with pytest.raises(ValueError, match="rounds"):
+                    scheduler.step_rounds(subject, True)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="batch_min"):
+            BatchScheduler(workers=1, batch_min=1)
+        with pytest.raises(ValueError, match="batch_min"):
+            BatchScheduler(workers=1, batch_min=True)
+        with pytest.raises(ValueError, match="parallelism"):
+            BatchScheduler(workers=1, parallelism=0)
+        with pytest.raises(ValueError, match="parallelism"):
+            BatchScheduler(workers=1, parallelism=True)
