@@ -106,7 +106,7 @@ def flat_rank_listing(n: int, k: int, mode: str) -> np.ndarray:
     return _flat_rank_listing_cached(n, k, mode)
 
 
-def descending_orders(matrix: np.ndarray) -> np.ndarray:
+def descending_orders(matrix: np.ndarray, *, plan=None) -> np.ndarray:
     """Stable descending argsort of each row of a ``(m, n)`` skill matrix.
 
     This is the one vectorized call every batched DyGroups grouper reduces
@@ -120,7 +120,17 @@ def descending_orders(matrix: np.ndarray) -> np.ndarray:
     is a radix sort for integer keys — same permutation, bit for bit,
     measurably faster per row.  Non-positive or non-finite input falls
     back to the float sort.
+
+    With a :class:`repro.core.shard.ShardPlan` the call delegates to
+    :func:`repro.core.shard.sharded_descending_orders`, which bounds the
+    sort working set to one skill-range shard at a time (and can spill
+    the order output out of core) while returning the identical
+    permutation bit for bit.
     """
+    if plan is not None:
+        from repro.core.shard import sharded_descending_orders
+
+        return sharded_descending_orders(matrix, plan)
     matrix = np.ascontiguousarray(matrix, dtype=np.float64)
     if matrix.size and np.all(matrix > 0.0):
         return np.argsort(-matrix.view(np.int64), axis=1, kind="stable")

@@ -97,6 +97,7 @@ __all__ = [
     "resolve_workers",
     "run_spec_parallel",
     "shared_pool",
+    "sharded_orders_parallel",
     "shutdown_shared_pool",
     "sweep_outcomes_parallel",
 ]
@@ -600,6 +601,115 @@ def _parallel_execute(
     if obs is not None:
         obs.metrics.counter("experiments.parallel.chunks").inc(len(chunks))
     return merged
+
+
+def _shard_segments_chunk(
+    payload: "tuple[tuple, tuple, bool]",
+) -> "tuple[int, list[tuple[int, int, np.ndarray]]]":
+    """Stable-sort one chunk of ``(row, start, indices)`` shard units.
+
+    The worker maps the parent's :class:`SharedMatrix` read-only, gathers
+    each unit's values in the parent-supplied ascending-index order, and
+    runs the same stable descending argsort (bit-view when the whole
+    matrix is positive — the flag travels with the payload so every
+    worker matches the serial decision) the serial sharded path runs.
+    Returns the worker pid and the globally-ordered index segments.
+    """
+    meta, units, bitview = payload
+    handle = SharedMatrix.attach(meta)
+    segments: "list[tuple[int, int, np.ndarray]]" = []
+    try:
+        matrix = handle.array()
+        for row, start, idx in units:
+            vals = np.ascontiguousarray(matrix[row][idx])
+            if bitview:
+                local = np.argsort(-vals.view(np.int64), kind="stable")
+            else:
+                local = np.argsort(-vals, kind="stable")
+            segments.append((row, start, idx[local]))
+    finally:
+        handle.close()
+    return os.getpid(), segments
+
+
+def sharded_orders_parallel(
+    matrix: np.ndarray,
+    plan=None,
+    *,
+    workers: "int | None" = None,
+    pool: "WorkerPool | None" = None,
+) -> np.ndarray:
+    """Sharded stable descending argsort with shards as pool work units.
+
+    The process-parallel twin of
+    :func:`repro.core.shard.sharded_descending_orders`: the parent picks
+    the value-range cuts and the per-shard index groups (cheap O(n)
+    passes), ships the trial matrix once through a
+    :class:`~repro.core.batch.SharedMatrix` so workers read it without
+    copies, streams ``(row, start, indices)`` shard units over the warm
+    :class:`WorkerPool`, and writes the returned segments straight into
+    the output — the same bit-identical permutation as the serial
+    sharded and monolithic sorts.
+
+    Falls back to the serial sharded path when the effective worker
+    count is 1, shared memory is unavailable, or the shared segment
+    cannot be created.  The plan's out-of-core spill applies only to the
+    serial fallback (workers return heap segments).
+    """
+    from repro.core.shard import ShardPlan, bucket_partition, shard_cuts
+    from repro.core.shard import sharded_descending_orders as _serial
+
+    plan = plan if plan is not None else ShardPlan()
+    matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+    count = resolve_workers(workers)
+    if count <= 1 or not shared_memory_available():
+        return _serial(matrix, plan)
+    try:
+        shared = SharedMatrix.create(matrix)
+    except Exception:  # pragma: no cover - platform-dependent
+        return _serial(matrix, plan)
+    trials, n = matrix.shape
+    shards = plan.shard_count(n)
+    bitview = bool(matrix.size) and bool(np.all(matrix > 0.0))
+    units: "list[tuple[int, int, np.ndarray]]" = []
+    for r in range(trials):
+        row = matrix[r]
+        cuts = shard_cuts(row, shards)
+        if cuts.size == 0:
+            units.append((r, 0, np.arange(n, dtype=np.intp)))
+            continue
+        offsets, grouped = bucket_partition(row, cuts)
+        for b in range(offsets.shape[0] - 1):
+            lo, hi = int(offsets[b]), int(offsets[b + 1])
+            if hi > lo:
+                units.append((r, lo, grouped[lo:hi]))
+    if not units:
+        shared.close()
+        shared.unlink()
+        return np.empty((trials, n), dtype=np.intp)
+    owned: "WorkerPool | None" = None
+    if pool is None:
+        if resolve_pool_policy() == "keep":
+            pool = shared_pool(count)
+        else:
+            pool = owned = WorkerPool(count)
+    orders = np.empty((trials, n), dtype=np.intp)
+    chunk_count = min(len(units), count * pool.stream_factor)
+    bounds = np.array_split(np.arange(len(units)), chunk_count)
+    chunks = [tuple(units[int(b[0]) : int(b[-1]) + 1]) for b in bounds if b.size]
+    try:
+        payloads = [(shared.meta, chunk, bitview) for chunk in chunks]
+        with _trace.span("experiments.sharded_orders", workers=count, chunks=len(chunks)):
+            for pid, segments in pool.map_chunks(_shard_segments_chunk, payloads):
+                for row, start, ordered in segments:
+                    orders[row, start : start + ordered.shape[0]] = ordered
+                pool.account_chunk(pid)
+    finally:
+        shared.close()
+        shared.unlink()
+        if owned is not None:
+            owned.close()
+    return orders
 
 
 def run_spec_parallel(

@@ -177,9 +177,10 @@ def _execute_runs(
     obs = _obs.state()
     # One engine decision per algorithm, through the same select_engine
     # every driver uses: vectorizable entries stack all runs into one
-    # simulate_many call; the rest run the per-run scalar loop.  Under
-    # engine="vectorized", select_engine raises for a non-vectorizable
-    # entry — the same error simulate_many would have raised.
+    # simulate_many call (sharded when shards were requested); the rest
+    # run the per-run scalar loop.  Under a forcing engine flag,
+    # select_engine raises for an incapable entry — the same error
+    # simulate_many would have raised.
     scalar_algos: list[str] = []
     stacked_algos: list[str] = []
     for entry in spec.algorithms:
@@ -191,8 +192,9 @@ def _execute_runs(
             mode=spec.mode,
             gain=LinearGain(spec.rate),
             engine=spec.engine,
+            shards=spec.shards,
         )
-        (stacked_algos if engine_name == "vectorized" else scalar_algos).append(entry)
+        (scalar_algos if engine_name == "scalar" else stacked_algos).append(entry)
     if scalar_algos:
         _execute_runs_scalar(
             spec, scalar_algos, indices, data,
@@ -286,6 +288,7 @@ def _execute_runs_stacked(
                     rate=spec.rate,
                     seeds=seeds,
                     engine=spec.engine,
+                    shards=spec.shards,
                     record_timings=True,
                 )
         _log.debug(
@@ -340,6 +343,7 @@ def _emit_spec_start(spec: ExperimentSpec) -> None:
             runs=spec.runs,
             seed=spec.seed,
             engine=spec.engine,
+            shards=spec.shards,
         )
 
 

@@ -134,6 +134,7 @@ def experiment_spec_to_dict(spec: ExperimentSpec) -> dict[str, Any]:
         "seed": spec.seed,
         "engine": spec.engine,
         "workers": spec.workers,
+        "shards": spec.shards,
     }
     if spec.lpa_max_evals is not None:
         payload["lpa_max_evals"] = spec.lpa_max_evals
@@ -157,7 +158,7 @@ def experiment_spec_from_dict(payload: dict[str, Any]) -> ExperimentSpec:
         fields["algorithms"] = tuple(fields["algorithms"])
     known = {
         "n", "k", "alpha", "rate", "mode", "distribution",
-        "algorithms", "runs", "seed", "lpa_max_evals", "engine", "workers",
+        "algorithms", "runs", "seed", "lpa_max_evals", "engine", "workers", "shards",
     }
     unknown = sorted(set(fields) - known)
     if unknown:

@@ -1,0 +1,453 @@
+"""Property-based pins for the sharded execution path.
+
+The sharded engine's hard guarantee: partitioning a round into
+skill-range shards — per-shard partial sorts merged back into the global
+rank order, group-chunked Star/Clique updates — changes *nothing* about
+the numbers.  For random (n, k, R, shard-count) and tie-heavy skill
+matrices, the sharded order must equal the monolithic
+:func:`~repro.core.batch.descending_orders` bit for bit, the sharded
+update kernels must equal their monolithic twins, and full sharded
+simulations must be bit-identical to the vectorized and scalar engines
+for every policy the registry declares ``shardable``.  Boundary shapes
+(single shard, shards > n, shard smaller than a group, all-ties
+populations, out-of-core spill) are pinned by unit tests beside the
+properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import descending_orders
+from repro.core.gain_functions import LinearGain
+from repro.core.shard import (
+    DEFAULT_SHARD_SIZE,
+    SHARD_MEM_ENV,
+    SHARDS_ENV,
+    ShardPlan,
+    bucket_partition,
+    resolve_shard_mem_mb,
+    resolve_shards,
+    shard_cuts,
+    shard_group_slices,
+    sharded_descending_orders,
+    update_clique_sharded,
+    update_star_sharded,
+)
+from repro.core.simulation import simulate
+from repro.core.vectorized import simulate_many, vectorize_policy
+from repro.engine.select import select_engine
+from repro.engine.stacked import (
+    grouping_to_members,
+    update_clique_many,
+    update_star_many,
+)
+from repro.registry import POLICY_NAMES, build_policy, get_policy
+
+SHARDABLE = tuple(n for n in POLICY_NAMES if get_policy(n).shardable)
+
+
+def _mode_for(name: str) -> str:
+    return "clique" if name == "dygroups-clique" else "star"
+
+
+@st.composite
+def skill_matrices(draw, max_trials: int = 3, max_n: int = 40):
+    """Random (R, n) matrices, weighted toward ties and mixed signs.
+
+    Tie-heavy rows (rounded values) exercise the value-range invariant
+    that ties never straddle a shard; non-positive values force the
+    float sort path off the bit-view fast path.
+    """
+    trials = draw(st.integers(min_value=1, max_value=max_trials))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    flavor = draw(st.sampled_from(("smooth", "ties", "mixed")))
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.5, 50.0, size=(trials, n))
+    if flavor == "ties":
+        matrix = np.round(matrix / 5.0) * 5.0 + 0.5
+    elif flavor == "mixed":
+        matrix = matrix - 25.0
+    shards = draw(st.integers(min_value=1, max_value=max_n + 10))
+    return matrix, shards
+
+
+@given(case=skill_matrices())
+@settings(max_examples=40, deadline=None)
+def test_sharded_orders_bit_identical(case):
+    matrix, shards = case
+    got = sharded_descending_orders(matrix, ShardPlan(shards=shards))
+    assert np.array_equal(got, descending_orders(matrix))
+
+
+@st.composite
+def update_instances(draw, max_k: int = 4, max_group_size: int = 5):
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    size = draw(st.integers(min_value=2, max_value=max_group_size))
+    n = k * size
+    trials = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    tie_heavy = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    skills = rng.uniform(0.5, 30.0, size=(trials, n))
+    if tie_heavy:
+        skills = np.round(skills)
+        skills[skills == 0.0] = 1.0
+    members = np.stack([rng.permutation(n) for _ in range(trials)]).astype(np.intp)
+    rate = draw(st.floats(min_value=0.05, max_value=0.95))
+    shards = draw(st.integers(min_value=1, max_value=max_k + 6))
+    return skills, members, k, rate, shards
+
+
+@given(instance=update_instances())
+@settings(max_examples=40, deadline=None)
+def test_sharded_updates_bit_identical(instance):
+    skills, members, k, rate, shards = instance
+    gain = LinearGain(rate)
+    plan = ShardPlan(shards=shards)
+    assert np.array_equal(
+        update_star_sharded(skills, members, k, gain, plan),
+        update_star_many(skills, members, k, gain),
+    )
+    assert np.array_equal(
+        update_clique_sharded(skills, members, k, gain, plan),
+        update_clique_many(skills, members, k, gain),
+    )
+
+
+@st.composite
+def simulation_instances(draw, max_k: int = 3, max_group_size: int = 4):
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    size = draw(st.integers(min_value=2, max_value=max_group_size))
+    n = k * size
+    trials = draw(st.integers(min_value=1, max_value=3))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False),
+            min_size=trials * n,
+            max_size=trials * n,
+        )
+    )
+    skills = np.asarray(values, dtype=np.float64).reshape(trials, n)
+    rate = draw(st.floats(min_value=0.05, max_value=0.95))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    shards = draw(st.integers(min_value=1, max_value=8))
+    return skills, k, rate, seed, shards
+
+
+@given(instance=simulation_instances())
+@settings(max_examples=10, deadline=None)
+def test_every_shardable_policy_is_engine_invariant(instance):
+    skills, k, rate, seed, shards = instance
+    assert "fair-star" in SHARDABLE  # the extension rides the same pin
+    trials = skills.shape[0]
+    seeds = [seed + i for i in range(trials)]
+    for name in SHARDABLE:
+        mode = _mode_for(name)
+        sharded = simulate_many(
+            build_policy(name, mode=mode, rate=rate),
+            skills, k=k, alpha=3, mode=mode, rate=rate,
+            seeds=seeds, engine="sharded", shards=shards,
+        )
+        assert sharded.engine == "sharded"
+        vectorized = simulate_many(
+            build_policy(name, mode=mode, rate=rate),
+            skills, k=k, alpha=3, mode=mode, rate=rate,
+            seeds=seeds, engine="vectorized",
+        )
+        assert np.array_equal(sharded.final_skills, vectorized.final_skills)
+        assert np.array_equal(sharded.round_gains, vectorized.round_gains)
+        scalar = simulate(
+            build_policy(name, mode=mode, rate=rate),
+            skills[0], k=k, alpha=3, mode=mode, rate=rate, seed=seeds[0],
+        )
+        assert np.array_equal(sharded.final_skills[0], scalar.final_skills)
+        assert np.array_equal(sharded.round_gains[0], scalar.round_gains)
+
+
+@given(case=skill_matrices(max_trials=2, max_n=25))
+@settings(max_examples=15, deadline=None)
+def test_spilled_orders_bit_identical(case):
+    matrix, shards = case
+    plan = ShardPlan(shards=shards, mem_mb=1e-6)
+    assert plan.should_spill(*matrix.shape)
+    got = sharded_descending_orders(matrix, plan)
+    assert isinstance(got, np.memmap)
+    assert np.array_equal(np.asarray(got), descending_orders(matrix))
+
+
+class TestBoundaries:
+    """Boundary shapes the ISSUE pins explicitly."""
+
+    def _check(self, matrix, shards):
+        got = sharded_descending_orders(np.asarray(matrix, dtype=np.float64), ShardPlan(shards=shards))
+        assert np.array_equal(got, descending_orders(np.asarray(matrix, dtype=np.float64)))
+
+    def test_single_shard(self):
+        self._check(np.random.default_rng(0).uniform(1, 9, size=(3, 20)), 1)
+
+    def test_more_shards_than_population(self):
+        self._check(np.random.default_rng(1).uniform(1, 9, size=(2, 6)), 50)
+
+    def test_all_ties_population(self):
+        # Every value equal: one shard absorbs everything; order must be
+        # the identity permutation (the stable ascending-index tiebreak).
+        matrix = np.full((2, 12), 7.5)
+        got = sharded_descending_orders(matrix, ShardPlan(shards=4))
+        assert np.array_equal(got, np.tile(np.arange(12), (2, 1)))
+
+    def test_shard_smaller_than_group(self):
+        # shards > n/k: each shard spans fewer elements than one group,
+        # so group blocks cross shard boundaries — the gather must still
+        # reconstruct the global order exactly.
+        rng = np.random.default_rng(2)
+        n, k = 24, 4
+        matrix = rng.uniform(1, 9, size=(2, n))
+        shards = (n // k) + 3
+        self._check(matrix, shards)
+        gain = LinearGain(0.5)
+        members = np.stack([rng.permutation(n) for _ in range(2)]).astype(np.intp)
+        plan = ShardPlan(shards=shards)
+        assert np.array_equal(
+            update_star_sharded(matrix, members, k, gain, plan),
+            update_star_many(matrix, members, k, gain),
+        )
+
+    def test_single_column(self):
+        self._check([[3.0], [4.0]], 4)
+
+    def test_cuts_and_buckets_agree(self):
+        rng = np.random.default_rng(3)
+        values = np.round(rng.uniform(1, 9, size=40))
+        cuts = shard_cuts(values, 5)
+        offsets, grouped = bucket_partition(values, cuts)
+        assert np.array_equal(np.sort(grouped), np.arange(40))
+        assert offsets[0] == 0 and offsets[-1] == 40
+        # value-disjoint: every element of shard b outranks-or-ties shard b+1,
+        # and no tie class straddles a boundary
+        for b in range(offsets.shape[0] - 2):
+            hi_vals = values[grouped[offsets[b] : offsets[b + 1]]]
+            lo_vals = values[grouped[offsets[b + 1] : offsets[b + 2]]]
+            if hi_vals.size and lo_vals.size:
+                assert hi_vals.min() > lo_vals.max()
+
+    def test_group_slices_cover(self):
+        for k in (1, 3, 7, 20):
+            for shards in (1, 2, 5, 50):
+                slices = shard_group_slices(k, shards)
+                assert slices[0][0] == 0 and slices[-1][1] == k
+                for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+                    assert a1 == b0 and a1 > a0
+
+
+class TestPlanAndKnobs:
+    """ShardPlan validation, env resolution, auto-sizing, spill estimate."""
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardPlan(shards=-1)
+        with pytest.raises(ValueError, match="shards"):
+            ShardPlan(shards=True)
+        with pytest.raises(ValueError, match="mem_mb"):
+            ShardPlan(mem_mb=0)
+        with pytest.raises(ValueError, match="mem_mb"):
+            ShardPlan(mem_mb=-4.0)
+
+    def test_shard_count_auto_sizes(self):
+        plan = ShardPlan()
+        assert plan.shard_count(100) == 1
+        assert plan.shard_count(DEFAULT_SHARD_SIZE * 3) == 3
+        assert plan.shard_count(DEFAULT_SHARD_SIZE * 3 + 1) == 4
+        assert plan.shard_count(0) == 1
+
+    def test_shard_count_clamps_to_n(self):
+        assert ShardPlan(shards=50).shard_count(8) == 8
+        assert ShardPlan(shards=3).shard_count(8) == 3
+
+    def test_should_spill(self):
+        itemsize = np.dtype(np.intp).itemsize
+        plan = ShardPlan(mem_mb=(11 * 10 + 10) * itemsize / (1024 * 1024))
+        assert not plan.should_spill(11, 10)
+        assert plan.should_spill(12, 10)
+        assert not ShardPlan().should_spill(10**6, 10**6)
+
+    def test_resolve_shards_env(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert resolve_shards() == 0
+        assert resolve_shards(5) == 5
+        monkeypatch.setenv(SHARDS_ENV, "7")
+        assert resolve_shards() == 7
+        assert resolve_shards(2) == 2  # explicit wins
+        monkeypatch.setenv(SHARDS_ENV, "nope")
+        with pytest.raises(ValueError, match=SHARDS_ENV):
+            resolve_shards()
+        with pytest.raises(ValueError, match="non-negative"):
+            resolve_shards(-1)
+
+    def test_resolve_mem_env(self, monkeypatch):
+        monkeypatch.delenv(SHARD_MEM_ENV, raising=False)
+        assert resolve_shard_mem_mb() is None
+        assert resolve_shard_mem_mb(64) == 64.0
+        monkeypatch.setenv(SHARD_MEM_ENV, "128.5")
+        assert resolve_shard_mem_mb() == 128.5
+        monkeypatch.setenv(SHARD_MEM_ENV, "zero")
+        with pytest.raises(ValueError, match=SHARD_MEM_ENV):
+            resolve_shard_mem_mb()
+        with pytest.raises(ValueError, match="positive"):
+            resolve_shard_mem_mb(0)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "6")
+        monkeypatch.setenv(SHARD_MEM_ENV, "32")
+        plan = ShardPlan.from_env()
+        assert plan.shards == 6 and plan.mem_mb == 32.0
+        assert ShardPlan.from_env(2).shards == 2
+
+
+class TestSelection:
+    """Strict/fallback semantics of engine='sharded' and shards-aware auto."""
+
+    def _gain(self):
+        return LinearGain(0.5)
+
+    def test_forced_sharded_for_shardable(self):
+        name, vec = select_engine(
+            build_policy("dygroups-star"), mode="star", gain=self._gain(), engine="sharded"
+        )
+        assert name == "sharded" and vec is not None and vec.shardable
+
+    def test_forced_sharded_raises_for_random(self):
+        with pytest.raises(ValueError, match="sharded"):
+            select_engine(
+                build_policy("random"), mode="star", gain=self._gain(), engine="sharded"
+            )
+
+    def test_forced_sharded_raises_for_unvectorizable(self):
+        with pytest.raises(ValueError, match="no vectorized form"):
+            select_engine(
+                build_policy("kmeans"), mode="star", gain=self._gain(), engine="sharded"
+            )
+
+    def test_auto_prefers_sharded_only_when_requested(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        policy = build_policy("dygroups-star")
+        name, _ = select_engine(policy, mode="star", gain=self._gain())
+        assert name == "vectorized"
+        name, _ = select_engine(policy, mode="star", gain=self._gain(), shards=4)
+        assert name == "sharded"
+        monkeypatch.setenv(SHARDS_ENV, "3")
+        name, _ = select_engine(policy, mode="star", gain=self._gain())
+        assert name == "sharded"
+
+    def test_forced_vectorized_stays_vectorized(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "3")
+        name, _ = select_engine(
+            build_policy("dygroups-star"), mode="star", gain=self._gain(), engine="vectorized"
+        )
+        assert name == "vectorized"
+
+    def test_auto_with_shards_falls_back_for_random(self):
+        name, vec = select_engine(
+            build_policy("random"), mode="star", gain=self._gain(), shards=4
+        )
+        assert name == "vectorized" and not vec.shardable
+
+
+class TestRegistryConformance:
+    """The shardable bit matches what the vectorized form actually exposes."""
+
+    def test_shardable_implies_vectorizable(self):
+        for name in POLICY_NAMES:
+            info = get_policy(name)
+            if info.shardable:
+                assert info.vectorizable, name
+
+    def test_flag_matches_vectorized_form(self):
+        for name in POLICY_NAMES:
+            info = get_policy(name)
+            if not info.vectorizable:
+                continue
+            mode = _mode_for(name)
+            vec = vectorize_policy(build_policy(name, mode=mode, rate=0.5))
+            assert vec is not None, name
+            assert bool(vec.shardable) == info.shardable, name
+
+    def test_expected_shardable_set(self):
+        assert set(SHARDABLE) == {
+            "dygroups", "dygroups-star", "dygroups-clique",
+            "percentile", "static-dygroups", "fair-star",
+        }
+
+
+class TestGroupingToMembers:
+    """Satellite: the stacked flattening rides the trusted fast path."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           k=st.integers(min_value=1, max_value=5),
+           size=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_concatenate_reference(self, seed, k, size):
+        from repro.core.grouping import Grouping
+
+        n = k * size
+        perm = np.random.default_rng(seed).permutation(n)
+        grouping = Grouping(perm.reshape(k, size).tolist())
+        flat = grouping_to_members(grouping)
+        reference = np.concatenate([np.asarray(g, dtype=np.intp) for g in grouping])
+        assert flat.dtype == np.intp
+        assert np.array_equal(flat, reference)
+        # and the from_members fast path round-trips it
+        rebuilt = Grouping.from_members(flat.reshape(k, size))
+        assert rebuilt.canonical() == grouping.canonical()
+
+
+class TestSpecRoundTrip:
+    """Satellite: --shards / spec.shards round-trips through io."""
+
+    def test_spec_io_round_trip(self):
+        from repro.experiments.spec import ExperimentSpec
+        from repro.io import experiment_spec_from_dict, experiment_spec_to_dict
+
+        spec = ExperimentSpec(
+            n=24, k=4, runs=2, algorithms=("dygroups",), engine="sharded", shards=3
+        )
+        payload = experiment_spec_to_dict(spec)
+        assert payload["shards"] == 3 and payload["engine"] == "sharded"
+        assert experiment_spec_from_dict(payload) == spec
+
+    def test_legacy_payload_defaults_to_zero_shards(self):
+        from repro.io import experiment_spec_from_dict
+
+        spec = experiment_spec_from_dict({"n": 24, "k": 4, "algorithms": ["dygroups"]})
+        assert spec.shards == 0
+
+    def test_spec_validates_shards(self):
+        from repro.experiments.spec import ExperimentSpec
+
+        with pytest.raises(ValueError, match="shards"):
+            ExperimentSpec(n=24, k=4, shards=-1)
+
+
+class TestParallelShardedOrders:
+    """Shards as warm-pool work units reproduce the monolithic sort."""
+
+    def test_pool_matches_monolithic(self):
+        from repro.experiments.parallel import WorkerPool, sharded_orders_parallel
+
+        rng = np.random.default_rng(9)
+        matrix = rng.uniform(1.0, 40.0, size=(4, 33))
+        with WorkerPool(2) as pool:
+            got = sharded_orders_parallel(matrix, ShardPlan(shards=5), workers=2, pool=pool)
+        assert np.array_equal(got, descending_orders(matrix))
+
+    def test_serial_fallback_matches(self):
+        from repro.experiments.parallel import sharded_orders_parallel
+
+        rng = np.random.default_rng(10)
+        matrix = rng.uniform(1.0, 40.0, size=(3, 21)) - 20.0  # float path
+        got = sharded_orders_parallel(matrix, ShardPlan(shards=4), workers=1)
+        assert np.array_equal(got, descending_orders(matrix))
